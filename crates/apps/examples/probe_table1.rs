@@ -1,0 +1,28 @@
+use cps_apps::case_study;
+use cps_core::Mode;
+
+fn main() {
+    for app in case_study::all_applications().unwrap() {
+        let a = app.application();
+        let jt = a.settling_in_mode(Mode::TimeTriggered, 600).unwrap();
+        let je = a.settling_in_mode(Mode::EventTriggered, 600).unwrap();
+        let row = app.paper_row();
+        println!("{}: JT {} (paper {}), JE {} (paper {})", a.name(), jt, row.jt, je, row.je);
+        match app.profile() {
+            Ok(p) => {
+                println!("  T*w {} (paper {})", p.max_wait(), row.t_w_max);
+                println!("  T-dw {:?}", p.dwell_table().t_dw_min_array());
+                println!("  paper {:?}", row.t_dw_min);
+                println!("  T+dw {:?}", p.dwell_table().t_dw_plus_array());
+                println!("  paper {:?}", row.t_dw_plus);
+            }
+            Err(e) => println!("  profile error: {e}"),
+        }
+        // switching stability certificate
+        match a.switching_stability_certificate() {
+            Ok(Some(c)) => println!("  CQLF found, margin {:.4}", c.decrease_margin()),
+            Ok(None) => println!("  CQLF not found"),
+            Err(e) => println!("  CQLF error: {e}"),
+        }
+    }
+}

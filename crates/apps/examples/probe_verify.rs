@@ -1,0 +1,38 @@
+use cps_apps::case_study;
+use cps_verify::{SlotSharingModel, VerificationConfig};
+use std::time::Instant;
+
+fn profiles(names: &[&str]) -> Vec<cps_core::AppTimingProfile> {
+    let apps = case_study::all_applications().unwrap();
+    names
+        .iter()
+        .map(|n| {
+            let a = apps.iter().find(|a| a.application().name() == *n).unwrap();
+            a.paper_row().to_profile(n).unwrap()
+        })
+        .collect()
+}
+
+fn run(names: &[&str], cfg: &VerificationConfig, label: &str) {
+    let model = SlotSharingModel::new(profiles(names)).unwrap();
+    let t = Instant::now();
+    match model.verify(cfg) {
+        Ok(o) => println!(
+            "{label} {:?}: schedulable={} states={} time={:.2?}",
+            names, o.schedulable(), o.states_explored(), t.elapsed()
+        ),
+        Err(e) => println!("{label} {:?}: error {e} time={:.2?}", names, t.elapsed()),
+    }
+}
+
+fn main() {
+    let exact = VerificationConfig::unbounded();
+    run(&["C1", "C5"], &exact, "exact");
+    run(&["C1", "C5", "C4"], &exact, "exact");
+    run(&["C1", "C5", "C4", "C6"], &exact, "exact");
+    run(&["C1", "C5", "C4", "C2"], &exact, "exact");
+    run(&["C1", "C5", "C4", "C3"], &exact, "exact");
+    run(&["C6", "C2"], &exact, "exact");
+    run(&["C6"], &exact, "exact");
+    run(&["C1", "C5", "C4", "C3"], &VerificationConfig::bounded(1), "bounded1");
+}

@@ -1,0 +1,50 @@
+//! Case-study plants and controllers of the reproduced paper.
+//!
+//! Two groups of systems are provided:
+//!
+//! * [`motivational`] — the DC-motor position-control example of Sec. 3.1
+//!   (plant Eq. 6, gains Eqs. 7–9), used for the paper's Figs. 2–4.
+//! * [`case_study`] — the six distributed control applications `C1`–`C6` of
+//!   Table 1 (DC-motor position/speed control and cruise control), with the
+//!   published gains, requirements, and — for regression checking — the
+//!   published timing results.
+//!
+//! Every plant is a discrete-time model sampled at `h = 0.02 s`; every
+//! application uses the absolute settling band `|y| ≤ 0.02` and a unit
+//! deflection of its first state as the canonical disturbance, exactly as in
+//! the paper.
+//!
+//! # Example
+//!
+//! ```
+//! use cps_apps::case_study;
+//!
+//! # fn main() -> Result<(), cps_core::CoreError> {
+//! let c1 = case_study::c1()?;
+//! assert_eq!(c1.application().name(), "C1");
+//! assert_eq!(c1.paper_row().jt, 9);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod case_study;
+pub mod motivational;
+
+pub use case_study::{CaseStudyApp, PaperRow};
+
+/// The sampling period used by every system in the paper, in seconds.
+pub const SAMPLING_PERIOD: f64 = 0.02;
+
+/// The absolute settling band `|y| ≤ 0.02` used by every system in the paper.
+pub const SETTLING_THRESHOLD: f64 = 0.02;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constants_match_the_paper() {
+        assert_eq!(SAMPLING_PERIOD, 0.02);
+        assert_eq!(SETTLING_THRESHOLD, 0.02);
+    }
+}

@@ -1,0 +1,152 @@
+//! The DC-motor position-control example of the paper's Sec. 3.1.
+//!
+//! The plant is the third-order discrete-time model of Eq. 6; the fast
+//! time-triggered gain `K_T` is Eq. 7; the two event-triggered gains are
+//! `K_E^s` (Eq. 8, switching-stable with `K_T`) and `K_E^u` (Eq. 9, *not*
+//! switching-stable with `K_T`). The paper uses the pair comparison to show
+//! that ignoring switching stability wastes resources (its Figs. 2 and 3).
+
+use cps_control::{StateFeedback, StateSpace};
+use cps_core::{CoreError, SwitchedApplication};
+use cps_linalg::Vector;
+
+use crate::{SAMPLING_PERIOD, SETTLING_THRESHOLD};
+
+/// The settling-time requirement `J* = 0.36 s` of the motivational example,
+/// expressed in samples of `h = 0.02 s`.
+pub const JSTAR_SAMPLES: usize = 18;
+
+/// Builds the discrete-time DC-motor position plant of Eq. 6.
+///
+/// # Errors
+///
+/// Construction of the fixed published matrices cannot fail; the `Result`
+/// only mirrors the fallible [`StateSpace`] constructor.
+pub fn dc_motor_plant() -> Result<StateSpace, CoreError> {
+    Ok(StateSpace::from_slices(
+        &[
+            &[1.0, 0.0182, 0.0068],
+            &[0.0, 0.7664, 0.5186],
+            &[0.0, -0.3260, 0.1011],
+        ],
+        &[0.0015, 0.1944, 0.2717],
+        &[1.0, 0.0, 0.0],
+    )?)
+}
+
+/// The time-triggered gain `K_T` of Eq. 7.
+pub fn fast_gain() -> StateFeedback {
+    StateFeedback::from_slice(&[30.0, 1.2626, 1.1071])
+}
+
+/// The switching-stable event-triggered gain `K_E^s` of Eq. 8 (over the
+/// augmented state `[x; u_prev]`).
+pub fn slow_gain_stable() -> Vector {
+    Vector::from_slice(&[13.8921, 0.5773, 0.8672, 1.0866])
+}
+
+/// The switching-unstable event-triggered gain `K_E^u` of Eq. 9.
+pub fn slow_gain_unstable() -> Vector {
+    Vector::from_slice(&[2.9120, -0.6141, -1.0399, 0.1741])
+}
+
+fn build(name: &str, slow: Vector) -> Result<SwitchedApplication, CoreError> {
+    SwitchedApplication::builder(name)
+        .plant(dc_motor_plant()?)
+        .fast_gain(fast_gain())
+        .slow_gain(slow)
+        .sampling_period(SAMPLING_PERIOD)
+        .settling_threshold(SETTLING_THRESHOLD)
+        .disturbance_state(Vector::from_slice(&[1.0, 0.0, 0.0]))
+        .build()
+}
+
+/// The switched application using the switching-stable pair
+/// `K_T` + `K_E^s`.
+///
+/// # Errors
+///
+/// Propagates builder validation failures (cannot occur for the published
+/// data).
+pub fn stable_pair() -> Result<SwitchedApplication, CoreError> {
+    build("DC-motor (stable pair)", slow_gain_stable())
+}
+
+/// The switched application using the switching-unstable pair
+/// `K_T` + `K_E^u`.
+///
+/// # Errors
+///
+/// Propagates builder validation failures (cannot occur for the published
+/// data).
+pub fn unstable_pair() -> Result<SwitchedApplication, CoreError> {
+    build("DC-motor (unstable pair)", slow_gain_unstable())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cps_core::Mode;
+
+    #[test]
+    fn plant_dimensions_match_the_paper() {
+        let plant = dc_motor_plant().unwrap();
+        assert_eq!(plant.state_dim(), 3);
+        assert_eq!(plant.input_dim(), 1);
+        assert_eq!(plant.output_dim(), 1);
+    }
+
+    #[test]
+    fn fast_controller_settles_in_9_samples() {
+        // Fig. 2 of the paper: K_T settles in 0.18 s = 9 samples.
+        let app = stable_pair().unwrap();
+        let jt = app.settling_in_mode(Mode::TimeTriggered, 400).unwrap();
+        assert_eq!(jt, 9);
+    }
+
+    #[test]
+    fn slow_controllers_settle_in_roughly_34_samples() {
+        // Fig. 2: both K_E^s and K_E^u settle in about 0.68 s (= 34 samples).
+        let stable = stable_pair().unwrap();
+        let unstable = unstable_pair().unwrap();
+        let je_s = stable.settling_in_mode(Mode::EventTriggered, 400).unwrap();
+        let je_u = unstable
+            .settling_in_mode(Mode::EventTriggered, 400)
+            .unwrap();
+        assert!((30..=40).contains(&je_s), "J_E^s = {je_s}");
+        assert!((30..=40).contains(&je_u), "J_E^u = {je_u}");
+    }
+
+    #[test]
+    fn both_event_triggered_loops_are_individually_stable() {
+        let stable = stable_pair().unwrap();
+        let unstable = unstable_pair().unwrap();
+        assert!(cps_linalg::eigen::eigenvalues(stable.et_closed_loop())
+            .unwrap()
+            .is_schur_stable());
+        assert!(cps_linalg::eigen::eigenvalues(unstable.et_closed_loop())
+            .unwrap()
+            .is_schur_stable());
+    }
+
+    #[test]
+    fn stable_pair_switches_better_than_unstable_pair() {
+        // The paper's Fig. 2 experiment: 4 ET samples, 4 TT samples, ET after.
+        // The stable pair settles in 0.28 s, the unstable pair only in 0.58 s.
+        let schedule = cps_core::ModeSchedule::new(4, 4, 200).unwrap();
+        let modes = schedule.to_modes();
+        let j_stable = stable_pair()
+            .unwrap()
+            .settling_of_schedule(&modes)
+            .unwrap();
+        let j_unstable = unstable_pair()
+            .unwrap()
+            .settling_of_schedule(&modes)
+            .unwrap();
+        assert!(
+            j_stable < j_unstable,
+            "stable pair ({j_stable}) must beat unstable pair ({j_unstable})"
+        );
+        assert!(j_stable <= JSTAR_SAMPLES);
+    }
+}

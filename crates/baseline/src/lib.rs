@@ -1,0 +1,45 @@
+//! Baseline slot dimensioning from prior work (Masrur et al., DATE 2012).
+//!
+//! The paper compares its model-checking-based dimensioning against the
+//! schedulability-analysis approach of its reference [9]. In that scheme an
+//! application that is hit by a disturbance requests the TT slot and, once
+//! granted, **holds it until the disturbance is completely rejected** (i.e.
+//! for its dedicated-slot settling time `J_T`), instead of the minimum dwell
+//! of the switching strategy. Whether several applications can share a slot is
+//! then decided by a worst-case blocking analysis rather than by exact model
+//! checking — which is what makes the provisioning conservative.
+//!
+//! Two analysis variants are provided, mirroring the two scheduling strategies
+//! of the prior work:
+//!
+//! * [`Strategy::NonPreemptiveDeadlineMonotonic`] — the request of every
+//!   application competes under non-preemptive deadline-monotonic
+//!   arbitration; a request can be blocked by one lower-priority occupation
+//!   and by one occupation of every higher-priority application.
+//! * [`Strategy::DelayedRequests`] — lower-priority applications delay their
+//!   requests so that they never block a higher-priority one (an optimistic
+//!   abstraction of the prior work's second strategy: the blocking term is
+//!   dropped, the interference term is kept).
+//!
+//! [`mapping::first_fit_baseline`] applies the paper's first-fit heuristic on
+//! top of either analysis and, on the paper's case study, reproduces the
+//! published 4-slot baseline partition
+//! `{C1,C5}, {C4,C3}, {C6}, {C2}`.
+
+pub mod masrur;
+pub mod mapping;
+
+pub use mapping::first_fit_baseline;
+pub use masrur::{is_slot_schedulable, BaselineApp, Strategy};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn public_types_are_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<BaselineApp>();
+        assert_send_sync::<Strategy>();
+    }
+}

@@ -1,0 +1,187 @@
+//! Worst-case blocking analysis for conservative slot sharing.
+
+use cps_core::AppTimingProfile;
+
+/// The scheduling strategy assumed by the baseline analysis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Strategy {
+    /// Non-preemptive deadline-monotonic arbitration: a request may be blocked
+    /// by one already-started lower-priority occupation plus one occupation of
+    /// every higher-priority application.
+    #[default]
+    NonPreemptiveDeadlineMonotonic,
+    /// Lower-priority applications delay their requests so they never block
+    /// higher-priority ones; only higher-priority interference remains. This
+    /// is an optimistic abstraction of the prior work's second strategy.
+    DelayedRequests,
+}
+
+/// The baseline view of one application: it needs the slot within `deadline`
+/// samples of its disturbance and then occupies it for `hold` samples
+/// (until the disturbance is fully rejected).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BaselineApp {
+    name: String,
+    deadline: usize,
+    hold: usize,
+}
+
+impl BaselineApp {
+    /// Creates a baseline application description.
+    pub fn new(name: impl Into<String>, deadline: usize, hold: usize) -> Self {
+        BaselineApp {
+            name: name.into(),
+            deadline,
+            hold,
+        }
+    }
+
+    /// Derives the baseline description from a timing profile: the deadline is
+    /// the maximum admissible wait `T_w^*` and the hold time is the
+    /// dedicated-slot settling time `J_T` (the conservative "keep the slot
+    /// until the disturbance is rejected" policy).
+    pub fn from_profile(profile: &AppTimingProfile) -> Self {
+        BaselineApp {
+            name: profile.name().to_string(),
+            deadline: profile.max_wait(),
+            hold: profile.jt(),
+        }
+    }
+
+    /// The application's display name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Deadline (samples) for acquiring the slot after a disturbance.
+    pub fn deadline(&self) -> usize {
+        self.deadline
+    }
+
+    /// Number of samples the slot is held once acquired.
+    pub fn hold(&self) -> usize {
+        self.hold
+    }
+}
+
+/// Checks whether a set of applications can share one TT slot according to
+/// the conservative blocking analysis.
+///
+/// Priorities are deadline monotonic (smaller deadline = higher priority,
+/// ties broken by list order). For application `i` the worst-case wait is
+///
+/// * blocking `max(hold_j − 1)` over lower-priority `j` (only for
+///   [`Strategy::NonPreemptiveDeadlineMonotonic`]), plus
+/// * interference `Σ hold_j` over higher-priority `j` (each higher-priority
+///   application can occupy the slot once, because the minimum disturbance
+///   inter-arrival time exceeds the settling requirement),
+///
+/// and the slot is schedulable when every application's worst-case wait is at
+/// most its deadline.
+pub fn is_slot_schedulable(apps: &[BaselineApp], strategy: Strategy) -> bool {
+    if apps.is_empty() {
+        return true;
+    }
+    // Deadline-monotonic priority order (stable to preserve list order ties).
+    let mut order: Vec<usize> = (0..apps.len()).collect();
+    order.sort_by_key(|&i| apps[i].deadline);
+
+    for (rank, &i) in order.iter().enumerate() {
+        let higher_priority_interference: usize =
+            order[..rank].iter().map(|&j| apps[j].hold).sum();
+        let blocking = match strategy {
+            Strategy::NonPreemptiveDeadlineMonotonic => order[rank + 1..]
+                .iter()
+                .map(|&j| apps[j].hold.saturating_sub(1))
+                .max()
+                .unwrap_or(0),
+            Strategy::DelayedRequests => 0,
+        };
+        if blocking + higher_priority_interference > apps[i].deadline {
+            return false;
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_application_is_always_schedulable() {
+        let apps = [BaselineApp::new("A", 0, 10)];
+        assert!(is_slot_schedulable(&apps, Strategy::default()));
+        assert!(is_slot_schedulable(&[], Strategy::default()));
+    }
+
+    #[test]
+    fn blocking_by_a_lower_priority_hold_can_break_schedulability() {
+        // The high-priority app tolerates 5 samples but the low-priority hold
+        // is 8: non-preemptive blocking of 7 exceeds the deadline.
+        let apps = [
+            BaselineApp::new("urgent", 5, 3),
+            BaselineApp::new("slow", 20, 8),
+        ];
+        assert!(!is_slot_schedulable(
+            &apps,
+            Strategy::NonPreemptiveDeadlineMonotonic
+        ));
+        // Delaying the low-priority request removes the blocking.
+        assert!(is_slot_schedulable(&apps, Strategy::DelayedRequests));
+    }
+
+    #[test]
+    fn interference_accumulates_over_higher_priorities() {
+        let apps = [
+            BaselineApp::new("A", 5, 4),
+            BaselineApp::new("B", 8, 4),
+            BaselineApp::new("C", 9, 4),
+        ];
+        // C sees 8 samples of higher-priority interference ≤ 9 → fine; a
+        // lower-priority app whose deadline cannot absorb the higher-priority
+        // hold fails even without blocking.
+        assert!(is_slot_schedulable(&apps, Strategy::DelayedRequests));
+        let tight = [
+            BaselineApp::new("A", 5, 8),
+            BaselineApp::new("B", 7, 4),
+        ];
+        assert!(!is_slot_schedulable(&tight, Strategy::DelayedRequests));
+    }
+
+    #[test]
+    fn paper_case_study_pairs() {
+        // Deadlines are T_w^* and holds are J_T from the paper's Table 1.
+        let c1 = BaselineApp::new("C1", 11, 9);
+        let c5 = BaselineApp::new("C5", 12, 10);
+        let c4 = BaselineApp::new("C4", 12, 10);
+        let c3 = BaselineApp::new("C3", 15, 10);
+        let c6 = BaselineApp::new("C6", 12, 11);
+        // The paper's baseline partitions are schedulable…
+        assert!(is_slot_schedulable(
+            &[c1.clone(), c5.clone()],
+            Strategy::NonPreemptiveDeadlineMonotonic
+        ));
+        assert!(is_slot_schedulable(
+            &[c4.clone(), c3.clone()],
+            Strategy::NonPreemptiveDeadlineMonotonic
+        ));
+        // …but adding a third application to the first slot is not.
+        assert!(!is_slot_schedulable(
+            &[c1, c5, c6],
+            Strategy::NonPreemptiveDeadlineMonotonic
+        ));
+        let _ = c4;
+    }
+
+    #[test]
+    fn from_profile_uses_max_wait_and_jt() {
+        let table = cps_core::DwellTimeTable::from_arrays(18, vec![3; 12], vec![5; 12]).unwrap();
+        let profile =
+            cps_core::AppTimingProfile::new("C1", 9, 35, 18, 25, table).unwrap();
+        let baseline = BaselineApp::from_profile(&profile);
+        assert_eq!(baseline.name(), "C1");
+        assert_eq!(baseline.deadline(), 11);
+        assert_eq!(baseline.hold(), 9);
+    }
+}

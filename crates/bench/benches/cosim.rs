@@ -1,0 +1,47 @@
+//! Criterion bench for experiments E6/E7 (Figs. 8 and 9): scheduler + plant
+//! co-simulation of the two published slot partitions.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use cps_apps::case_study::CaseStudyApp;
+use cps_bench::case_study_apps;
+use cps_sched::cosim::{CosimApp, CosimScenario};
+
+fn scenario(members: &[(&str, usize)]) -> CosimScenario {
+    let apps = case_study_apps();
+    let cosim_apps: Vec<CosimApp> = members
+        .iter()
+        .map(|(name, t0)| {
+            let app = apps
+                .iter()
+                .find(|a| a.application().name() == *name)
+                .expect("exists");
+            CosimApp {
+                application: app.application().clone(),
+                profile: app
+                    .profile_with(CaseStudyApp::fast_search_options())
+                    .expect("computes"),
+                disturbance_sample: *t0,
+            }
+        })
+        .collect();
+    CosimScenario::new(cosim_apps, 60).expect("valid")
+}
+
+fn bench_cosim(c: &mut Criterion) {
+    let slot1 = scenario(&[("C1", 0), ("C5", 0), ("C4", 0), ("C3", 0)]);
+    let slot2 = scenario(&[("C2", 0), ("C6", 10)]);
+    let mut group = c.benchmark_group("cosim");
+    group.sample_size(20);
+    group.bench_function("fig8_slot1_four_apps", |b| {
+        b.iter(|| black_box(slot1.run().expect("runs")))
+    });
+    group.bench_function("fig9_slot2_two_apps", |b| {
+        b.iter(|| black_box(slot2.run().expect("runs")))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_cosim);
+criterion_main!(benches);

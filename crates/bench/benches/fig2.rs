@@ -1,0 +1,22 @@
+//! Criterion bench for experiment E1 (Fig. 2): switched closed-loop
+//! simulation of the motivational example.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use cps_apps::motivational;
+use cps_core::ModeSchedule;
+
+fn bench_fig2(c: &mut Criterion) {
+    let app = motivational::stable_pair().expect("published data");
+    let schedule = ModeSchedule::new(4, 4, 60).expect("valid").to_modes();
+    c.bench_function("fig2_switched_response_60_samples", |b| {
+        b.iter(|| {
+            let trajectory = app.simulate_modes(black_box(&schedule)).expect("simulates");
+            black_box(trajectory.peak_output())
+        })
+    });
+}
+
+criterion_group!(benches, bench_fig2);
+criterion_main!(benches);

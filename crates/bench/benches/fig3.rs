@@ -1,0 +1,25 @@
+//! Criterion bench for experiment E2 (Fig. 3): the settling-time surface over
+//! the (wait, dwell) grid, stable vs unstable gain pair.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use cps_apps::motivational;
+use cps_core::dwell;
+
+fn bench_fig3(c: &mut Criterion) {
+    let stable = motivational::stable_pair().expect("published data");
+    let unstable = motivational::unstable_pair().expect("published data");
+    let mut group = c.benchmark_group("fig3_settling_surface");
+    group.sample_size(10);
+    group.bench_function("stable_pair_10x8", |b| {
+        b.iter(|| black_box(dwell::settling_surface(&stable, 10, 8, 300).expect("computes")))
+    });
+    group.bench_function("unstable_pair_10x8", |b| {
+        b.iter(|| black_box(dwell::settling_surface(&unstable, 10, 8, 300).expect("computes")))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig3);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! Criterion bench for experiment E3 (Fig. 4): dwell-time table computation
+//! for the motivational example.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use cps_apps::motivational;
+use cps_core::dwell::{compute_dwell_table, DwellSearchOptions};
+
+fn bench_fig4(c: &mut Criterion) {
+    let app = motivational::stable_pair().expect("published data");
+    let options = DwellSearchOptions {
+        horizon: 250,
+        max_dwell: 25,
+        max_wait: 60,
+    };
+    let mut group = c.benchmark_group("fig4_dwell_table");
+    group.sample_size(10);
+    group.bench_function("motivational_example", |b| {
+        b.iter(|| {
+            black_box(
+                compute_dwell_table(&app, motivational::JSTAR_SAMPLES, options)
+                    .expect("computes"),
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig4);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! Criterion bench for experiment E5 (resource mapping): first-fit with the
+//! exact model-checking oracle vs the conservative baseline oracle.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use cps_baseline::Strategy;
+use cps_bench::published_profiles;
+use cps_map::{first_fit, BaselineOracle, ModelCheckingOracle};
+
+fn bench_mapping(c: &mut Criterion) {
+    let profiles = published_profiles();
+    let mut group = c.benchmark_group("mapping_first_fit");
+    group.sample_size(10);
+    group.bench_function("baseline_oracle", |b| {
+        b.iter(|| {
+            black_box(
+                first_fit(
+                    &profiles,
+                    &BaselineOracle::with_strategy(Strategy::NonPreemptiveDeadlineMonotonic),
+                )
+                .expect("analysis runs"),
+            )
+        })
+    });
+    group.bench_function("model_checking_oracle", |b| {
+        b.iter(|| black_box(first_fit(&profiles, &ModelCheckingOracle::new()).expect("runs")))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_mapping);
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! Criterion bench for the substrates: linear algebra kernels, zone
+//! operations and the FlexRay bus simulator (ablation / cost characterization
+//! rather than a paper figure).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use cps_flexray::{BusConfig, BusSimulator, Frame, FrameKind};
+use cps_linalg::{eigen, lyapunov, Matrix};
+use cps_ta::dbm::Dbm;
+use cps_ta::guard::ClockConstraint;
+
+fn bench_substrates(c: &mut Criterion) {
+    let a = Matrix::from_rows(&[
+        &[1.0, 0.0182, 0.0068],
+        &[0.0, 0.7664, 0.5186],
+        &[0.0, -0.3260, 0.1011],
+    ])
+    .expect("valid matrix");
+
+    c.bench_function("linalg_eigenvalues_3x3", |b| {
+        b.iter(|| black_box(eigen::eigenvalues(black_box(&a)).expect("computes")))
+    });
+    c.bench_function("linalg_discrete_lyapunov_3x3", |b| {
+        let stable = a.scale(0.5);
+        let q = Matrix::identity(3);
+        b.iter(|| black_box(lyapunov::solve_discrete_lyapunov(&stable, &q).expect("computes")))
+    });
+    c.bench_function("dbm_constrain_and_canonicalize", |b| {
+        b.iter(|| {
+            let mut zone = Dbm::zero(4);
+            zone.up();
+            zone.constrain(&ClockConstraint::le(0, 25));
+            zone.constrain(&ClockConstraint::ge(1, 3));
+            zone.reset(2);
+            black_box(zone.is_empty())
+        })
+    });
+    c.bench_function("flexray_cycle_simulation_100_cycles", |b| {
+        let config = BusConfig::paper_default();
+        b.iter(|| {
+            let mut bus = BusSimulator::new(config);
+            bus.register(Frame::new(1, FrameKind::Static { slot: 0 })).expect("registers");
+            bus.register(Frame::new(2, FrameKind::Dynamic { priority: 1, minislots: 3 }))
+                .expect("registers");
+            for k in 0..100 {
+                if k % 5 == 0 {
+                    bus.queue_dynamic(2).expect("queues");
+                }
+                black_box(bus.step_cycle());
+            }
+        })
+    });
+}
+
+criterion_group!(benches, bench_substrates);
+criterion_main!(benches);

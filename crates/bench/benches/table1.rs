@@ -1,0 +1,25 @@
+//! Criterion bench for experiment E4 (Table 1): recomputing one case-study
+//! application's full timing profile from scratch.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use cps_apps::case_study::{self, CaseStudyApp};
+
+fn bench_table1(c: &mut Criterion) {
+    let c1 = case_study::c1().expect("published data");
+    let c5 = case_study::c5().expect("published data");
+    let options = CaseStudyApp::fast_search_options();
+    let mut group = c.benchmark_group("table1_profile_recomputation");
+    group.sample_size(10);
+    group.bench_function("c1", |b| {
+        b.iter(|| black_box(c1.profile_with(options).expect("computes")))
+    });
+    group.bench_function("c5", |b| {
+        b.iter(|| black_box(c5.profile_with(options).expect("computes")))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_table1);
+criterion_main!(benches);

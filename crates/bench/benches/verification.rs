@@ -1,0 +1,38 @@
+//! Criterion bench for experiment E8 (verification times): exact vs
+//! instance-bounded model checking of the published slot partitions.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use cps_bench::published_profiles;
+use cps_verify::{SlotSharingModel, VerificationConfig};
+
+fn model(names: &[&str]) -> SlotSharingModel {
+    let profiles = published_profiles();
+    let selected: Vec<_> = profiles
+        .iter()
+        .filter(|p| names.contains(&p.name()))
+        .cloned()
+        .collect();
+    SlotSharingModel::new(selected).expect("non-empty")
+}
+
+fn bench_verification(c: &mut Criterion) {
+    let slot2 = model(&["C6", "C2"]);
+    let three = model(&["C1", "C5", "C4"]);
+    let mut group = c.benchmark_group("verification");
+    group.sample_size(10);
+    group.bench_function("slot2_c6_c2_exact", |b| {
+        b.iter(|| black_box(slot2.verify(&VerificationConfig::default()).expect("verifies")))
+    });
+    group.bench_function("c1_c5_c4_exact", |b| {
+        b.iter(|| black_box(three.verify(&VerificationConfig::default()).expect("verifies")))
+    });
+    group.bench_function("c1_c5_c4_bounded_1", |b| {
+        b.iter(|| black_box(three.verify(&VerificationConfig::bounded(1)).expect("verifies")))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_verification);
+criterion_main!(benches);

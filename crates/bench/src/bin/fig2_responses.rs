@@ -1,0 +1,43 @@
+//! Reproduces Fig. 2: response curves of the motivational DC-motor example
+//! under pure `K_T`, pure `K_E^s`/`K_E^u`, and the 4-wait/4-dwell switching
+//! schedules for both gain pairs.
+
+use cps_apps::motivational;
+use cps_core::{Mode, ModeSchedule};
+
+fn settling_seconds(app: &cps_core::SwitchedApplication, modes: &[Mode]) -> f64 {
+    let trajectory = app.simulate_modes(modes).expect("simulation succeeds");
+    app.settling()
+        .settling_samples(trajectory.outputs())
+        .map(|j| app.samples_to_seconds(j))
+        .unwrap_or(f64::NAN)
+}
+
+fn main() {
+    let stable = motivational::stable_pair().expect("published data");
+    let unstable = motivational::unstable_pair().expect("published data");
+    let horizon = 60;
+
+    let kt = settling_seconds(&stable, &vec![Mode::TimeTriggered; horizon]);
+    let kes = settling_seconds(&stable, &vec![Mode::EventTriggered; horizon]);
+    let keu = settling_seconds(&unstable, &vec![Mode::EventTriggered; horizon]);
+    let schedule = ModeSchedule::new(4, 4, horizon).expect("valid schedule").to_modes();
+    let switched_stable = settling_seconds(&stable, &schedule);
+    let switched_unstable = settling_seconds(&unstable, &schedule);
+
+    println!("Fig. 2 — settling times of the motivational example (seconds)");
+    println!("  K_T (dedicated TT)         : {kt:.2}   (paper: 0.18)");
+    println!("  K_E^s (pure ET, stable)    : {kes:.2}   (paper: 0.68)");
+    println!("  K_E^u (pure ET, unstable)  : {keu:.2}   (paper: 0.68)");
+    println!("  4·K_E^s + 4·K_T + n·K_E^s  : {switched_stable:.2}   (paper: 0.28)");
+    println!("  4·K_E^u + 4·K_T + n·K_E^u  : {switched_unstable:.2}   (paper: 0.58)");
+
+    // The actual response curves (for plotting).
+    let trajectory = stable
+        .simulate_modes(&schedule)
+        .expect("simulation succeeds");
+    println!(
+        "{}",
+        cps_bench::format_series("  y(t), stable pair, 4ET+4TT", trajectory.outputs())
+    );
+}

@@ -1,0 +1,42 @@
+//! Reproduces Fig. 3: the settling-time surface J(T_w, T_dw) for the
+//! switching-stable pair (K_T, K_E^s) and the unstable pair (K_T, K_E^u).
+
+use cps_apps::motivational;
+use cps_core::dwell;
+
+fn print_surface(label: &str, app: &cps_core::SwitchedApplication) {
+    let surface = dwell::settling_surface(app, 10, 8, 300).expect("surface computes");
+    println!("{label}: settling time (s) over wait 0..=10 x dwell 0..=8");
+    for wait in 0..=surface.max_wait() {
+        let row: Vec<String> = (0..=surface.max_dwell())
+            .map(|dwell| match surface.settling_samples(wait, dwell) {
+                Some(j) => format!("{:.2}", app.samples_to_seconds(j)),
+                None => "  - ".to_string(),
+            })
+            .collect();
+        println!("  T_w={wait:2}: {}", row.join(" "));
+    }
+}
+
+fn main() {
+    println!("Fig. 3 — performance with and without switching stability");
+    let stable = motivational::stable_pair().expect("published data");
+    let unstable = motivational::unstable_pair().expect("published data");
+    print_surface("K_T + K_E^s (switching stable)", &stable);
+    print_surface("K_T + K_E^u (not switching stable)", &unstable);
+
+    // Aggregate comparison: average settling over the surface.
+    let mean = |app: &cps_core::SwitchedApplication| {
+        let surface = dwell::settling_surface(app, 10, 8, 300).expect("surface computes");
+        let values: Vec<f64> = surface
+            .iter()
+            .map(|(_, _, j)| app.samples_to_seconds(j))
+            .collect();
+        values.iter().sum::<f64>() / values.len() as f64
+    };
+    println!(
+        "mean settling: stable pair {:.3} s, unstable pair {:.3} s (paper: stable pair is uniformly better)",
+        mean(&stable),
+        mean(&unstable)
+    );
+}

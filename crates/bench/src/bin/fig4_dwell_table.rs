@@ -1,0 +1,31 @@
+//! Reproduces Fig. 4: minimum and maximum dwell times versus wait time for
+//! the motivational example with J* = 0.36 s.
+
+use cps_apps::motivational;
+use cps_core::dwell::{compute_dwell_table, DwellSearchOptions};
+
+fn main() {
+    let app = motivational::stable_pair().expect("published data");
+    let table = compute_dwell_table(
+        &app,
+        motivational::JSTAR_SAMPLES,
+        DwellSearchOptions::default(),
+    )
+    .expect("dwell table computes");
+
+    println!("Fig. 4 — dwell times vs wait time (J* = 0.36 s), T_w^* = {}", table.max_wait());
+    println!("  T_w | T_dw^- (J at T_dw^-) | T_dw^+ (J at T_dw^+)");
+    for wait in 0..=table.max_wait() {
+        println!(
+            "  {:3} | {:6} ({:.2} s)      | {:6} ({:.2} s)",
+            wait,
+            table.t_dw_min(wait).unwrap(),
+            app.samples_to_seconds(table.settling_at_min(wait).unwrap()),
+            table.t_dw_plus(wait).unwrap(),
+            app.samples_to_seconds(table.settling_at_plus(wait).unwrap()),
+        );
+    }
+    println!(
+        "  paper: T_dw^- = [3,4,3,3,3,3,3,3,3,4,4,5], T_dw^+ = [6,6,5,5,5,6,5,5,4,4,5,5], T_w^* = 11"
+    );
+}

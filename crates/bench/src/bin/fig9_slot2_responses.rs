@@ -1,0 +1,43 @@
+//! Reproduces Fig. 9: responses of C2 and C6 sharing slot S2, with C6
+//! disturbed 10 samples after C2.
+
+use cps_apps::case_study::CaseStudyApp;
+use cps_bench::case_study_apps;
+use cps_sched::cosim::{CosimApp, CosimScenario};
+
+fn main() {
+    let apps = case_study_apps();
+    let members = [("C2", 0usize), ("C6", 10usize)];
+    let cosim_apps: Vec<CosimApp> = members
+        .iter()
+        .map(|(name, t0)| {
+            let app = apps
+                .iter()
+                .find(|a| a.application().name() == *name)
+                .expect("case-study application exists");
+            CosimApp {
+                application: app.application().clone(),
+                profile: app
+                    .profile_with(CaseStudyApp::fast_search_options())
+                    .expect("profile computes"),
+                disturbance_sample: *t0,
+            }
+        })
+        .collect();
+    let scenario = CosimScenario::new(cosim_apps, 60).expect("valid scenario");
+    let result = scenario.run().expect("co-simulation runs");
+
+    println!("Fig. 9 — responses of C2 and C6 sharing slot S2 (C6 disturbed 10 samples after C2)");
+    for (i, (name, t0)) in members.iter().enumerate() {
+        let j = result.settling_seconds()[i].unwrap_or(f64::NAN);
+        println!(
+            "  {name} (disturbed at sample {t0}): settles in {j:.2} s, TT samples used {}",
+            result.schedule().traces()[i].total_tt_samples()
+        );
+    }
+    println!(
+        "  paper: C2 uses only 10 TT samples to reach J = J_T = 0.3 s; the conservative scheme of prior work would hold the slot for 15 samples"
+    );
+    let profiles: Vec<_> = scenario.apps().iter().map(|a| a.profile.clone()).collect();
+    println!("  all requirements met: {}", result.all_meet_requirements(&profiles));
+}

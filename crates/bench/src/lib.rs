@@ -1,0 +1,86 @@
+//! Shared experiment harness for regenerating every table and figure of the
+//! paper.
+//!
+//! Each experiment has a binary (under `src/bin/`) that prints the
+//! reproduced rows/series next to the published values, and a Criterion
+//! bench (under `benches/`) that measures the cost of the underlying
+//! computation. The mapping from paper artifact to binary is listed in
+//! `DESIGN.md` and the measured-vs-published comparison is recorded in
+//! `EXPERIMENTS.md`.
+
+use cps_apps::case_study::{self, CaseStudyApp};
+use cps_core::{AppTimingProfile, CoreError};
+
+/// Returns the six case-study applications in the paper's order.
+///
+/// # Panics
+///
+/// Panics if the published case-study data fails to build, which cannot
+/// happen for the constants shipped with `cps-apps`.
+pub fn case_study_apps() -> Vec<CaseStudyApp> {
+    case_study::all_applications().expect("published case-study data is valid")
+}
+
+/// Timing profiles of the case study taken directly from the published
+/// Table 1 arrays (no simulation) — used by scheduling/verification
+/// experiments that do not need the plant dynamics.
+///
+/// # Panics
+///
+/// Panics if the published rows are inconsistent, which cannot happen for the
+/// constants shipped with `cps-apps`.
+pub fn published_profiles() -> Vec<AppTimingProfile> {
+    case_study_apps()
+        .iter()
+        .map(|app| {
+            app.paper_row()
+                .to_profile(app.application().name())
+                .expect("published rows are consistent")
+        })
+        .collect()
+}
+
+/// Timing profiles of the case study recomputed from scratch by simulating
+/// the switched closed loops (the reproduction of Table 1).
+///
+/// # Errors
+///
+/// Propagates dwell-table computation failures.
+pub fn recomputed_profiles() -> Result<Vec<AppTimingProfile>, CoreError> {
+    case_study_apps()
+        .iter()
+        .map(|app| app.profile_with(CaseStudyApp::fast_search_options()))
+        .collect()
+}
+
+/// Renders a settling-time series as a compact text row used by the figure
+/// binaries.
+pub fn format_series(label: &str, values: &[f64]) -> String {
+    let rendered: Vec<String> = values.iter().map(|v| format!("{v:.3}")).collect();
+    format!("{label}: [{}]", rendered.join(", "))
+}
+
+/// Formats a `T_dw` array the way the paper prints it.
+pub fn format_dwell_array(values: &[usize]) -> String {
+    let rendered: Vec<String> = values.iter().map(|v| v.to_string()).collect();
+    format!("[{}]", rendered.join(","))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn published_profiles_cover_all_six_applications() {
+        let profiles = published_profiles();
+        assert_eq!(profiles.len(), 6);
+        assert_eq!(profiles[0].name(), "C1");
+        assert_eq!(profiles[5].name(), "C6");
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(format_series("x", &[1.0, 0.5]), "x: [1.000, 0.500]");
+        assert_eq!(format_dwell_array(&[3, 4, 5]), "[3,4,5]");
+    }
+}

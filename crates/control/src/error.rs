@@ -1,0 +1,96 @@
+use std::error::Error;
+use std::fmt;
+
+use cps_linalg::LinalgError;
+
+/// Errors produced by the control-system routines in this crate.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ControlError {
+    /// The plant or controller matrices have inconsistent dimensions.
+    InconsistentDimensions {
+        /// Human readable description of the inconsistency.
+        reason: String,
+    },
+    /// A single-input plant was required (Ackermann pole placement and the
+    /// delay augmentation of the paper assume scalar control inputs).
+    NotSingleInput {
+        /// The number of inputs that was found.
+        inputs: usize,
+    },
+    /// The plant is not controllable, so poles cannot be placed arbitrarily.
+    NotControllable,
+    /// The number of desired poles does not match the state dimension.
+    WrongPoleCount {
+        /// Number of poles supplied.
+        got: usize,
+        /// Number of poles required (the state dimension).
+        expected: usize,
+    },
+    /// An underlying linear algebra operation failed.
+    Linalg(LinalgError),
+    /// A simulation parameter was invalid (e.g. a zero horizon).
+    InvalidParameter {
+        /// Human readable description of the invalid parameter.
+        reason: String,
+    },
+}
+
+impl fmt::Display for ControlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ControlError::InconsistentDimensions { reason } => {
+                write!(f, "inconsistent system dimensions: {reason}")
+            }
+            ControlError::NotSingleInput { inputs } => {
+                write!(f, "expected a single-input plant, got {inputs} inputs")
+            }
+            ControlError::NotControllable => write!(f, "plant is not controllable"),
+            ControlError::WrongPoleCount { got, expected } => {
+                write!(f, "expected {expected} desired poles, got {got}")
+            }
+            ControlError::Linalg(e) => write!(f, "linear algebra error: {e}"),
+            ControlError::InvalidParameter { reason } => {
+                write!(f, "invalid parameter: {reason}")
+            }
+        }
+    }
+}
+
+impl Error for ControlError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ControlError::Linalg(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<LinalgError> for ControlError {
+    fn from(e: LinalgError) -> Self {
+        ControlError::Linalg(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        let e = ControlError::NotSingleInput { inputs: 2 };
+        assert!(e.to_string().contains("2 inputs"));
+        assert!(ControlError::NotControllable.to_string().contains("controllable"));
+        let e = ControlError::WrongPoleCount { got: 2, expected: 3 };
+        assert!(e.to_string().contains("expected 3"));
+    }
+
+    #[test]
+    fn linalg_errors_convert_and_expose_source() {
+        let inner = LinalgError::Singular;
+        let e: ControlError = inner.clone().into();
+        assert_eq!(e, ControlError::Linalg(inner));
+        assert!(Error::source(&e).is_some());
+        assert!(Error::source(&ControlError::NotControllable).is_none());
+    }
+}

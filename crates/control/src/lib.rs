@@ -1,0 +1,77 @@
+//! Discrete-time LTI control substrate.
+//!
+//! This crate models the control side of the reproduced paper:
+//!
+//! * [`StateSpace`] — discrete-time linear time-invariant plant models
+//!   `x[k+1] = Φ·x[k] + Γ·u[k]`, `y[k] = C·x[k]` ([`ss`]).
+//! * [`StateFeedback`] — state-feedback controllers `u[k] = −K·x[k]` and the
+//!   resulting closed-loop dynamics ([`feedback`]).
+//! * [`delay`] — the one-sample-delay augmentation used when control messages
+//!   travel over the event-triggered (dynamic) FlexRay segment.
+//! * [`place`] — controllability analysis and Ackermann pole placement, so
+//!   that new applications can design their own `K_T`/`K_E` gains.
+//! * [`sim`] — closed-loop trajectory simulation.
+//! * [`metrics`] — settling-time measurement (the paper's performance metric
+//!   `J`).
+//! * [`switching_stability`] — common quadratic Lyapunov function search for
+//!   pairs of closed-loop modes, the paper's switching-stability condition.
+//!
+//! # Example
+//!
+//! ```
+//! use cps_control::{Settling, StateFeedback, StateSpace};
+//! use cps_linalg::{Matrix, Vector};
+//!
+//! # fn main() -> Result<(), cps_control::ControlError> {
+//! // A lightly damped scalar plant controlled to the origin.
+//! let plant = StateSpace::new(
+//!     Matrix::from_rows(&[&[0.9]]).unwrap(),
+//!     Matrix::from_rows(&[&[1.0]]).unwrap(),
+//!     Matrix::from_rows(&[&[1.0]]).unwrap(),
+//! )?;
+//! let controller = StateFeedback::new(cps_linalg::Vector::from_slice(&[0.5]));
+//! let closed_loop = controller.closed_loop(&plant)?;
+//! let trajectory = cps_control::sim::simulate_autonomous(
+//!     &closed_loop,
+//!     plant.output_matrix(),
+//!     &Vector::from_slice(&[1.0]),
+//!     50,
+//! )?;
+//! let settling = Settling::new(0.02);
+//! assert!(settling.settling_samples(trajectory.outputs()).is_some());
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod delay;
+mod error;
+pub mod feedback;
+pub mod metrics;
+pub mod place;
+pub mod sim;
+pub mod ss;
+pub mod switching_stability;
+
+pub use delay::DelayAugmented;
+pub use error::ControlError;
+pub use feedback::StateFeedback;
+pub use metrics::{Settling, SettlingOutcome};
+pub use place::{controllability_matrix, is_controllable, place_poles};
+pub use sim::Trajectory;
+pub use ss::StateSpace;
+pub use switching_stability::{search_common_lyapunov, CommonLyapunov};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn public_types_are_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<StateSpace>();
+        assert_send_sync::<StateFeedback>();
+        assert_send_sync::<ControlError>();
+        assert_send_sync::<Trajectory>();
+        assert_send_sync::<Settling>();
+    }
+}

@@ -1,0 +1,269 @@
+//! Cycle-accurate FlexRay bus simulator.
+//!
+//! Combines the static schedule and the dynamic segment into a single
+//! per-cycle step function. The simulator is deliberately message-agnostic:
+//! it reports *which* frames transmitted and when, which is all the control
+//! and scheduling layers need to validate their timing abstractions.
+
+use crate::{
+    BusConfig, DynamicSegment, DynamicTransmission, FlexRayError, Frame, FrameKind, StaticSchedule,
+};
+
+/// What happened on the bus during one communication cycle.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CycleReport {
+    /// The cycle index (starting from 0).
+    pub cycle: u64,
+    /// Frames transmitted in the static segment as `(slot, frame_id)`.
+    pub static_transmissions: Vec<(usize, u32)>,
+    /// Frames transmitted in the dynamic segment.
+    pub dynamic_transmissions: Vec<DynamicTransmission>,
+}
+
+impl CycleReport {
+    /// Returns `true` when the given frame transmitted in this cycle (in
+    /// either segment).
+    pub fn transmitted(&self, frame_id: u32) -> bool {
+        self.static_transmissions
+            .iter()
+            .any(|&(_, id)| id == frame_id)
+            || self
+                .dynamic_transmissions
+                .iter()
+                .any(|t| t.frame_id == frame_id)
+    }
+
+    /// Utilized fraction of the dynamic segment's mini-slots, given the bus
+    /// configuration the simulation ran with.
+    pub fn dynamic_utilization(&self, config: &BusConfig) -> f64 {
+        let used: usize = self.dynamic_transmissions.iter().map(|t| t.minislots).sum();
+        used as f64 / config.minislots() as f64
+    }
+}
+
+/// A cycle-accurate simulator of one FlexRay bus.
+///
+/// # Example
+///
+/// ```
+/// use cps_flexray::{BusConfig, BusSimulator, Frame, FrameKind};
+///
+/// # fn main() -> Result<(), cps_flexray::FlexRayError> {
+/// let config = BusConfig::builder()
+///     .static_slots(2)
+///     .static_slot_length_us(100.0)
+///     .minislots(10)
+///     .minislot_length_us(5.0)
+///     .build()?;
+/// let mut bus = BusSimulator::new(config);
+/// bus.register(Frame::new(1, FrameKind::Static { slot: 0 }))?;
+/// bus.register(Frame::new(2, FrameKind::Dynamic { priority: 1, minislots: 2 }))?;
+/// bus.queue_dynamic(2)?;
+/// let report = bus.step_cycle();
+/// assert!(report.transmitted(1)); // static frames transmit every cycle
+/// assert!(report.transmitted(2));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct BusSimulator {
+    config: BusConfig,
+    static_schedule: StaticSchedule,
+    dynamic_segment: DynamicSegment,
+    cycle: u64,
+    history: Vec<CycleReport>,
+}
+
+impl BusSimulator {
+    /// Creates an empty simulator for the given configuration.
+    pub fn new(config: BusConfig) -> Self {
+        BusSimulator {
+            static_schedule: StaticSchedule::new(&config),
+            dynamic_segment: DynamicSegment::new(&config),
+            config,
+            cycle: 0,
+            history: Vec::new(),
+        }
+    }
+
+    /// The bus configuration.
+    pub fn config(&self) -> &BusConfig {
+        &self.config
+    }
+
+    /// The static-segment schedule.
+    pub fn static_schedule(&self) -> &StaticSchedule {
+        &self.static_schedule
+    }
+
+    /// The dynamic segment.
+    pub fn dynamic_segment(&self) -> &DynamicSegment {
+        &self.dynamic_segment
+    }
+
+    /// Registers a frame in the appropriate segment.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the static-schedule or dynamic-segment registration errors.
+    pub fn register(&mut self, frame: Frame) -> Result<(), FlexRayError> {
+        match frame.kind() {
+            FrameKind::Static { slot } => self.static_schedule.assign(slot, frame.id()),
+            FrameKind::Dynamic { .. } => self.dynamic_segment.register(frame),
+        }
+    }
+
+    /// Queues a message for a dynamic frame (it will transmit in the next
+    /// cycle its priority wins arbitration).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FlexRayError::UnknownFrame`] for unregistered frames.
+    pub fn queue_dynamic(&mut self, frame_id: u32) -> Result<(), FlexRayError> {
+        self.dynamic_segment.set_pending(frame_id, true)
+    }
+
+    /// Re-assigns a static slot to a different frame (models the
+    /// reconfigurable middleware); takes effect in the next cycle because the
+    /// current cycle's static segment has already been laid out.
+    ///
+    /// # Errors
+    ///
+    /// Propagates static-schedule errors.
+    pub fn reassign_static_slot(
+        &mut self,
+        slot: usize,
+        frame_id: Option<u32>,
+    ) -> Result<(), FlexRayError> {
+        self.static_schedule.release(slot)?;
+        if let Some(id) = frame_id {
+            self.static_schedule.assign(slot, id)?;
+        }
+        Ok(())
+    }
+
+    /// Simulates one communication cycle and returns its report.
+    pub fn step_cycle(&mut self) -> CycleReport {
+        let static_transmissions: Vec<(usize, u32)> = self.static_schedule.iter().collect();
+        let dynamic_transmissions = self.dynamic_segment.arbitrate_cycle();
+        let report = CycleReport {
+            cycle: self.cycle,
+            static_transmissions,
+            dynamic_transmissions,
+        };
+        self.cycle += 1;
+        self.history.push(report.clone());
+        report
+    }
+
+    /// Simulates `cycles` communication cycles, returning all reports.
+    pub fn run(&mut self, cycles: usize) -> Vec<CycleReport> {
+        (0..cycles).map(|_| self.step_cycle()).collect()
+    }
+
+    /// The full simulation history.
+    pub fn history(&self) -> &[CycleReport] {
+        &self.history
+    }
+
+    /// The current cycle index.
+    pub fn cycle(&self) -> u64 {
+        self.cycle
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn config() -> BusConfig {
+        BusConfig::builder()
+            .static_slots(2)
+            .static_slot_length_us(100.0)
+            .minislots(10)
+            .minislot_length_us(5.0)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn static_frames_transmit_every_cycle() {
+        let mut bus = BusSimulator::new(config());
+        bus.register(Frame::new(1, FrameKind::Static { slot: 0 })).unwrap();
+        let reports = bus.run(3);
+        assert_eq!(reports.len(), 3);
+        assert!(reports.iter().all(|r| r.transmitted(1)));
+        assert_eq!(bus.cycle(), 3);
+        assert_eq!(bus.history().len(), 3);
+    }
+
+    #[test]
+    fn dynamic_frames_transmit_only_when_queued() {
+        let mut bus = BusSimulator::new(config());
+        bus.register(Frame::new(2, FrameKind::Dynamic {
+            priority: 1,
+            minislots: 2,
+        }))
+        .unwrap();
+        let quiet = bus.step_cycle();
+        assert!(!quiet.transmitted(2));
+        assert_eq!(quiet.dynamic_utilization(bus.config()), 0.0);
+        bus.queue_dynamic(2).unwrap();
+        let busy = bus.step_cycle();
+        assert!(busy.transmitted(2));
+        assert!((busy.dynamic_utilization(bus.config()) - 0.2).abs() < 1e-12);
+        // Message was consumed; next cycle is quiet again.
+        assert!(!bus.step_cycle().transmitted(2));
+    }
+
+    #[test]
+    fn slot_reassignment_models_the_middleware() {
+        let mut bus = BusSimulator::new(config());
+        bus.register(Frame::new(1, FrameKind::Static { slot: 0 })).unwrap();
+        assert!(bus.step_cycle().transmitted(1));
+        bus.reassign_static_slot(0, Some(9)).unwrap();
+        let report = bus.step_cycle();
+        assert!(report.transmitted(9));
+        assert!(!report.transmitted(1));
+        bus.reassign_static_slot(0, None).unwrap();
+        assert!(bus.step_cycle().static_transmissions.is_empty());
+    }
+
+    #[test]
+    fn register_propagates_segment_errors() {
+        let mut bus = BusSimulator::new(config());
+        bus.register(Frame::new(1, FrameKind::Static { slot: 0 })).unwrap();
+        assert!(bus.register(Frame::new(2, FrameKind::Static { slot: 0 })).is_err());
+        assert!(bus
+            .register(Frame::new(3, FrameKind::Dynamic {
+                priority: 1,
+                minislots: 99,
+            }))
+            .is_err());
+        assert!(bus.queue_dynamic(42).is_err());
+    }
+
+    #[test]
+    fn mixed_traffic_cycle_report() {
+        let mut bus = BusSimulator::new(config());
+        bus.register(Frame::new(1, FrameKind::Static { slot: 1 })).unwrap();
+        bus.register(Frame::new(2, FrameKind::Dynamic {
+            priority: 2,
+            minislots: 3,
+        }))
+        .unwrap();
+        bus.register(Frame::new(3, FrameKind::Dynamic {
+            priority: 1,
+            minislots: 4,
+        }))
+        .unwrap();
+        bus.queue_dynamic(2).unwrap();
+        bus.queue_dynamic(3).unwrap();
+        let report = bus.step_cycle();
+        assert_eq!(report.static_transmissions, vec![(1, 1)]);
+        assert_eq!(report.dynamic_transmissions.len(), 2);
+        // Priority 1 (frame 3) goes first.
+        assert_eq!(report.dynamic_transmissions[0].frame_id, 3);
+        assert_eq!(report.dynamic_transmissions[1].start_minislot, 4);
+    }
+}

@@ -1,0 +1,287 @@
+//! FlexRay communication-cycle configuration.
+
+use crate::FlexRayError;
+
+/// Static configuration of one FlexRay communication cycle: the number and
+/// length of static slots (`Ψ`) and dynamic mini-slots (`ψ`).
+///
+/// Constructed through [`BusConfig::builder`]; all lengths are in
+/// microseconds.
+///
+/// # Example
+///
+/// ```
+/// use cps_flexray::BusConfig;
+///
+/// # fn main() -> Result<(), cps_flexray::FlexRayError> {
+/// let config = BusConfig::builder()
+///     .static_slots(2)
+///     .static_slot_length_us(100.0)
+///     .minislots(20)
+///     .minislot_length_us(5.0)
+///     .build()?;
+/// assert_eq!(config.static_segment_length_us(), 200.0);
+/// assert_eq!(config.dynamic_segment_length_us(), 100.0);
+/// assert_eq!(config.cycle_length_us(), 300.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BusConfig {
+    static_slots: usize,
+    static_slot_length_us: f64,
+    minislots: usize,
+    minislot_length_us: f64,
+}
+
+impl BusConfig {
+    /// Starts building a configuration.
+    pub fn builder() -> BusConfigBuilder {
+        BusConfigBuilder::default()
+    }
+
+    /// A configuration matching the paper's setup: one communication cycle per
+    /// sampling period of `h = 0.02 s`, a handful of static slots and a
+    /// dynamic segment sized so that `ψ ≪ Ψ`.
+    pub fn paper_default() -> Self {
+        BusConfig {
+            static_slots: 4,
+            static_slot_length_us: 500.0,
+            minislots: 300,
+            minislot_length_us: 60.0,
+        }
+    }
+
+    /// Number of static (TT) slots per cycle.
+    pub fn static_slots(&self) -> usize {
+        self.static_slots
+    }
+
+    /// Length `Ψ` of each static slot in microseconds.
+    pub fn static_slot_length_us(&self) -> f64 {
+        self.static_slot_length_us
+    }
+
+    /// Number of mini-slots in the dynamic segment.
+    pub fn minislots(&self) -> usize {
+        self.minislots
+    }
+
+    /// Length `ψ` of each mini-slot in microseconds.
+    pub fn minislot_length_us(&self) -> f64 {
+        self.minislot_length_us
+    }
+
+    /// Total length of the static segment in microseconds.
+    pub fn static_segment_length_us(&self) -> f64 {
+        self.static_slots as f64 * self.static_slot_length_us
+    }
+
+    /// Total length of the dynamic segment in microseconds.
+    pub fn dynamic_segment_length_us(&self) -> f64 {
+        self.minislots as f64 * self.minislot_length_us
+    }
+
+    /// Total cycle length in microseconds.
+    pub fn cycle_length_us(&self) -> f64 {
+        self.static_segment_length_us() + self.dynamic_segment_length_us()
+    }
+
+    /// Start time (µs from cycle start) of the given static slot.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FlexRayError::SlotOutOfRange`] for an invalid slot index.
+    pub fn static_slot_start_us(&self, slot: usize) -> Result<f64, FlexRayError> {
+        if slot >= self.static_slots {
+            return Err(FlexRayError::SlotOutOfRange {
+                slot,
+                slots: self.static_slots,
+            });
+        }
+        Ok(slot as f64 * self.static_slot_length_us)
+    }
+
+    /// Number of whole communication cycles that fit in a controller sampling
+    /// period of `h` seconds (at least one for any sane configuration).
+    pub fn cycles_per_sampling_period(&self, h: f64) -> usize {
+        let cycles = (h * 1e6 / self.cycle_length_us()).floor();
+        cycles.max(0.0) as usize
+    }
+}
+
+/// Builder for [`BusConfig`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BusConfigBuilder {
+    static_slots: Option<usize>,
+    static_slot_length_us: Option<f64>,
+    minislots: Option<usize>,
+    minislot_length_us: Option<f64>,
+}
+
+impl BusConfigBuilder {
+    /// Sets the number of static slots per cycle.
+    pub fn static_slots(mut self, count: usize) -> Self {
+        self.static_slots = Some(count);
+        self
+    }
+
+    /// Sets the static slot length `Ψ` in microseconds.
+    pub fn static_slot_length_us(mut self, length: f64) -> Self {
+        self.static_slot_length_us = Some(length);
+        self
+    }
+
+    /// Sets the number of mini-slots in the dynamic segment.
+    pub fn minislots(mut self, count: usize) -> Self {
+        self.minislots = Some(count);
+        self
+    }
+
+    /// Sets the mini-slot length `ψ` in microseconds.
+    pub fn minislot_length_us(mut self, length: f64) -> Self {
+        self.minislot_length_us = Some(length);
+        self
+    }
+
+    /// Validates and builds the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FlexRayError::InvalidConfig`] when a field is missing, a
+    /// count is zero, a length is not positive, or the mini-slot length is not
+    /// strictly smaller than the static slot length (the paper's `ψ ≪ Ψ`
+    /// assumption).
+    pub fn build(self) -> Result<BusConfig, FlexRayError> {
+        let static_slots = self.static_slots.ok_or_else(|| FlexRayError::InvalidConfig {
+            reason: "static slot count not set".to_string(),
+        })?;
+        let static_slot_length_us =
+            self.static_slot_length_us
+                .ok_or_else(|| FlexRayError::InvalidConfig {
+                    reason: "static slot length not set".to_string(),
+                })?;
+        let minislots = self.minislots.ok_or_else(|| FlexRayError::InvalidConfig {
+            reason: "mini-slot count not set".to_string(),
+        })?;
+        let minislot_length_us =
+            self.minislot_length_us
+                .ok_or_else(|| FlexRayError::InvalidConfig {
+                    reason: "mini-slot length not set".to_string(),
+                })?;
+        if static_slots == 0 {
+            return Err(FlexRayError::InvalidConfig {
+                reason: "at least one static slot is required".to_string(),
+            });
+        }
+        if minislots == 0 {
+            return Err(FlexRayError::InvalidConfig {
+                reason: "at least one mini-slot is required".to_string(),
+            });
+        }
+        if static_slot_length_us <= 0.0 || minislot_length_us <= 0.0 {
+            return Err(FlexRayError::InvalidConfig {
+                reason: "slot lengths must be positive".to_string(),
+            });
+        }
+        if minislot_length_us >= static_slot_length_us {
+            return Err(FlexRayError::InvalidConfig {
+                reason: "mini-slots must be shorter than static slots (ψ ≪ Ψ)".to_string(),
+            });
+        }
+        Ok(BusConfig {
+            static_slots,
+            static_slot_length_us,
+            minislots,
+            minislot_length_us,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn config() -> BusConfig {
+        BusConfig::builder()
+            .static_slots(4)
+            .static_slot_length_us(50.0)
+            .minislots(40)
+            .minislot_length_us(5.0)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn segment_and_cycle_lengths() {
+        let c = config();
+        assert_eq!(c.static_segment_length_us(), 200.0);
+        assert_eq!(c.dynamic_segment_length_us(), 200.0);
+        assert_eq!(c.cycle_length_us(), 400.0);
+        assert_eq!(c.static_slots(), 4);
+        assert_eq!(c.minislots(), 40);
+        assert_eq!(c.static_slot_length_us(), 50.0);
+        assert_eq!(c.minislot_length_us(), 5.0);
+    }
+
+    #[test]
+    fn slot_start_times() {
+        let c = config();
+        assert_eq!(c.static_slot_start_us(0).unwrap(), 0.0);
+        assert_eq!(c.static_slot_start_us(3).unwrap(), 150.0);
+        assert!(matches!(
+            c.static_slot_start_us(4),
+            Err(FlexRayError::SlotOutOfRange { slot: 4, slots: 4 })
+        ));
+    }
+
+    #[test]
+    fn cycles_per_sampling_period() {
+        let c = config();
+        // 0.02 s = 20_000 µs, cycle = 400 µs -> 50 cycles.
+        assert_eq!(c.cycles_per_sampling_period(0.02), 50);
+        assert_eq!(c.cycles_per_sampling_period(0.0), 0);
+    }
+
+    #[test]
+    fn paper_default_fits_in_one_sampling_period() {
+        let c = BusConfig::paper_default();
+        assert!(c.cycle_length_us() <= 20_000.0);
+        assert!(c.cycles_per_sampling_period(0.02) >= 1);
+        assert!(c.minislot_length_us() < c.static_slot_length_us());
+    }
+
+    #[test]
+    fn builder_validation() {
+        assert!(BusConfig::builder().build().is_err());
+        assert!(BusConfig::builder()
+            .static_slots(0)
+            .static_slot_length_us(50.0)
+            .minislots(10)
+            .minislot_length_us(5.0)
+            .build()
+            .is_err());
+        assert!(BusConfig::builder()
+            .static_slots(2)
+            .static_slot_length_us(50.0)
+            .minislots(0)
+            .minislot_length_us(5.0)
+            .build()
+            .is_err());
+        assert!(BusConfig::builder()
+            .static_slots(2)
+            .static_slot_length_us(-1.0)
+            .minislots(10)
+            .minislot_length_us(5.0)
+            .build()
+            .is_err());
+        // ψ must be smaller than Ψ.
+        assert!(BusConfig::builder()
+            .static_slots(2)
+            .static_slot_length_us(5.0)
+            .minislots(10)
+            .minislot_length_us(5.0)
+            .build()
+            .is_err());
+    }
+}

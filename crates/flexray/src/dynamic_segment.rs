@@ -1,0 +1,282 @@
+//! Dynamic segment: FTDMA mini-slot arbitration.
+//!
+//! In FlexRay's dynamic segment every registered frame has a unique priority
+//! (its frame identifier). Within a cycle, the mini-slot counter walks through
+//! the priorities in order: if the frame with the current priority has a
+//! pending message and enough mini-slots remain to carry it, it transmits and
+//! consumes that many mini-slots; otherwise exactly one (empty) mini-slot
+//! elapses. Frames that do not fit in the remaining dynamic segment wait for a
+//! later cycle. This module reproduces that arbitration, which is what makes
+//! ET transmission delays traffic-dependent and motivates the one-sample
+//! worst-case provisioning in the control design.
+
+use std::collections::BTreeMap;
+
+use crate::{BusConfig, FlexRayError, Frame, FrameKind};
+
+/// The outcome of one frame's arbitration within a single cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DynamicTransmission {
+    /// The frame identifier.
+    pub frame_id: u32,
+    /// The mini-slot at which transmission started.
+    pub start_minislot: usize,
+    /// The number of mini-slots consumed.
+    pub minislots: usize,
+}
+
+/// The dynamic segment of one FlexRay bus: registered ET frames and their
+/// pending flags.
+///
+/// # Example
+///
+/// ```
+/// use cps_flexray::{BusConfig, DynamicSegment, Frame, FrameKind};
+///
+/// # fn main() -> Result<(), cps_flexray::FlexRayError> {
+/// let config = BusConfig::builder()
+///     .static_slots(1)
+///     .static_slot_length_us(100.0)
+///     .minislots(6)
+///     .minislot_length_us(5.0)
+///     .build()?;
+/// let mut segment = DynamicSegment::new(&config);
+/// segment.register(Frame::new(1, FrameKind::Dynamic { priority: 1, minislots: 4 }))?;
+/// segment.register(Frame::new(2, FrameKind::Dynamic { priority: 2, minislots: 4 }))?;
+/// segment.set_pending(1, true)?;
+/// segment.set_pending(2, true)?;
+/// let sent = segment.arbitrate_cycle();
+/// // Only the higher-priority frame fits in this cycle.
+/// assert_eq!(sent.len(), 1);
+/// assert_eq!(sent[0].frame_id, 1);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct DynamicSegment {
+    minislots: usize,
+    /// Registered frames keyed by priority (lower = earlier arbitration).
+    frames: BTreeMap<u32, Frame>,
+    pending: BTreeMap<u32, bool>,
+}
+
+impl DynamicSegment {
+    /// Creates an empty dynamic segment for the given configuration.
+    pub fn new(config: &BusConfig) -> Self {
+        DynamicSegment {
+            minislots: config.minislots(),
+            frames: BTreeMap::new(),
+            pending: BTreeMap::new(),
+        }
+    }
+
+    /// Number of mini-slots per cycle.
+    pub fn minislots(&self) -> usize {
+        self.minislots
+    }
+
+    /// Registers a dynamic frame.
+    ///
+    /// # Errors
+    ///
+    /// * [`FlexRayError::InvalidConfig`] when the frame is not a dynamic
+    ///   frame or needs zero mini-slots.
+    /// * [`FlexRayError::DuplicateFrame`] when its priority is already taken.
+    /// * [`FlexRayError::FrameTooLong`] when it cannot fit in an empty
+    ///   dynamic segment at all.
+    pub fn register(&mut self, frame: Frame) -> Result<(), FlexRayError> {
+        let FrameKind::Dynamic {
+            priority,
+            minislots,
+        } = frame.kind()
+        else {
+            return Err(FlexRayError::InvalidConfig {
+                reason: format!("frame {} is not a dynamic frame", frame.id()),
+            });
+        };
+        if minislots == 0 {
+            return Err(FlexRayError::InvalidConfig {
+                reason: format!("frame {} must occupy at least one mini-slot", frame.id()),
+            });
+        }
+        if minislots > self.minislots {
+            return Err(FlexRayError::FrameTooLong {
+                id: frame.id(),
+                required: minislots,
+                available: self.minislots,
+            });
+        }
+        if self.frames.contains_key(&priority) {
+            return Err(FlexRayError::DuplicateFrame { id: frame.id() });
+        }
+        if self.frames.values().any(|f| f.id() == frame.id()) {
+            return Err(FlexRayError::DuplicateFrame { id: frame.id() });
+        }
+        self.frames.insert(priority, frame);
+        self.pending.insert(priority, false);
+        Ok(())
+    }
+
+    /// Marks whether a frame has a message waiting to be transmitted.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FlexRayError::UnknownFrame`] for unregistered frames.
+    pub fn set_pending(&mut self, frame_id: u32, pending: bool) -> Result<(), FlexRayError> {
+        let priority = self
+            .frames
+            .iter()
+            .find(|(_, f)| f.id() == frame_id)
+            .map(|(&p, _)| p)
+            .ok_or(FlexRayError::UnknownFrame { id: frame_id })?;
+        self.pending.insert(priority, pending);
+        Ok(())
+    }
+
+    /// Returns `true` when the frame has a message waiting.
+    pub fn is_pending(&self, frame_id: u32) -> bool {
+        self.frames
+            .iter()
+            .find(|(_, f)| f.id() == frame_id)
+            .map(|(&p, _)| self.pending.get(&p).copied().unwrap_or(false))
+            .unwrap_or(false)
+    }
+
+    /// Runs FTDMA arbitration for one cycle, clearing the pending flag of
+    /// every frame that transmitted and returning the transmissions in
+    /// arbitration order.
+    pub fn arbitrate_cycle(&mut self) -> Vec<DynamicTransmission> {
+        let mut transmissions = Vec::new();
+        let mut minislot = 0usize;
+        for (&priority, frame) in &self.frames {
+            if minislot >= self.minislots {
+                break;
+            }
+            let needed = frame.minislots().unwrap_or(1);
+            let is_pending = self.pending.get(&priority).copied().unwrap_or(false);
+            if is_pending && minislot + needed <= self.minislots {
+                transmissions.push(DynamicTransmission {
+                    frame_id: frame.id(),
+                    start_minislot: minislot,
+                    minislots: needed,
+                });
+                minislot += needed;
+                self.pending.insert(priority, false);
+            } else {
+                // Either nothing to send or it does not fit: one mini-slot
+                // elapses for this priority.
+                minislot += 1;
+            }
+        }
+        transmissions
+    }
+
+    /// Registered frames in priority order.
+    pub fn frames(&self) -> impl Iterator<Item = &Frame> + '_ {
+        self.frames.values()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn config(minislots: usize) -> BusConfig {
+        BusConfig::builder()
+            .static_slots(1)
+            .static_slot_length_us(100.0)
+            .minislots(minislots)
+            .minislot_length_us(5.0)
+            .build()
+            .unwrap()
+    }
+
+    fn dynamic(id: u32, priority: u32, minislots: usize) -> Frame {
+        Frame::new(id, FrameKind::Dynamic {
+            priority,
+            minislots,
+        })
+    }
+
+    #[test]
+    fn registration_validation() {
+        let mut seg = DynamicSegment::new(&config(8));
+        assert!(seg
+            .register(Frame::new(1, FrameKind::Static { slot: 0 }))
+            .is_err());
+        assert!(seg.register(dynamic(1, 1, 0)).is_err());
+        assert!(matches!(
+            seg.register(dynamic(1, 1, 9)),
+            Err(FlexRayError::FrameTooLong { .. })
+        ));
+        seg.register(dynamic(1, 1, 2)).unwrap();
+        assert!(matches!(
+            seg.register(dynamic(2, 1, 2)),
+            Err(FlexRayError::DuplicateFrame { .. })
+        ));
+        assert!(matches!(
+            seg.register(dynamic(1, 2, 2)),
+            Err(FlexRayError::DuplicateFrame { .. })
+        ));
+        assert_eq!(seg.frames().count(), 1);
+    }
+
+    #[test]
+    fn arbitration_respects_priority_order() {
+        let mut seg = DynamicSegment::new(&config(10));
+        seg.register(dynamic(10, 2, 3)).unwrap();
+        seg.register(dynamic(20, 1, 3)).unwrap();
+        seg.set_pending(10, true).unwrap();
+        seg.set_pending(20, true).unwrap();
+        let sent = seg.arbitrate_cycle();
+        assert_eq!(sent.len(), 2);
+        // Priority 1 (frame 20) transmits first, starting at mini-slot 0.
+        assert_eq!(sent[0].frame_id, 20);
+        assert_eq!(sent[0].start_minislot, 0);
+        // Frame 10 starts right after the 3 mini-slots of frame 20.
+        assert_eq!(sent[1].frame_id, 10);
+        assert_eq!(sent[1].start_minislot, 3);
+    }
+
+    #[test]
+    fn frame_that_does_not_fit_waits_for_next_cycle() {
+        let mut seg = DynamicSegment::new(&config(6));
+        seg.register(dynamic(1, 1, 4)).unwrap();
+        seg.register(dynamic(2, 2, 4)).unwrap();
+        seg.set_pending(1, true).unwrap();
+        seg.set_pending(2, true).unwrap();
+        let first_cycle = seg.arbitrate_cycle();
+        assert_eq!(first_cycle.len(), 1);
+        assert_eq!(first_cycle[0].frame_id, 1);
+        assert!(seg.is_pending(2));
+        // Next cycle the lower-priority frame gets through.
+        let second_cycle = seg.arbitrate_cycle();
+        assert_eq!(second_cycle.len(), 1);
+        assert_eq!(second_cycle[0].frame_id, 2);
+        assert!(!seg.is_pending(2));
+    }
+
+    #[test]
+    fn idle_priorities_consume_one_minislot_each() {
+        let mut seg = DynamicSegment::new(&config(4));
+        seg.register(dynamic(1, 1, 2)).unwrap();
+        seg.register(dynamic(2, 2, 3)).unwrap();
+        // Frame 1 idle, frame 2 pending: frame 1's empty mini-slot shifts
+        // frame 2's start to mini-slot 1.
+        seg.set_pending(2, true).unwrap();
+        let sent = seg.arbitrate_cycle();
+        assert_eq!(sent.len(), 1);
+        assert_eq!(sent[0].frame_id, 2);
+        assert_eq!(sent[0].start_minislot, 1);
+    }
+
+    #[test]
+    fn pending_flags_for_unknown_frames_error() {
+        let mut seg = DynamicSegment::new(&config(4));
+        assert!(matches!(
+            seg.set_pending(42, true),
+            Err(FlexRayError::UnknownFrame { id: 42 })
+        ));
+        assert!(!seg.is_pending(42));
+    }
+}

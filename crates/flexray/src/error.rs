@@ -1,0 +1,109 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the FlexRay bus model.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum FlexRayError {
+    /// A bus configuration parameter was missing or out of range.
+    InvalidConfig {
+        /// Human readable description of the invalid parameter.
+        reason: String,
+    },
+    /// A static slot index was outside the configured static segment.
+    SlotOutOfRange {
+        /// The requested slot index.
+        slot: usize,
+        /// Number of configured static slots.
+        slots: usize,
+    },
+    /// The static slot is already assigned to another frame.
+    SlotOccupied {
+        /// The contested slot index.
+        slot: usize,
+        /// The frame currently owning the slot.
+        owner: u32,
+    },
+    /// A frame id was used twice.
+    DuplicateFrame {
+        /// The duplicated frame identifier.
+        id: u32,
+    },
+    /// The referenced frame is not known to the schedule or segment.
+    UnknownFrame {
+        /// The unknown frame identifier.
+        id: u32,
+    },
+    /// A dynamic frame requires more mini-slots than the dynamic segment has.
+    FrameTooLong {
+        /// The frame identifier.
+        id: u32,
+        /// Mini-slots required by the frame.
+        required: usize,
+        /// Mini-slots available per cycle.
+        available: usize,
+    },
+}
+
+impl fmt::Display for FlexRayError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FlexRayError::InvalidConfig { reason } => {
+                write!(f, "invalid bus configuration: {reason}")
+            }
+            FlexRayError::SlotOutOfRange { slot, slots } => {
+                write!(f, "slot {slot} out of range, only {slots} static slots")
+            }
+            FlexRayError::SlotOccupied { slot, owner } => {
+                write!(f, "slot {slot} already assigned to frame {owner}")
+            }
+            FlexRayError::DuplicateFrame { id } => write!(f, "frame {id} registered twice"),
+            FlexRayError::UnknownFrame { id } => write!(f, "frame {id} is not registered"),
+            FlexRayError::FrameTooLong {
+                id,
+                required,
+                available,
+            } => write!(
+                f,
+                "frame {id} needs {required} mini-slots but the dynamic segment has {available}"
+            ),
+        }
+    }
+}
+
+impl Error for FlexRayError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        assert!(FlexRayError::InvalidConfig {
+            reason: "zero slots".to_string()
+        }
+        .to_string()
+        .contains("zero slots"));
+        assert!(FlexRayError::SlotOutOfRange { slot: 5, slots: 4 }
+            .to_string()
+            .contains("5"));
+        assert!(FlexRayError::SlotOccupied { slot: 1, owner: 9 }
+            .to_string()
+            .contains("frame 9"));
+        assert!(FlexRayError::DuplicateFrame { id: 3 }.to_string().contains("3"));
+        assert!(FlexRayError::UnknownFrame { id: 3 }.to_string().contains("3"));
+        assert!(FlexRayError::FrameTooLong {
+            id: 2,
+            required: 10,
+            available: 4
+        }
+        .to_string()
+        .contains("10"));
+    }
+
+    #[test]
+    fn implements_error_trait() {
+        fn assert_error<E: Error>() {}
+        assert_error::<FlexRayError>();
+    }
+}

@@ -1,0 +1,144 @@
+//! FlexRay frames (messages) and their segment assignment.
+
+use std::fmt;
+
+/// How a frame is carried on the bus.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FrameKind {
+    /// Carried in a static (TT) slot of the static segment.
+    Static {
+        /// Index of the static slot the frame is assigned to.
+        slot: usize,
+    },
+    /// Carried in the dynamic (ET) segment, arbitrated by priority.
+    Dynamic {
+        /// FTDMA priority — lower values win arbitration earlier (this mirrors
+        /// FlexRay frame identifiers, where lower ids transmit first).
+        priority: u32,
+        /// Number of mini-slots the frame occupies when it transmits.
+        minislots: usize,
+    },
+}
+
+impl FrameKind {
+    /// Returns `true` for static (TT) frames.
+    pub fn is_static(&self) -> bool {
+        matches!(self, FrameKind::Static { .. })
+    }
+
+    /// Returns `true` for dynamic (ET) frames.
+    pub fn is_dynamic(&self) -> bool {
+        matches!(self, FrameKind::Dynamic { .. })
+    }
+}
+
+/// A frame (message) exchanged over the bus, identified by a numeric id.
+///
+/// # Example
+///
+/// ```
+/// use cps_flexray::{Frame, FrameKind};
+///
+/// let tt = Frame::new(1, FrameKind::Static { slot: 0 });
+/// let et = Frame::new(2, FrameKind::Dynamic { priority: 5, minislots: 2 });
+/// assert!(tt.kind().is_static());
+/// assert!(et.kind().is_dynamic());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Frame {
+    id: u32,
+    kind: FrameKind,
+}
+
+impl Frame {
+    /// Creates a frame with the given identifier and segment assignment.
+    pub fn new(id: u32, kind: FrameKind) -> Self {
+        Frame { id, kind }
+    }
+
+    /// The frame identifier.
+    pub fn id(&self) -> u32 {
+        self.id
+    }
+
+    /// The segment assignment.
+    pub fn kind(&self) -> FrameKind {
+        self.kind
+    }
+
+    /// The FTDMA priority for dynamic frames, `None` for static frames.
+    pub fn priority(&self) -> Option<u32> {
+        match self.kind {
+            FrameKind::Dynamic { priority, .. } => Some(priority),
+            FrameKind::Static { .. } => None,
+        }
+    }
+
+    /// The number of mini-slots consumed when transmitting, `None` for static
+    /// frames.
+    pub fn minislots(&self) -> Option<usize> {
+        match self.kind {
+            FrameKind::Dynamic { minislots, .. } => Some(minislots),
+            FrameKind::Static { .. } => None,
+        }
+    }
+}
+
+impl fmt::Display for Frame {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.kind {
+            FrameKind::Static { slot } => write!(f, "frame {} (static slot {slot})", self.id),
+            FrameKind::Dynamic {
+                priority,
+                minislots,
+            } => write!(
+                f,
+                "frame {} (dynamic, priority {priority}, {minislots} mini-slots)",
+                self.id
+            ),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_predicates() {
+        assert!(FrameKind::Static { slot: 0 }.is_static());
+        assert!(!FrameKind::Static { slot: 0 }.is_dynamic());
+        let dynamic = FrameKind::Dynamic {
+            priority: 1,
+            minislots: 2,
+        };
+        assert!(dynamic.is_dynamic());
+        assert!(!dynamic.is_static());
+    }
+
+    #[test]
+    fn accessors() {
+        let tt = Frame::new(3, FrameKind::Static { slot: 1 });
+        assert_eq!(tt.id(), 3);
+        assert_eq!(tt.priority(), None);
+        assert_eq!(tt.minislots(), None);
+
+        let et = Frame::new(4, FrameKind::Dynamic {
+            priority: 7,
+            minislots: 3,
+        });
+        assert_eq!(et.priority(), Some(7));
+        assert_eq!(et.minislots(), Some(3));
+    }
+
+    #[test]
+    fn display_includes_kind() {
+        let tt = Frame::new(3, FrameKind::Static { slot: 1 });
+        assert!(tt.to_string().contains("static slot 1"));
+        let et = Frame::new(4, FrameKind::Dynamic {
+            priority: 7,
+            minislots: 3,
+        });
+        assert!(et.to_string().contains("priority 7"));
+    }
+}

@@ -1,0 +1,78 @@
+//! FlexRay bus model: static TDMA segment, dynamic mini-slot segment,
+//! worst-case response-time analysis and a runtime-reconfigurable slot
+//! multiplexer.
+//!
+//! The reproduced paper runs its control traffic over a FlexRay bus whose
+//! communication cycle consists of
+//!
+//! * a **static segment** of equal-length TDMA slots (length `Ψ`) providing
+//!   time-triggered (TT) communication with exactly known transmission
+//!   instants, and
+//! * a **dynamic segment** of mini-slots (length `ψ ≪ Ψ`) providing
+//!   event-triggered (ET) communication arbitrated by frame priority
+//!   (FTDMA), whose delay varies with the interfering traffic but is bounded.
+//!
+//! The paper also relies on a reconfigurable communication middleware
+//! (its reference [8]) because stock FlexRay cannot re-assign static slots at
+//! run time; [`middleware::SlotMultiplexer`] models exactly that capability,
+//! which is what the switching control strategy exploits.
+//!
+//! This crate is a *substrate*: the dimensioning algorithms only need the
+//! timing abstraction ("TT message arrives within its slot, ET message may be
+//! delayed up to one sampling period"), but the simulator makes that
+//! abstraction checkable — see [`wcrt`] for the analysis bounding the dynamic
+//! segment delay and [`bus::BusSimulator`] for cycle-accurate replay.
+//!
+//! # Example
+//!
+//! ```
+//! use cps_flexray::{BusConfig, Frame, FrameKind};
+//!
+//! # fn main() -> Result<(), cps_flexray::FlexRayError> {
+//! let config = BusConfig::builder()
+//!     .static_slots(4)
+//!     .static_slot_length_us(50.0)
+//!     .minislots(40)
+//!     .minislot_length_us(5.0)
+//!     .build()?;
+//! assert_eq!(config.cycle_length_us(), 4.0 * 50.0 + 40.0 * 5.0);
+//! let frame = Frame::new(7, FrameKind::Dynamic { priority: 2, minislots: 3 });
+//! assert_eq!(frame.id(), 7);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod bus;
+pub mod config;
+pub mod dynamic_segment;
+mod error;
+pub mod frame;
+pub mod middleware;
+pub mod static_segment;
+pub mod wcrt;
+
+pub use bus::{BusSimulator, CycleReport};
+pub use config::{BusConfig, BusConfigBuilder};
+pub use dynamic_segment::{DynamicSegment, DynamicTransmission};
+pub use error::FlexRayError;
+pub use frame::{Frame, FrameKind};
+pub use middleware::SlotMultiplexer;
+pub use static_segment::StaticSchedule;
+pub use wcrt::{dynamic_wcrt_cycles, dynamic_wcrt_us};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn public_types_are_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<BusConfig>();
+        assert_send_sync::<Frame>();
+        assert_send_sync::<StaticSchedule>();
+        assert_send_sync::<DynamicSegment>();
+        assert_send_sync::<SlotMultiplexer>();
+        assert_send_sync::<BusSimulator>();
+        assert_send_sync::<FlexRayError>();
+    }
+}

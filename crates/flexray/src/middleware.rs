@@ -1,0 +1,196 @@
+//! Runtime-reconfigurable slot multiplexer.
+//!
+//! Stock FlexRay fixes the static-slot schedule at configuration time; the
+//! switching control strategy, however, needs to hand a TT slot from one
+//! application to another at run time. The paper relies on a reconfigurable
+//! communication middleware (its reference [8]) for exactly this. The
+//! [`SlotMultiplexer`] models that middleware: the *current* owner of a shared
+//! static slot can be changed between communication cycles, and the change
+//! becomes effective at the next cycle boundary (never mid-cycle), matching
+//! how such a middleware piggybacks the reconfiguration on the cycle schedule.
+
+use crate::FlexRayError;
+
+/// A multiplexer that decides, cycle by cycle, which application's message is
+/// placed in a shared static slot.
+///
+/// # Example
+///
+/// ```
+/// use cps_flexray::SlotMultiplexer;
+///
+/// # fn main() -> Result<(), cps_flexray::FlexRayError> {
+/// let mut mux = SlotMultiplexer::new(3, &[10, 20, 30])?;
+/// assert_eq!(mux.current_owner(), None);
+/// mux.request_owner(Some(20))?;
+/// assert_eq!(mux.current_owner(), None); // not yet effective
+/// mux.advance_cycle();
+/// assert_eq!(mux.current_owner(), Some(20)); // effective from this cycle
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SlotMultiplexer {
+    slot: usize,
+    applications: Vec<u32>,
+    current: Option<u32>,
+    requested: Option<Option<u32>>,
+    cycle: u64,
+    switches: u64,
+}
+
+impl SlotMultiplexer {
+    /// Creates a multiplexer for the given static slot shared by the listed
+    /// application identifiers.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FlexRayError::InvalidConfig`] when the application list is
+    /// empty or contains duplicates.
+    pub fn new(slot: usize, applications: &[u32]) -> Result<Self, FlexRayError> {
+        if applications.is_empty() {
+            return Err(FlexRayError::InvalidConfig {
+                reason: "a shared slot needs at least one application".to_string(),
+            });
+        }
+        let mut sorted = applications.to_vec();
+        sorted.sort_unstable();
+        sorted.dedup();
+        if sorted.len() != applications.len() {
+            return Err(FlexRayError::InvalidConfig {
+                reason: "application identifiers must be unique".to_string(),
+            });
+        }
+        Ok(SlotMultiplexer {
+            slot,
+            applications: applications.to_vec(),
+            current: None,
+            requested: None,
+            cycle: 0,
+            switches: 0,
+        })
+    }
+
+    /// The static slot index this multiplexer manages.
+    pub fn slot(&self) -> usize {
+        self.slot
+    }
+
+    /// The applications allowed to use the slot.
+    pub fn applications(&self) -> &[u32] {
+        &self.applications
+    }
+
+    /// The application whose message occupies the slot in the *current*
+    /// cycle, or `None` when the slot is idle.
+    pub fn current_owner(&self) -> Option<u32> {
+        self.current
+    }
+
+    /// The communication cycle counter.
+    pub fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    /// Number of ownership changes that have become effective so far.
+    pub fn switch_count(&self) -> u64 {
+        self.switches
+    }
+
+    /// Requests a new owner (or `None` to idle the slot) starting from the
+    /// next cycle boundary. A later request in the same cycle overrides an
+    /// earlier one.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FlexRayError::UnknownFrame`] when the requested application
+    /// is not in the share list.
+    pub fn request_owner(&mut self, owner: Option<u32>) -> Result<(), FlexRayError> {
+        if let Some(id) = owner {
+            if !self.applications.contains(&id) {
+                return Err(FlexRayError::UnknownFrame { id });
+            }
+        }
+        self.requested = Some(owner);
+        Ok(())
+    }
+
+    /// Advances to the next communication cycle, making any pending ownership
+    /// request effective. Returns the owner for the new cycle.
+    pub fn advance_cycle(&mut self) -> Option<u32> {
+        self.cycle += 1;
+        if let Some(requested) = self.requested.take() {
+            if requested != self.current {
+                self.switches += 1;
+            }
+            self.current = requested;
+        }
+        self.current
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_validation() {
+        assert!(SlotMultiplexer::new(0, &[]).is_err());
+        assert!(SlotMultiplexer::new(0, &[1, 1]).is_err());
+        let mux = SlotMultiplexer::new(2, &[1, 2, 3]).unwrap();
+        assert_eq!(mux.slot(), 2);
+        assert_eq!(mux.applications(), &[1, 2, 3]);
+        assert_eq!(mux.cycle(), 0);
+    }
+
+    #[test]
+    fn ownership_changes_take_effect_at_cycle_boundaries() {
+        let mut mux = SlotMultiplexer::new(0, &[10, 20]).unwrap();
+        mux.request_owner(Some(10)).unwrap();
+        // Still the old owner within the current cycle.
+        assert_eq!(mux.current_owner(), None);
+        assert_eq!(mux.advance_cycle(), Some(10));
+        assert_eq!(mux.current_owner(), Some(10));
+        assert_eq!(mux.switch_count(), 1);
+        // No new request: owner persists.
+        assert_eq!(mux.advance_cycle(), Some(10));
+        assert_eq!(mux.switch_count(), 1);
+    }
+
+    #[test]
+    fn later_request_in_same_cycle_wins() {
+        let mut mux = SlotMultiplexer::new(0, &[10, 20]).unwrap();
+        mux.request_owner(Some(10)).unwrap();
+        mux.request_owner(Some(20)).unwrap();
+        assert_eq!(mux.advance_cycle(), Some(20));
+    }
+
+    #[test]
+    fn idling_the_slot_counts_as_a_switch() {
+        let mut mux = SlotMultiplexer::new(0, &[10]).unwrap();
+        mux.request_owner(Some(10)).unwrap();
+        mux.advance_cycle();
+        mux.request_owner(None).unwrap();
+        assert_eq!(mux.advance_cycle(), None);
+        assert_eq!(mux.switch_count(), 2);
+    }
+
+    #[test]
+    fn requests_for_unknown_applications_are_rejected() {
+        let mut mux = SlotMultiplexer::new(0, &[10]).unwrap();
+        assert!(matches!(
+            mux.request_owner(Some(99)),
+            Err(FlexRayError::UnknownFrame { id: 99 })
+        ));
+    }
+
+    #[test]
+    fn re_requesting_the_same_owner_is_not_a_switch() {
+        let mut mux = SlotMultiplexer::new(0, &[10]).unwrap();
+        mux.request_owner(Some(10)).unwrap();
+        mux.advance_cycle();
+        mux.request_owner(Some(10)).unwrap();
+        mux.advance_cycle();
+        assert_eq!(mux.switch_count(), 1);
+    }
+}

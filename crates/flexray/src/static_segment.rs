@@ -1,0 +1,186 @@
+//! Static (TDMA) segment schedule.
+
+use std::collections::BTreeMap;
+
+use crate::{BusConfig, FlexRayError};
+
+/// The assignment of frames to static slots within one communication cycle.
+///
+/// Each slot carries at most one frame; the schedule rejects double bookings
+/// and out-of-range slots, mirroring a real FlexRay controller configuration.
+///
+/// # Example
+///
+/// ```
+/// use cps_flexray::{BusConfig, StaticSchedule};
+///
+/// # fn main() -> Result<(), cps_flexray::FlexRayError> {
+/// let config = BusConfig::builder()
+///     .static_slots(2)
+///     .static_slot_length_us(100.0)
+///     .minislots(10)
+///     .minislot_length_us(5.0)
+///     .build()?;
+/// let mut schedule = StaticSchedule::new(&config);
+/// schedule.assign(0, 11)?;
+/// assert_eq!(schedule.owner(0), Some(11));
+/// assert_eq!(schedule.free_slots(), 1);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StaticSchedule {
+    slots: usize,
+    assignments: BTreeMap<usize, u32>,
+}
+
+impl StaticSchedule {
+    /// Creates an empty schedule for the given bus configuration.
+    pub fn new(config: &BusConfig) -> Self {
+        StaticSchedule {
+            slots: config.static_slots(),
+            assignments: BTreeMap::new(),
+        }
+    }
+
+    /// Number of static slots in the cycle.
+    pub fn slots(&self) -> usize {
+        self.slots
+    }
+
+    /// Assigns a frame to a static slot.
+    ///
+    /// # Errors
+    ///
+    /// * [`FlexRayError::SlotOutOfRange`] when the slot does not exist.
+    /// * [`FlexRayError::SlotOccupied`] when the slot already has an owner.
+    /// * [`FlexRayError::DuplicateFrame`] when the frame already owns a slot.
+    pub fn assign(&mut self, slot: usize, frame_id: u32) -> Result<(), FlexRayError> {
+        if slot >= self.slots {
+            return Err(FlexRayError::SlotOutOfRange {
+                slot,
+                slots: self.slots,
+            });
+        }
+        if let Some(&owner) = self.assignments.get(&slot) {
+            return Err(FlexRayError::SlotOccupied { slot, owner });
+        }
+        if self.assignments.values().any(|&id| id == frame_id) {
+            return Err(FlexRayError::DuplicateFrame { id: frame_id });
+        }
+        self.assignments.insert(slot, frame_id);
+        Ok(())
+    }
+
+    /// Removes the assignment of a slot, returning the previous owner if any.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FlexRayError::SlotOutOfRange`] when the slot does not exist.
+    pub fn release(&mut self, slot: usize) -> Result<Option<u32>, FlexRayError> {
+        if slot >= self.slots {
+            return Err(FlexRayError::SlotOutOfRange {
+                slot,
+                slots: self.slots,
+            });
+        }
+        Ok(self.assignments.remove(&slot))
+    }
+
+    /// The frame currently owning a slot, if any.
+    pub fn owner(&self, slot: usize) -> Option<u32> {
+        self.assignments.get(&slot).copied()
+    }
+
+    /// The slot owned by a frame, if any.
+    pub fn slot_of(&self, frame_id: u32) -> Option<usize> {
+        self.assignments
+            .iter()
+            .find(|(_, &id)| id == frame_id)
+            .map(|(&slot, _)| slot)
+    }
+
+    /// Number of unassigned slots.
+    pub fn free_slots(&self) -> usize {
+        self.slots - self.assignments.len()
+    }
+
+    /// Iterates over `(slot, frame_id)` assignments in slot order.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, u32)> + '_ {
+        self.assignments.iter().map(|(&slot, &id)| (slot, id))
+    }
+
+    /// Static-segment utilization: the fraction of slots that are assigned.
+    pub fn utilization(&self) -> f64 {
+        if self.slots == 0 {
+            0.0
+        } else {
+            self.assignments.len() as f64 / self.slots as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn config() -> BusConfig {
+        BusConfig::builder()
+            .static_slots(3)
+            .static_slot_length_us(50.0)
+            .minislots(10)
+            .minislot_length_us(5.0)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn assign_and_lookup() {
+        let mut s = StaticSchedule::new(&config());
+        s.assign(0, 100).unwrap();
+        s.assign(2, 200).unwrap();
+        assert_eq!(s.owner(0), Some(100));
+        assert_eq!(s.owner(1), None);
+        assert_eq!(s.slot_of(200), Some(2));
+        assert_eq!(s.slot_of(999), None);
+        assert_eq!(s.free_slots(), 1);
+        assert_eq!(s.iter().count(), 2);
+        assert!((s.utilization() - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn double_booking_is_rejected() {
+        let mut s = StaticSchedule::new(&config());
+        s.assign(1, 100).unwrap();
+        assert!(matches!(
+            s.assign(1, 200),
+            Err(FlexRayError::SlotOccupied { slot: 1, owner: 100 })
+        ));
+        assert!(matches!(
+            s.assign(2, 100),
+            Err(FlexRayError::DuplicateFrame { id: 100 })
+        ));
+    }
+
+    #[test]
+    fn out_of_range_slots_are_rejected() {
+        let mut s = StaticSchedule::new(&config());
+        assert!(matches!(
+            s.assign(3, 1),
+            Err(FlexRayError::SlotOutOfRange { slot: 3, slots: 3 })
+        ));
+        assert!(s.release(3).is_err());
+    }
+
+    #[test]
+    fn release_returns_previous_owner() {
+        let mut s = StaticSchedule::new(&config());
+        s.assign(0, 7).unwrap();
+        assert_eq!(s.release(0).unwrap(), Some(7));
+        assert_eq!(s.release(0).unwrap(), None);
+        assert_eq!(s.free_slots(), 3);
+        // Slot can be reused after release.
+        s.assign(0, 8).unwrap();
+        assert_eq!(s.owner(0), Some(8));
+    }
+}

@@ -1,0 +1,153 @@
+//! The paper's first-fit slot-dimensioning heuristic.
+
+use cps_core::AppTimingProfile;
+use cps_verify::VerifyError;
+
+use crate::oracle::SlotOracle;
+use crate::report::MappingReport;
+
+/// Sorts application indices the way the paper's first-fit heuristic expects:
+/// ascending maximum wait `T_w^*`, ties broken by the smaller largest minimum
+/// dwell `T_dw^{-*}`, further ties by the original order.
+pub fn sort_for_first_fit(profiles: &[AppTimingProfile]) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..profiles.len()).collect();
+    order.sort_by_key(|&i| (profiles[i].max_wait(), profiles[i].max_t_dw_min(), i));
+    order
+}
+
+/// Runs the first-fit mapping: applications are considered in
+/// [`sort_for_first_fit`] order and placed into the first slot the oracle
+/// admits, or into a newly opened slot.
+///
+/// Returns a [`MappingReport`] containing the slot partition (as indices into
+/// `profiles`) and the number of oracle calls made.
+///
+/// # Errors
+///
+/// Propagates oracle failures (e.g. an exhausted verification budget).
+pub fn first_fit(
+    profiles: &[AppTimingProfile],
+    oracle: &dyn SlotOracle,
+) -> Result<MappingReport, VerifyError> {
+    let order = sort_for_first_fit(profiles);
+    let mut slots: Vec<Vec<usize>> = Vec::new();
+    let mut oracle_calls = 0usize;
+
+    for &app in &order {
+        let mut placed = false;
+        for slot in &mut slots {
+            let mut candidate: Vec<AppTimingProfile> =
+                slot.iter().map(|&i| profiles[i].clone()).collect();
+            candidate.push(profiles[app].clone());
+            oracle_calls += 1;
+            if oracle.admits(&candidate)? {
+                slot.push(app);
+                placed = true;
+                break;
+            }
+        }
+        if !placed {
+            // A single application per slot is admissible by construction
+            // (its dwell table guarantees the requirement with a dedicated
+            // slot), so opening a new slot never needs an oracle call.
+            slots.push(vec![app]);
+        }
+    }
+
+    Ok(MappingReport::new(
+        oracle.name().to_string(),
+        slots,
+        oracle_calls,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::oracle::{ModelCheckingOracle, SlotOracle};
+    use cps_core::DwellTimeTable;
+
+    fn profile(name: &str, max_wait: usize, dwell: usize) -> AppTimingProfile {
+        let jstar = max_wait + dwell + 1;
+        let table = DwellTimeTable::from_arrays(
+            jstar,
+            vec![dwell; max_wait + 1],
+            vec![dwell; max_wait + 1],
+        )
+        .unwrap();
+        AppTimingProfile::new(name, dwell, jstar + 5, jstar, jstar + 10, table).unwrap()
+    }
+
+    /// An oracle that admits at most `capacity` applications per slot,
+    /// regardless of their profiles (deterministic and cheap for tests).
+    struct CapacityOracle {
+        capacity: usize,
+    }
+
+    impl SlotOracle for CapacityOracle {
+        fn admits(&self, profiles: &[AppTimingProfile]) -> Result<bool, VerifyError> {
+            Ok(profiles.len() <= self.capacity)
+        }
+        fn name(&self) -> &str {
+            "capacity"
+        }
+    }
+
+    #[test]
+    fn sort_orders_by_max_wait_then_dwell() {
+        let profiles = vec![
+            profile("slow", 20, 3),
+            profile("urgent", 5, 3),
+            profile("urgent-long-dwell", 5, 6),
+        ];
+        let order = sort_for_first_fit(&profiles);
+        assert_eq!(order, vec![1, 2, 0]);
+    }
+
+    #[test]
+    fn capacity_two_packs_pairs() {
+        let profiles = vec![
+            profile("A", 5, 3),
+            profile("B", 6, 3),
+            profile("C", 7, 3),
+            profile("D", 8, 3),
+            profile("E", 9, 3),
+        ];
+        let report = first_fit(&profiles, &CapacityOracle { capacity: 2 }).unwrap();
+        assert_eq!(report.slot_count(), 3);
+        assert_eq!(report.slots()[0].len(), 2);
+        assert_eq!(report.slots()[2].len(), 1);
+        assert!(report.oracle_calls() > 0);
+    }
+
+    #[test]
+    fn capacity_one_gives_every_application_its_own_slot() {
+        let profiles = vec![profile("A", 5, 3), profile("B", 6, 3)];
+        let report = first_fit(&profiles, &CapacityOracle { capacity: 1 }).unwrap();
+        assert_eq!(report.slot_count(), 2);
+    }
+
+    #[test]
+    fn model_checking_oracle_packs_compatible_applications() {
+        let profiles = vec![
+            profile("A", 10, 3),
+            profile("B", 10, 3),
+            profile("C", 0, 5),
+        ];
+        let report = first_fit(&profiles, &ModelCheckingOracle::new()).unwrap();
+        // C cannot wait at all, so it needs its own slot; A and B share one.
+        assert_eq!(report.slot_count(), 2);
+        let c_index = 2;
+        assert!(report
+            .slots()
+            .iter()
+            .any(|slot| slot == &vec![c_index]));
+    }
+
+    #[test]
+    fn empty_input_maps_to_no_slots() {
+        let report = first_fit(&[], &CapacityOracle { capacity: 2 }).unwrap();
+        assert_eq!(report.slot_count(), 0);
+        assert_eq!(report.oracle_calls(), 0);
+    }
+}

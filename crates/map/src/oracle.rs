@@ -1,0 +1,128 @@
+//! Admission oracles deciding whether a set of applications may share a slot.
+
+use cps_baseline::{is_slot_schedulable, BaselineApp, Strategy};
+use cps_core::AppTimingProfile;
+use cps_verify::{SlotSharingModel, VerificationConfig, VerifyError};
+
+/// An admission test for one TT slot.
+///
+/// Implementations decide whether the given applications can all meet their
+/// settling requirements when sharing a single slot.
+pub trait SlotOracle {
+    /// Returns `true` when the applications can safely share one slot.
+    ///
+    /// # Errors
+    ///
+    /// Implementations may fail (e.g. a model checker running out of budget);
+    /// the mapping heuristic treats a failure as an error, not as a rejection.
+    fn admits(&self, profiles: &[AppTimingProfile]) -> Result<bool, VerifyError>;
+
+    /// A short human-readable name for reports.
+    fn name(&self) -> &str;
+}
+
+/// The paper's oracle: exact discrete-time model checking of the switching
+/// strategy (`cps-verify`).
+#[derive(Debug, Clone, Default)]
+pub struct ModelCheckingOracle {
+    config: VerificationConfig,
+}
+
+impl ModelCheckingOracle {
+    /// Creates the oracle with the default (exact) verification configuration.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates the oracle with an explicit verification configuration.
+    pub fn with_config(config: VerificationConfig) -> Self {
+        ModelCheckingOracle { config }
+    }
+}
+
+impl SlotOracle for ModelCheckingOracle {
+    fn admits(&self, profiles: &[AppTimingProfile]) -> Result<bool, VerifyError> {
+        let model = SlotSharingModel::new(profiles.to_vec())?;
+        Ok(model.verify(&self.config)?.schedulable())
+    }
+
+    fn name(&self) -> &str {
+        "model-checking"
+    }
+}
+
+/// The conservative oracle: worst-case blocking analysis in the style of the
+/// prior work the paper compares against (`cps-baseline`).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BaselineOracle {
+    strategy: Strategy,
+}
+
+impl BaselineOracle {
+    /// Creates the oracle with the non-preemptive deadline-monotonic strategy.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates the oracle with an explicit baseline strategy.
+    pub fn with_strategy(strategy: Strategy) -> Self {
+        BaselineOracle { strategy }
+    }
+}
+
+impl SlotOracle for BaselineOracle {
+    fn admits(&self, profiles: &[AppTimingProfile]) -> Result<bool, VerifyError> {
+        let apps: Vec<BaselineApp> = profiles.iter().map(BaselineApp::from_profile).collect();
+        Ok(is_slot_schedulable(&apps, self.strategy))
+    }
+
+    fn name(&self) -> &str {
+        "baseline-blocking-analysis"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cps_core::DwellTimeTable;
+
+    fn profile(name: &str, max_wait: usize, dwell: usize) -> AppTimingProfile {
+        let jstar = max_wait + dwell + 1;
+        let table = DwellTimeTable::from_arrays(
+            jstar,
+            vec![dwell; max_wait + 1],
+            vec![dwell; max_wait + 1],
+        )
+        .unwrap();
+        AppTimingProfile::new(name, dwell, jstar + 5, jstar, jstar + 10, table).unwrap()
+    }
+
+    #[test]
+    fn model_checking_oracle_accepts_and_rejects() {
+        let oracle = ModelCheckingOracle::new();
+        assert_eq!(oracle.name(), "model-checking");
+        let generous = [profile("A", 10, 3), profile("B", 10, 3)];
+        assert!(oracle.admits(&generous).unwrap());
+        let impossible = [profile("A", 0, 5), profile("B", 0, 5)];
+        assert!(!oracle.admits(&impossible).unwrap());
+    }
+
+    #[test]
+    fn baseline_oracle_is_more_conservative_than_model_checking() {
+        // Both applications can wait 10 samples; the exact analysis exploits
+        // minimum-dwell preemption, while the baseline charges the full
+        // dedicated-slot hold time and rejects earlier.
+        let apps = [profile("A", 10, 9), profile("B", 10, 9)];
+        let exact = ModelCheckingOracle::new().admits(&apps).unwrap();
+        let conservative = BaselineOracle::new().admits(&apps).unwrap();
+        assert!(exact || !conservative, "baseline must never accept more than the exact oracle");
+    }
+
+    #[test]
+    fn baseline_oracle_strategies() {
+        let oracle = BaselineOracle::with_strategy(Strategy::DelayedRequests);
+        assert_eq!(oracle.name(), "baseline-blocking-analysis");
+        let apps = [profile("A", 10, 3), profile("B", 10, 3)];
+        assert!(oracle.admits(&apps).unwrap());
+    }
+}

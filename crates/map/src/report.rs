@@ -1,0 +1,125 @@
+//! Mapping results.
+
+use std::fmt;
+
+/// The result of a first-fit mapping run: which applications share which TT
+/// slot, and how much work the admission oracle did.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MappingReport {
+    oracle: String,
+    slots: Vec<Vec<usize>>,
+    oracle_calls: usize,
+}
+
+impl MappingReport {
+    /// Creates a report.
+    pub fn new(oracle: String, slots: Vec<Vec<usize>>, oracle_calls: usize) -> Self {
+        MappingReport {
+            oracle,
+            slots,
+            oracle_calls,
+        }
+    }
+
+    /// Name of the oracle that produced the mapping.
+    pub fn oracle(&self) -> &str {
+        &self.oracle
+    }
+
+    /// The slot partition: each inner vector lists application indices.
+    pub fn slots(&self) -> &[Vec<usize>] {
+        &self.slots
+    }
+
+    /// Number of TT slots required.
+    pub fn slot_count(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Number of admission checks performed.
+    pub fn oracle_calls(&self) -> usize {
+        self.oracle_calls
+    }
+
+    /// The slot index an application was mapped to, if any.
+    pub fn slot_of(&self, app: usize) -> Option<usize> {
+        self.slots.iter().position(|slot| slot.contains(&app))
+    }
+
+    /// Relative saving in slots compared to another mapping of the same
+    /// applications (e.g. the conservative baseline): `1 − self/other`.
+    pub fn saving_versus(&self, other: &MappingReport) -> f64 {
+        if other.slot_count() == 0 {
+            0.0
+        } else {
+            1.0 - self.slot_count() as f64 / other.slot_count() as f64
+        }
+    }
+
+    /// Renders the partition with application names substituted in.
+    pub fn format_with_names(&self, names: &[&str]) -> String {
+        let slots: Vec<String> = self
+            .slots
+            .iter()
+            .map(|slot| {
+                let members: Vec<&str> = slot
+                    .iter()
+                    .map(|&i| names.get(i).copied().unwrap_or("?"))
+                    .collect();
+                format!("{{{}}}", members.join(", "))
+            })
+            .collect();
+        slots.join("  ")
+    }
+}
+
+impl fmt::Display for MappingReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} oracle: {} slots after {} admission checks: {:?}",
+            self.oracle,
+            self.slot_count(),
+            self.oracle_calls,
+            self.slots
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report() -> MappingReport {
+        MappingReport::new("model-checking".to_string(), vec![vec![0, 2], vec![1]], 5)
+    }
+
+    #[test]
+    fn accessors() {
+        let r = report();
+        assert_eq!(r.oracle(), "model-checking");
+        assert_eq!(r.slot_count(), 2);
+        assert_eq!(r.oracle_calls(), 5);
+        assert_eq!(r.slot_of(2), Some(0));
+        assert_eq!(r.slot_of(1), Some(1));
+        assert_eq!(r.slot_of(9), None);
+    }
+
+    #[test]
+    fn saving_computation() {
+        let proposed = report();
+        let baseline = MappingReport::new("baseline".to_string(), vec![vec![0]; 4], 4);
+        assert!((proposed.saving_versus(&baseline) - 0.5).abs() < 1e-12);
+        let empty = MappingReport::new("baseline".to_string(), vec![], 0);
+        assert_eq!(proposed.saving_versus(&empty), 0.0);
+    }
+
+    #[test]
+    fn formatting() {
+        let r = report();
+        assert_eq!(r.format_with_names(&["C1", "C2", "C3"]), "{C1, C3}  {C2}");
+        assert!(r.to_string().contains("2 slots"));
+        // Unknown indices degrade gracefully.
+        assert_eq!(r.format_with_names(&["C1"]), "{C1, ?}  {?}");
+    }
+}

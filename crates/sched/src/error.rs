@@ -1,0 +1,87 @@
+use std::error::Error;
+use std::fmt;
+
+use cps_core::CoreError;
+
+/// Errors produced by the scheduling and co-simulation layer.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum SchedError {
+    /// The scenario or scheduler input was inconsistent.
+    InvalidScenario {
+        /// Human readable description of the problem.
+        reason: String,
+    },
+    /// A disturbance pattern violated an application's minimum inter-arrival
+    /// time.
+    InterArrivalViolation {
+        /// Index of the offending application.
+        app: usize,
+        /// The two disturbance samples that are too close.
+        samples: (usize, usize),
+        /// The application's minimum inter-arrival time.
+        min_inter_arrival: usize,
+    },
+    /// An underlying switching-strategy operation failed.
+    Core(CoreError),
+}
+
+impl fmt::Display for SchedError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SchedError::InvalidScenario { reason } => write!(f, "invalid scenario: {reason}"),
+            SchedError::InterArrivalViolation {
+                app,
+                samples,
+                min_inter_arrival,
+            } => write!(
+                f,
+                "application {app}: disturbances at samples {} and {} violate the minimum inter-arrival time {min_inter_arrival}",
+                samples.0, samples.1
+            ),
+            SchedError::Core(e) => write!(f, "switching-strategy error: {e}"),
+        }
+    }
+}
+
+impl Error for SchedError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            SchedError::Core(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<CoreError> for SchedError {
+    fn from(e: CoreError) -> Self {
+        SchedError::Core(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        assert!(SchedError::InvalidScenario {
+            reason: "empty".to_string()
+        }
+        .to_string()
+        .contains("empty"));
+        assert!(SchedError::InterArrivalViolation {
+            app: 2,
+            samples: (3, 10),
+            min_inter_arrival: 25
+        }
+        .to_string()
+        .contains("25"));
+    }
+
+    #[test]
+    fn core_errors_convert() {
+        let e: SchedError = CoreError::MissingField { field: "plant" }.into();
+        assert!(Error::source(&e).is_some());
+    }
+}

@@ -1,0 +1,89 @@
+//! Schedule traces produced by the slot scheduler.
+
+/// One granted occupation of the TT slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GrantRecord {
+    /// Index of the application that was granted the slot.
+    pub app: usize,
+    /// Sample at which the occupation started.
+    pub start_sample: usize,
+    /// Number of consecutive TT samples the application received.
+    pub tt_samples: usize,
+    /// How many samples the application had waited when it was granted.
+    pub waited: usize,
+    /// Whether the occupation ended because another application preempted it
+    /// (as opposed to reaching its maximum useful dwell).
+    pub preempted: bool,
+}
+
+/// Everything the scheduler decided about one application in one scenario.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct AppScheduleTrace {
+    /// Samples at which the application's disturbances were sensed.
+    pub disturbance_samples: Vec<usize>,
+    /// Samples (absolute) at which the application owned the TT slot.
+    pub tt_samples: Vec<usize>,
+    /// Wait time (samples) before each grant, one entry per disturbance that
+    /// was granted the slot.
+    pub waits: Vec<usize>,
+    /// Whether any of the application's disturbances missed the deadline
+    /// `T_w^*` before being granted the slot.
+    pub missed_deadline: bool,
+}
+
+impl AppScheduleTrace {
+    /// Total number of TT samples consumed by the application — the resource
+    /// usage the paper's strategy minimizes.
+    pub fn total_tt_samples(&self) -> usize {
+        self.tt_samples.len()
+    }
+
+    /// Converts the absolute TT sample indices into indices relative to a
+    /// disturbance sensed at `disturbance_sample` (entries before the
+    /// disturbance are dropped).
+    pub fn tt_samples_relative_to(&self, disturbance_sample: usize) -> Vec<usize> {
+        self.tt_samples
+            .iter()
+            .filter_map(|&s| s.checked_sub(disturbance_sample))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trace_accessors() {
+        let trace = AppScheduleTrace {
+            disturbance_samples: vec![5],
+            tt_samples: vec![8, 9, 10],
+            waits: vec![3],
+            missed_deadline: false,
+        };
+        assert_eq!(trace.total_tt_samples(), 3);
+        assert_eq!(trace.tt_samples_relative_to(5), vec![3, 4, 5]);
+        // Samples before the disturbance are dropped.
+        assert_eq!(trace.tt_samples_relative_to(9), vec![0, 1]);
+    }
+
+    #[test]
+    fn default_trace_is_empty() {
+        let trace = AppScheduleTrace::default();
+        assert_eq!(trace.total_tt_samples(), 0);
+        assert!(!trace.missed_deadline);
+    }
+
+    #[test]
+    fn grant_record_fields() {
+        let grant = GrantRecord {
+            app: 2,
+            start_sample: 7,
+            tt_samples: 4,
+            waited: 3,
+            preempted: true,
+        };
+        assert_eq!(grant.app, 2);
+        assert!(grant.preempted);
+    }
+}

@@ -1,0 +1,423 @@
+//! A single timed automaton: locations, invariants and edges.
+
+use crate::guard::{ClockConstraint, ClockId};
+use crate::TaError;
+
+/// Identifier of a location within one automaton.
+pub type LocationId = usize;
+
+/// Identifier of a synchronization channel within a network.
+pub type ChannelId = usize;
+
+/// Direction of a channel synchronization on an edge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SyncAction {
+    /// The edge emits on the channel (`ch!`).
+    Send(ChannelId),
+    /// The edge receives on the channel (`ch?`).
+    Receive(ChannelId),
+}
+
+impl SyncAction {
+    /// The channel the action uses.
+    pub fn channel(&self) -> ChannelId {
+        match self {
+            SyncAction::Send(c) | SyncAction::Receive(c) => *c,
+        }
+    }
+
+    /// Returns `true` for the sending half of a synchronization.
+    pub fn is_send(&self) -> bool {
+        matches!(self, SyncAction::Send(_))
+    }
+}
+
+/// A location of a timed automaton.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Location {
+    name: String,
+    invariant: Vec<ClockConstraint>,
+    committed: bool,
+    error: bool,
+}
+
+impl Location {
+    /// The location's display name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The conjunction of invariant constraints.
+    pub fn invariant(&self) -> &[ClockConstraint] {
+        &self.invariant
+    }
+
+    /// Committed locations must be left without letting time pass.
+    pub fn is_committed(&self) -> bool {
+        self.committed
+    }
+
+    /// Error locations are the targets of reachability queries.
+    pub fn is_error(&self) -> bool {
+        self.error
+    }
+}
+
+/// An edge of a timed automaton.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Edge {
+    source: LocationId,
+    target: LocationId,
+    guard: Vec<ClockConstraint>,
+    resets: Vec<ClockId>,
+    sync: Option<SyncAction>,
+}
+
+impl Edge {
+    /// Source location.
+    pub fn source(&self) -> LocationId {
+        self.source
+    }
+
+    /// Target location.
+    pub fn target(&self) -> LocationId {
+        self.target
+    }
+
+    /// The conjunction of guard constraints.
+    pub fn guard(&self) -> &[ClockConstraint] {
+        &self.guard
+    }
+
+    /// Clocks reset to zero when the edge is taken.
+    pub fn resets(&self) -> &[ClockId] {
+        &self.resets
+    }
+
+    /// The channel synchronization, if any.
+    pub fn sync(&self) -> Option<SyncAction> {
+        self.sync
+    }
+}
+
+/// A timed automaton with named clocks and locations.
+///
+/// Build one with [`TimedAutomatonBuilder`]; see the crate-level example.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TimedAutomaton {
+    name: String,
+    clock_names: Vec<String>,
+    locations: Vec<Location>,
+    edges: Vec<Edge>,
+    initial: LocationId,
+}
+
+impl TimedAutomaton {
+    /// The automaton's display name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of clocks owned by this automaton.
+    pub fn clock_count(&self) -> usize {
+        self.clock_names.len()
+    }
+
+    /// Clock names in id order.
+    pub fn clock_names(&self) -> &[String] {
+        &self.clock_names
+    }
+
+    /// The locations in id order.
+    pub fn locations(&self) -> &[Location] {
+        &self.locations
+    }
+
+    /// The edges in insertion order.
+    pub fn edges(&self) -> &[Edge] {
+        &self.edges
+    }
+
+    /// The initial location.
+    pub fn initial(&self) -> LocationId {
+        self.initial
+    }
+
+    /// Edges leaving the given location.
+    pub fn edges_from(&self, location: LocationId) -> impl Iterator<Item = &Edge> + '_ {
+        self.edges.iter().filter(move |e| e.source == location)
+    }
+
+    /// The largest constant appearing in any guard or invariant (used for
+    /// zone extrapolation); zero for an automaton without constraints.
+    pub fn max_constant(&self) -> i64 {
+        let from_invariants = self
+            .locations
+            .iter()
+            .flat_map(|l| l.invariant.iter())
+            .map(|c| c.constant_magnitude());
+        let from_guards = self
+            .edges
+            .iter()
+            .flat_map(|e| e.guard.iter())
+            .map(|c| c.constant_magnitude());
+        from_invariants.chain(from_guards).max().unwrap_or(0)
+    }
+}
+
+/// Builder for [`TimedAutomaton`].
+#[derive(Debug, Clone, Default)]
+pub struct TimedAutomatonBuilder {
+    name: String,
+    clock_names: Vec<String>,
+    locations: Vec<Location>,
+    edges: Vec<Edge>,
+    initial: Option<LocationId>,
+}
+
+impl TimedAutomatonBuilder {
+    /// Starts building an automaton with the given name.
+    pub fn new(name: impl Into<String>) -> Self {
+        TimedAutomatonBuilder {
+            name: name.into(),
+            ..Default::default()
+        }
+    }
+
+    /// Adds a clock and returns its id.
+    pub fn add_clock(&mut self, name: impl Into<String>) -> ClockId {
+        self.clock_names.push(name.into());
+        self.clock_names.len() - 1
+    }
+
+    /// Adds an ordinary location and returns its id.
+    pub fn add_location(&mut self, name: impl Into<String>) -> LocationId {
+        self.push_location(name.into(), false, false)
+    }
+
+    /// Adds a committed location (time may not pass in it) and returns its id.
+    pub fn add_committed_location(&mut self, name: impl Into<String>) -> LocationId {
+        self.push_location(name.into(), true, false)
+    }
+
+    /// Adds an error location (reachability target) and returns its id.
+    pub fn add_error_location(&mut self, name: impl Into<String>) -> LocationId {
+        self.push_location(name.into(), false, true)
+    }
+
+    fn push_location(&mut self, name: String, committed: bool, error: bool) -> LocationId {
+        self.locations.push(Location {
+            name,
+            invariant: Vec::new(),
+            committed,
+            error,
+        });
+        self.locations.len() - 1
+    }
+
+    /// Marks which location the automaton starts in.
+    pub fn set_initial(&mut self, location: LocationId) {
+        self.initial = Some(location);
+    }
+
+    /// Adds an invariant constraint to a location.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TaError::UnknownEntity`] when the location or a referenced
+    /// clock does not exist.
+    pub fn add_invariant(
+        &mut self,
+        location: LocationId,
+        constraint: ClockConstraint,
+    ) -> Result<(), TaError> {
+        self.check_clock(&constraint)?;
+        let loc = self
+            .locations
+            .get_mut(location)
+            .ok_or(TaError::UnknownEntity {
+                kind: "location",
+                id: location,
+            })?;
+        loc.invariant.push(constraint);
+        Ok(())
+    }
+
+    /// Adds an edge.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TaError::UnknownEntity`] when a location, clock in the guard
+    /// or reset does not exist.
+    pub fn add_edge(
+        &mut self,
+        source: LocationId,
+        target: LocationId,
+        guard: Vec<ClockConstraint>,
+        resets: Vec<ClockId>,
+        sync: Option<SyncAction>,
+    ) -> Result<(), TaError> {
+        for location in [source, target] {
+            if location >= self.locations.len() {
+                return Err(TaError::UnknownEntity {
+                    kind: "location",
+                    id: location,
+                });
+            }
+        }
+        for constraint in &guard {
+            self.check_clock(constraint)?;
+        }
+        for &clock in &resets {
+            if clock >= self.clock_names.len() {
+                return Err(TaError::UnknownEntity {
+                    kind: "clock",
+                    id: clock,
+                });
+            }
+        }
+        self.edges.push(Edge {
+            source,
+            target,
+            guard,
+            resets,
+            sync,
+        });
+        Ok(())
+    }
+
+    fn check_clock(&self, constraint: &ClockConstraint) -> Result<(), TaError> {
+        if let Some(max) = constraint.max_clock() {
+            if max >= self.clock_names.len() {
+                return Err(TaError::UnknownEntity {
+                    kind: "clock",
+                    id: max,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Finalizes the automaton.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TaError::MissingInitialLocation`] when no initial location
+    /// was set, and [`TaError::UnknownEntity`] when the automaton has no
+    /// locations at all.
+    pub fn build(self) -> Result<TimedAutomaton, TaError> {
+        if self.locations.is_empty() {
+            return Err(TaError::UnknownEntity {
+                kind: "location",
+                id: 0,
+            });
+        }
+        let initial = self.initial.ok_or(TaError::MissingInitialLocation {
+            automaton: self.name.clone(),
+        })?;
+        Ok(TimedAutomaton {
+            name: self.name,
+            clock_names: self.clock_names,
+            locations: self.locations,
+            edges: self.edges,
+            initial,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn simple_automaton() -> TimedAutomaton {
+        let mut b = TimedAutomatonBuilder::new("simple");
+        let x = b.add_clock("x");
+        let idle = b.add_location("idle");
+        let busy = b.add_location("busy");
+        let error = b.add_error_location("error");
+        b.set_initial(idle);
+        b.add_invariant(busy, ClockConstraint::le(x, 5)).unwrap();
+        b.add_edge(idle, busy, vec![], vec![x], None).unwrap();
+        b.add_edge(busy, idle, vec![ClockConstraint::ge(x, 2)], vec![], None)
+            .unwrap();
+        b.add_edge(busy, error, vec![ClockConstraint::ge(x, 10)], vec![], None)
+            .unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn builder_produces_consistent_automaton() {
+        let a = simple_automaton();
+        assert_eq!(a.name(), "simple");
+        assert_eq!(a.clock_count(), 1);
+        assert_eq!(a.clock_names(), &["x".to_string()]);
+        assert_eq!(a.locations().len(), 3);
+        assert_eq!(a.edges().len(), 3);
+        assert_eq!(a.initial(), 0);
+        assert_eq!(a.edges_from(1).count(), 2);
+        assert_eq!(a.max_constant(), 10);
+        assert!(a.locations()[2].is_error());
+        assert!(!a.locations()[0].is_error());
+        assert!(!a.locations()[0].is_committed());
+        assert_eq!(a.locations()[1].invariant().len(), 1);
+    }
+
+    #[test]
+    fn committed_locations_are_flagged() {
+        let mut b = TimedAutomatonBuilder::new("c");
+        let l = b.add_committed_location("urgent");
+        b.set_initial(l);
+        let a = b.build().unwrap();
+        assert!(a.locations()[0].is_committed());
+    }
+
+    #[test]
+    fn builder_validates_references() {
+        let mut b = TimedAutomatonBuilder::new("v");
+        let x = b.add_clock("x");
+        let l = b.add_location("l");
+        b.set_initial(l);
+        assert!(b.add_invariant(7, ClockConstraint::le(x, 1)).is_err());
+        assert!(b.add_invariant(l, ClockConstraint::le(9, 1)).is_err());
+        assert!(b.add_edge(l, 9, vec![], vec![], None).is_err());
+        assert!(b.add_edge(9, l, vec![], vec![], None).is_err());
+        assert!(b
+            .add_edge(l, l, vec![ClockConstraint::le(4, 1)], vec![], None)
+            .is_err());
+        assert!(b.add_edge(l, l, vec![], vec![4], None).is_err());
+        assert!(b.add_edge(l, l, vec![], vec![x], None).is_ok());
+    }
+
+    #[test]
+    fn missing_initial_location_is_rejected() {
+        let mut b = TimedAutomatonBuilder::new("no-init");
+        b.add_location("l");
+        assert!(matches!(
+            b.build(),
+            Err(TaError::MissingInitialLocation { .. })
+        ));
+        let empty = TimedAutomatonBuilder::new("empty");
+        assert!(empty.build().is_err());
+    }
+
+    #[test]
+    fn sync_action_accessors() {
+        let send = SyncAction::Send(3);
+        let receive = SyncAction::Receive(3);
+        assert_eq!(send.channel(), 3);
+        assert_eq!(receive.channel(), 3);
+        assert!(send.is_send());
+        assert!(!receive.is_send());
+    }
+
+    #[test]
+    fn edge_accessors() {
+        let a = simple_automaton();
+        let edge = &a.edges()[1];
+        assert_eq!(edge.source(), 1);
+        assert_eq!(edge.target(), 0);
+        assert_eq!(edge.guard().len(), 1);
+        assert!(edge.resets().is_empty());
+        assert!(edge.sync().is_none());
+    }
+}

@@ -1,0 +1,425 @@
+//! Difference-bound matrices (DBMs) — the canonical zone representation for
+//! timed automata.
+//!
+//! A DBM over clocks `x₁ … xₙ` (plus the implicit reference clock `x₀ = 0`)
+//! stores, for every ordered pair `(i, j)`, an upper bound on `xᵢ − xⱼ`.
+//! All standard zone operations are provided: delay (`up`), clock reset,
+//! conjunction with a constraint, canonicalization, emptiness, inclusion and
+//! `k`-extrapolation (which guarantees a finite zone graph).
+
+use std::fmt;
+
+use crate::guard::ClockConstraint;
+
+/// An upper bound on a clock difference: either unbounded (`∞`) or
+/// `≤ value` / `< value`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Bound {
+    /// No constraint (`< ∞`).
+    Unbounded,
+    /// `xᵢ − xⱼ ≤ value`.
+    Le(i64),
+    /// `xᵢ − xⱼ < value`.
+    Lt(i64),
+}
+
+impl Bound {
+    /// The additive identity `≤ 0`.
+    pub const ZERO: Bound = Bound::Le(0);
+
+    fn key(&self) -> (i64, i64) {
+        // Encode strictness so that `< c` sorts just below `≤ c`.
+        match self {
+            Bound::Unbounded => (i64::MAX, 1),
+            Bound::Le(v) => (*v, 1),
+            Bound::Lt(v) => (*v, 0),
+        }
+    }
+
+    /// Returns `true` when `self` is at most as permissive as `other`.
+    pub fn tighter_or_equal(&self, other: &Bound) -> bool {
+        self.key() <= other.key()
+    }
+
+    /// The tighter (smaller) of two bounds.
+    pub fn min(self, other: Bound) -> Bound {
+        if self.tighter_or_equal(&other) {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// Bound addition (used by the shortest-path closure).
+    pub fn add(self, other: Bound) -> Bound {
+        match (self, other) {
+            (Bound::Unbounded, _) | (_, Bound::Unbounded) => Bound::Unbounded,
+            (Bound::Le(a), Bound::Le(b)) => Bound::Le(a + b),
+            (Bound::Le(a), Bound::Lt(b))
+            | (Bound::Lt(a), Bound::Le(b))
+            | (Bound::Lt(a), Bound::Lt(b)) => Bound::Lt(a + b),
+        }
+    }
+
+    /// The bound's numeric value, or `None` when unbounded.
+    pub fn value(&self) -> Option<i64> {
+        match self {
+            Bound::Unbounded => None,
+            Bound::Le(v) | Bound::Lt(v) => Some(*v),
+        }
+    }
+
+    /// Whether the bound is strict (`<` rather than `≤`).
+    pub fn is_strict(&self) -> bool {
+        matches!(self, Bound::Lt(_))
+    }
+}
+
+impl fmt::Display for Bound {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Bound::Unbounded => write!(f, "<inf"),
+            Bound::Le(v) => write!(f, "<={v}"),
+            Bound::Lt(v) => write!(f, "<{v}"),
+        }
+    }
+}
+
+/// A difference-bound matrix over `clocks` real-valued clocks.
+///
+/// # Example
+///
+/// ```
+/// use cps_ta::dbm::Dbm;
+/// use cps_ta::guard::ClockConstraint;
+///
+/// let mut zone = Dbm::zero(1);
+/// zone.up();                                        // let time pass
+/// zone.constrain(&ClockConstraint::le(0, 5));       // x ≤ 5
+/// assert!(!zone.is_empty());
+/// zone.constrain(&ClockConstraint::ge(0, 6));       // x ≥ 6 → contradiction
+/// assert!(zone.is_empty());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Dbm {
+    clocks: usize,
+    /// Row-major `(clocks + 1)²` matrix; entry `(i, j)` bounds `xᵢ − xⱼ`.
+    bounds: Vec<Bound>,
+}
+
+impl Dbm {
+    /// The zone in which every clock equals zero.
+    pub fn zero(clocks: usize) -> Self {
+        let dim = clocks + 1;
+        Dbm {
+            clocks,
+            bounds: vec![Bound::ZERO; dim * dim],
+        }
+    }
+
+    /// The unconstrained zone (all non-negative clock valuations).
+    pub fn universe(clocks: usize) -> Self {
+        let dim = clocks + 1;
+        let mut bounds = vec![Bound::Unbounded; dim * dim];
+        for i in 0..dim {
+            bounds[i * dim + i] = Bound::ZERO;
+            // x₀ − xᵢ ≤ 0 keeps clocks non-negative.
+            bounds[i] = Bound::ZERO;
+        }
+        Dbm { clocks, bounds }
+    }
+
+    /// Number of real clocks (excluding the reference clock).
+    pub fn clocks(&self) -> usize {
+        self.clocks
+    }
+
+    fn dim(&self) -> usize {
+        self.clocks + 1
+    }
+
+    /// The bound on `xᵢ − xⱼ` (indices include the reference clock 0).
+    pub fn bound(&self, i: usize, j: usize) -> Bound {
+        self.bounds[i * self.dim() + j]
+    }
+
+    fn set_bound(&mut self, i: usize, j: usize, bound: Bound) {
+        let dim = self.dim();
+        self.bounds[i * dim + j] = bound;
+    }
+
+    /// Returns `true` when the zone contains no clock valuation.
+    pub fn is_empty(&self) -> bool {
+        // After canonicalization a negative cycle shows up on the diagonal.
+        (0..self.dim()).any(|i| self.bound(i, i).tighter_or_equal(&Bound::Lt(0)))
+    }
+
+    /// Shortest-path closure (Floyd–Warshall); brings the DBM to canonical
+    /// form so that emptiness, inclusion and hashing are well defined.
+    pub fn canonicalize(&mut self) {
+        let dim = self.dim();
+        for k in 0..dim {
+            for i in 0..dim {
+                for j in 0..dim {
+                    let through_k = self.bound(i, k).add(self.bound(k, j));
+                    if through_k.tighter_or_equal(&self.bound(i, j))
+                        && through_k != self.bound(i, j)
+                    {
+                        self.set_bound(i, j, through_k);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Delay operation (`up`): lets an arbitrary amount of time pass.
+    pub fn up(&mut self) {
+        for i in 1..self.dim() {
+            self.set_bound(i, 0, Bound::Unbounded);
+        }
+    }
+
+    /// Resets the clock with the given 0-based id (the same ids used by
+    /// [`ClockConstraint`]) to zero.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the clock id is out of range.
+    pub fn reset(&mut self, clock: usize) {
+        assert!(clock < self.clocks, "clock index {clock} out of range");
+        let row = clock + 1;
+        for j in 0..self.dim() {
+            let via_zero = self.bound(0, j);
+            self.set_bound(row, j, via_zero);
+            let to_zero = self.bound(j, 0);
+            self.set_bound(j, row, to_zero);
+        }
+        self.set_bound(row, row, Bound::ZERO);
+    }
+
+    /// Conjoins the zone with a single clock constraint and re-canonicalizes.
+    pub fn constrain(&mut self, constraint: &ClockConstraint) {
+        let (i, j, bound) = constraint.as_dbm_entry();
+        let tightened = bound.min(self.bound(i, j));
+        if tightened != self.bound(i, j) {
+            self.set_bound(i, j, tightened);
+            self.canonicalize();
+        }
+    }
+
+    /// Returns `true` when conjoining the constraint would leave the zone
+    /// non-empty (i.e. the constraint is satisfiable within the zone).
+    pub fn satisfies(&self, constraint: &ClockConstraint) -> bool {
+        let mut copy = self.clone();
+        copy.constrain(constraint);
+        !copy.is_empty()
+    }
+
+    /// Zone inclusion: `true` when every valuation of `self` is contained in
+    /// `other`. Both zones must be canonical.
+    pub fn included_in(&self, other: &Dbm) -> bool {
+        debug_assert_eq!(self.clocks, other.clocks);
+        self.bounds
+            .iter()
+            .zip(other.bounds.iter())
+            .all(|(a, b)| a.tighter_or_equal(b))
+    }
+
+    /// Classic `k`-extrapolation: bounds larger than `k` become unbounded and
+    /// lower bounds smaller than `−k` are relaxed to `< −k`. Guarantees a
+    /// finite zone graph when `k` is at least the largest constant in the
+    /// model. Re-canonicalizes afterwards.
+    pub fn extrapolate(&mut self, k: i64) {
+        let dim = self.dim();
+        for i in 0..dim {
+            for j in 0..dim {
+                if i == j {
+                    continue;
+                }
+                match self.bound(i, j).value() {
+                    Some(v) if v > k => self.set_bound(i, j, Bound::Unbounded),
+                    Some(v) if v < -k => self.set_bound(i, j, Bound::Lt(-k)),
+                    _ => {}
+                }
+            }
+        }
+        self.canonicalize();
+    }
+}
+
+impl fmt::Display for Dbm {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for i in 0..self.dim() {
+            for j in 0..self.dim() {
+                write!(f, "{:>8} ", self.bound(i, j).to_string())?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bound_ordering_and_arithmetic() {
+        assert!(Bound::Lt(5).tighter_or_equal(&Bound::Le(5)));
+        assert!(!Bound::Le(5).tighter_or_equal(&Bound::Lt(5)));
+        assert!(Bound::Le(3).tighter_or_equal(&Bound::Unbounded));
+        assert_eq!(Bound::Le(2).add(Bound::Lt(3)), Bound::Lt(5));
+        assert_eq!(Bound::Le(2).add(Bound::Le(3)), Bound::Le(5));
+        assert_eq!(Bound::Unbounded.add(Bound::Le(1)), Bound::Unbounded);
+        assert_eq!(Bound::Le(2).min(Bound::Lt(2)), Bound::Lt(2));
+        assert_eq!(Bound::Le(7).value(), Some(7));
+        assert_eq!(Bound::Unbounded.value(), None);
+        assert!(Bound::Lt(1).is_strict());
+        assert!(!Bound::Le(1).is_strict());
+        assert_eq!(Bound::Lt(3).to_string(), "<3");
+        assert_eq!(Bound::Unbounded.to_string(), "<inf");
+    }
+
+    #[test]
+    fn zero_zone_is_the_origin() {
+        let zone = Dbm::zero(2);
+        assert!(!zone.is_empty());
+        // x ≤ 0 and x ≥ 0 hold at the origin.
+        assert!(zone.satisfies(&ClockConstraint::le(0, 0)));
+        assert!(!zone.satisfies(&ClockConstraint::ge(0, 1)));
+        assert_eq!(zone.clocks(), 2);
+    }
+
+    #[test]
+    fn universe_contains_everything_nonnegative() {
+        let zone = Dbm::universe(1);
+        assert!(!zone.is_empty());
+        assert!(zone.satisfies(&ClockConstraint::ge(0, 1000)));
+        assert!(zone.satisfies(&ClockConstraint::le(0, 0)));
+    }
+
+    #[test]
+    fn delay_then_constrain() {
+        let mut zone = Dbm::zero(1);
+        zone.up();
+        // After delay x can be anything ≥ 0.
+        assert!(zone.satisfies(&ClockConstraint::ge(0, 7)));
+        zone.constrain(&ClockConstraint::le(0, 5));
+        assert!(!zone.satisfies(&ClockConstraint::ge(0, 6)));
+        assert!(zone.satisfies(&ClockConstraint::ge(0, 5)));
+    }
+
+    #[test]
+    fn contradictory_constraints_empty_the_zone() {
+        let mut zone = Dbm::zero(1);
+        zone.up();
+        zone.constrain(&ClockConstraint::le(0, 5));
+        zone.constrain(&ClockConstraint::ge(0, 6));
+        assert!(zone.is_empty());
+    }
+
+    #[test]
+    fn reset_pins_a_clock_without_touching_others() {
+        let mut zone = Dbm::zero(2);
+        zone.up();
+        zone.constrain(&ClockConstraint::ge(0, 3));
+        zone.constrain(&ClockConstraint::le(0, 3));
+        // Both clocks advanced together and sit at exactly 3; reset clock 0.
+        zone.reset(0);
+        assert!(zone.satisfies(&ClockConstraint::le(0, 0)));
+        // The other clock still sits at 3.
+        assert!(zone.satisfies(&ClockConstraint::ge(1, 3)));
+        assert!(!zone.satisfies(&ClockConstraint::ge(1, 4)));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn resetting_an_unknown_clock_panics() {
+        let mut zone = Dbm::zero(1);
+        zone.reset(1);
+    }
+
+    #[test]
+    fn diagonal_constraints_relate_two_clocks() {
+        let mut zone = Dbm::zero(2);
+        zone.up();
+        zone.reset(1);
+        zone.up();
+        // Now x1 ≥ x2; the difference x1 − x2 can be arbitrary ≥ 0.
+        assert!(zone.satisfies(&ClockConstraint::diff_ge(0, 1, 4)));
+        zone.constrain(&ClockConstraint::diff_le(0, 1, 2));
+        assert!(!zone.satisfies(&ClockConstraint::diff_ge(0, 1, 3)));
+    }
+
+    #[test]
+    fn inclusion_is_reflexive_and_detects_subsets() {
+        let mut small = Dbm::zero(1);
+        small.up();
+        small.constrain(&ClockConstraint::le(0, 3));
+        let mut large = Dbm::zero(1);
+        large.up();
+        large.constrain(&ClockConstraint::le(0, 10));
+        assert!(small.included_in(&small));
+        assert!(small.included_in(&large));
+        assert!(!large.included_in(&small));
+    }
+
+    #[test]
+    fn extrapolation_forgets_large_constants() {
+        let mut zone = Dbm::zero(1);
+        zone.up();
+        zone.constrain(&ClockConstraint::ge(0, 1000));
+        zone.extrapolate(10);
+        // The lower bound 1000 exceeds k = 10, so the zone relaxes to x > 10.
+        assert!(zone.satisfies(&ClockConstraint::le(0, 500)));
+        assert!(!zone.satisfies(&ClockConstraint::le(0, 5)));
+    }
+
+    #[test]
+    fn display_renders_a_square_matrix() {
+        let zone = Dbm::zero(1);
+        let text = zone.to_string();
+        assert_eq!(text.lines().count(), 2);
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #[test]
+            fn up_never_empties_a_nonempty_zone(upper in 0i64..50) {
+                let mut zone = Dbm::zero(1);
+                zone.up();
+                zone.constrain(&ClockConstraint::le(0, upper));
+                prop_assert!(!zone.is_empty());
+                zone.up();
+                prop_assert!(!zone.is_empty());
+                // After up the upper bound is gone.
+                prop_assert!(zone.satisfies(&ClockConstraint::ge(0, upper + 1)));
+            }
+
+            #[test]
+            fn reset_makes_clock_zero(bound in 1i64..50) {
+                let mut zone = Dbm::zero(2);
+                zone.up();
+                zone.constrain(&ClockConstraint::le(0, bound));
+                zone.reset(0);
+                prop_assert!(zone.satisfies(&ClockConstraint::le(0, 0)));
+                prop_assert!(!zone.satisfies(&ClockConstraint::ge(0, 1)));
+            }
+
+            #[test]
+            fn canonical_zones_are_inclusion_monotone(a in 1i64..30, b in 1i64..30) {
+                let (small, large) = (a.min(b), a.max(b));
+                let mut z_small = Dbm::zero(1);
+                z_small.up();
+                z_small.constrain(&ClockConstraint::le(0, small));
+                let mut z_large = Dbm::zero(1);
+                z_large.up();
+                z_large.constrain(&ClockConstraint::le(0, large));
+                prop_assert!(z_small.included_in(&z_large));
+            }
+        }
+    }
+}

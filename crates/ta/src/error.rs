@@ -1,0 +1,84 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the timed-automata engine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum TaError {
+    /// A clock, location or channel identifier referenced an entity that does
+    /// not exist in the automaton or network.
+    UnknownEntity {
+        /// What kind of entity was referenced (`"clock"`, `"location"`, …).
+        kind: &'static str,
+        /// The numeric identifier that was out of range.
+        id: usize,
+    },
+    /// The automaton was built without an initial location.
+    MissingInitialLocation {
+        /// Name of the automaton.
+        automaton: String,
+    },
+    /// A network was created without any automata.
+    EmptyNetwork,
+    /// The zone-graph exploration exceeded its state budget.
+    StateBudgetExhausted {
+        /// The budget that was exceeded.
+        budget: usize,
+    },
+    /// A constraint used an inconsistent pair of clocks (e.g. a diagonal
+    /// constraint between a clock and itself).
+    InvalidConstraint {
+        /// Human readable description of the problem.
+        reason: String,
+    },
+}
+
+impl fmt::Display for TaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TaError::UnknownEntity { kind, id } => write!(f, "unknown {kind} with id {id}"),
+            TaError::MissingInitialLocation { automaton } => {
+                write!(f, "automaton `{automaton}` has no initial location")
+            }
+            TaError::EmptyNetwork => write!(f, "a network needs at least one automaton"),
+            TaError::StateBudgetExhausted { budget } => {
+                write!(f, "zone-graph exploration exceeded {budget} states")
+            }
+            TaError::InvalidConstraint { reason } => write!(f, "invalid constraint: {reason}"),
+        }
+    }
+}
+
+impl Error for TaError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        assert!(TaError::UnknownEntity { kind: "clock", id: 3 }
+            .to_string()
+            .contains("clock"));
+        assert!(TaError::MissingInitialLocation {
+            automaton: "app".to_string()
+        }
+        .to_string()
+        .contains("app"));
+        assert!(TaError::EmptyNetwork.to_string().contains("at least one"));
+        assert!(TaError::StateBudgetExhausted { budget: 10 }
+            .to_string()
+            .contains("10"));
+        assert!(TaError::InvalidConstraint {
+            reason: "self loop".to_string()
+        }
+        .to_string()
+        .contains("self loop"));
+    }
+
+    #[test]
+    fn implements_error() {
+        fn assert_error<E: Error>() {}
+        assert_error::<TaError>();
+    }
+}

@@ -1,0 +1,223 @@
+//! Clock constraints (guards and invariants).
+
+use std::fmt;
+
+use crate::dbm::Bound;
+
+/// Identifier of a clock within an automaton or network (0-based).
+pub type ClockId = usize;
+
+/// A single atomic clock constraint of the form `x ≺ c`, `x ≻ c` or
+/// `x − y ≺ c`, where `≺ ∈ {<, ≤}`.
+///
+/// Guards and invariants are conjunctions, represented simply as slices of
+/// constraints.
+///
+/// # Example
+///
+/// ```
+/// use cps_ta::guard::ClockConstraint;
+///
+/// let g = ClockConstraint::le(0, 5);
+/// assert_eq!(g.to_string(), "x0 <= 5");
+/// let d = ClockConstraint::diff_ge(0, 1, 2);
+/// assert_eq!(d.to_string(), "x0 - x1 >= 2");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ClockConstraint {
+    /// The clock on the left-hand side, or `None` for the reference clock.
+    minuend: Option<ClockId>,
+    /// The clock subtracted on the left-hand side, or `None` for the
+    /// reference clock.
+    subtrahend: Option<ClockId>,
+    /// The right-hand-side constant.
+    constant: i64,
+    /// Whether the comparison is strict (`<`) rather than non-strict (`≤`).
+    strict: bool,
+}
+
+impl ClockConstraint {
+    /// `x ≤ c`.
+    pub fn le(clock: ClockId, constant: i64) -> Self {
+        ClockConstraint {
+            minuend: Some(clock),
+            subtrahend: None,
+            constant,
+            strict: false,
+        }
+    }
+
+    /// `x < c`.
+    pub fn lt(clock: ClockId, constant: i64) -> Self {
+        ClockConstraint {
+            minuend: Some(clock),
+            subtrahend: None,
+            constant,
+            strict: true,
+        }
+    }
+
+    /// `x ≥ c` (stored as `0 − x ≤ −c`).
+    pub fn ge(clock: ClockId, constant: i64) -> Self {
+        ClockConstraint {
+            minuend: None,
+            subtrahend: Some(clock),
+            constant: -constant,
+            strict: false,
+        }
+    }
+
+    /// `x > c` (stored as `0 − x < −c`).
+    pub fn gt(clock: ClockId, constant: i64) -> Self {
+        ClockConstraint {
+            minuend: None,
+            subtrahend: Some(clock),
+            constant: -constant,
+            strict: true,
+        }
+    }
+
+    /// The pair of constraints expressing `x = c`.
+    pub fn eq(clock: ClockId, constant: i64) -> Vec<Self> {
+        vec![Self::le(clock, constant), Self::ge(clock, constant)]
+    }
+
+    /// Diagonal constraint `x − y ≤ c`.
+    pub fn diff_le(x: ClockId, y: ClockId, constant: i64) -> Self {
+        ClockConstraint {
+            minuend: Some(x),
+            subtrahend: Some(y),
+            constant,
+            strict: false,
+        }
+    }
+
+    /// Diagonal constraint `x − y ≥ c` (stored as `y − x ≤ −c`).
+    pub fn diff_ge(x: ClockId, y: ClockId, constant: i64) -> Self {
+        ClockConstraint {
+            minuend: Some(y),
+            subtrahend: Some(x),
+            constant: -constant,
+            strict: false,
+        }
+    }
+
+    /// The largest clock id referenced by the constraint, if any.
+    pub fn max_clock(&self) -> Option<ClockId> {
+        match (self.minuend, self.subtrahend) {
+            (Some(a), Some(b)) => Some(a.max(b)),
+            (Some(a), None) | (None, Some(a)) => Some(a),
+            (None, None) => None,
+        }
+    }
+
+    /// The absolute value of the constant (used to pick the extrapolation
+    /// bound).
+    pub fn constant_magnitude(&self) -> i64 {
+        self.constant.abs()
+    }
+
+    /// Shifts every referenced clock id by `offset` — used when composing
+    /// automata with disjoint clock sets into a network.
+    pub fn shift_clocks(&self, offset: usize) -> Self {
+        ClockConstraint {
+            minuend: self.minuend.map(|c| c + offset),
+            subtrahend: self.subtrahend.map(|c| c + offset),
+            constant: self.constant,
+            strict: self.strict,
+        }
+    }
+
+    /// The DBM entry `(i, j, bound)` this constraint tightens, where index 0
+    /// is the reference clock and real clock `k` maps to index `k + 1`.
+    pub fn as_dbm_entry(&self) -> (usize, usize, Bound) {
+        let i = self.minuend.map(|c| c + 1).unwrap_or(0);
+        let j = self.subtrahend.map(|c| c + 1).unwrap_or(0);
+        let bound = if self.strict {
+            Bound::Lt(self.constant)
+        } else {
+            Bound::Le(self.constant)
+        };
+        (i, j, bound)
+    }
+}
+
+impl fmt::Display for ClockConstraint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let op = if self.strict { "<" } else { "<=" };
+        match (self.minuend, self.subtrahend) {
+            (Some(x), None) => write!(f, "x{x} {op} {}", self.constant),
+            (None, Some(y)) => {
+                // 0 − y ≺ c  ⇔  y ≻ −c
+                let op = if self.strict { ">" } else { ">=" };
+                write!(f, "x{y} {op} {}", -self.constant)
+            }
+            (Some(x), Some(y)) => {
+                if self.constant <= 0 && !self.strict {
+                    // Prefer the ≥ rendering produced by diff_ge.
+                    write!(f, "x{y} - x{x} >= {}", -self.constant)
+                } else {
+                    write!(f, "x{x} - x{y} {op} {}", self.constant)
+                }
+            }
+            (None, None) => write!(f, "0 {op} {}", self.constant),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dbm_entries_for_upper_and_lower_bounds() {
+        let (i, j, b) = ClockConstraint::le(2, 7).as_dbm_entry();
+        assert_eq!((i, j), (3, 0));
+        assert_eq!(b, Bound::Le(7));
+        let (i, j, b) = ClockConstraint::gt(1, 4).as_dbm_entry();
+        assert_eq!((i, j), (0, 2));
+        assert_eq!(b, Bound::Lt(-4));
+    }
+
+    #[test]
+    fn equality_expands_to_two_constraints() {
+        let both = ClockConstraint::eq(0, 3);
+        assert_eq!(both.len(), 2);
+        assert_eq!(both[0], ClockConstraint::le(0, 3));
+        assert_eq!(both[1], ClockConstraint::ge(0, 3));
+    }
+
+    #[test]
+    fn diagonal_constraints() {
+        let (i, j, b) = ClockConstraint::diff_le(0, 1, 5).as_dbm_entry();
+        assert_eq!((i, j), (1, 2));
+        assert_eq!(b, Bound::Le(5));
+        let (i, j, b) = ClockConstraint::diff_ge(0, 1, 5).as_dbm_entry();
+        assert_eq!((i, j), (2, 1));
+        assert_eq!(b, Bound::Le(-5));
+    }
+
+    #[test]
+    fn clock_shifting_for_network_composition() {
+        let g = ClockConstraint::diff_le(0, 1, 5).shift_clocks(3);
+        assert_eq!(g.max_clock(), Some(4));
+        let g = ClockConstraint::ge(2, 1).shift_clocks(2);
+        assert_eq!(g.max_clock(), Some(4));
+    }
+
+    #[test]
+    fn constant_magnitude_for_extrapolation() {
+        assert_eq!(ClockConstraint::ge(0, 9).constant_magnitude(), 9);
+        assert_eq!(ClockConstraint::le(0, 4).constant_magnitude(), 4);
+    }
+
+    #[test]
+    fn display_renders_natural_comparisons() {
+        assert_eq!(ClockConstraint::le(0, 5).to_string(), "x0 <= 5");
+        assert_eq!(ClockConstraint::lt(1, 2).to_string(), "x1 < 2");
+        assert_eq!(ClockConstraint::ge(0, 5).to_string(), "x0 >= 5");
+        assert_eq!(ClockConstraint::gt(0, 5).to_string(), "x0 > 5");
+        assert_eq!(ClockConstraint::diff_ge(0, 1, 2).to_string(), "x0 - x1 >= 2");
+        assert_eq!(ClockConstraint::diff_le(0, 1, 2).to_string(), "x0 - x1 <= 2");
+    }
+}

@@ -1,0 +1,78 @@
+//! Timed automata with zone-based (DBM) reachability analysis.
+//!
+//! The reproduced paper verifies its slot-sharing scheme by model checking a
+//! network of timed automata in UPPAAL. This crate is the workspace's
+//! UPPAAL substitute: a small but complete zone-graph reachability engine.
+//!
+//! * [`dbm`] — difference-bound matrices (zones): delay, reset, constrain,
+//!   canonicalization, inclusion and extrapolation.
+//! * [`guard`] — clock constraints (`x ≺ c` and diagonal `x − y ≺ c`).
+//! * [`automaton`] — a single timed automaton: locations (with invariants,
+//!   committed/error flags) and edges (guards, resets, channel
+//!   synchronization).
+//! * [`network`] — networks of automata communicating over binary channels.
+//! * [`reachability`] — breadth-first zone-graph exploration answering
+//!   "is any error location reachable?" with a witness trace.
+//! * [`model`] — a conservative timed-automata model of TT-slot sharing in
+//!   the style of the prior-work analysis the paper compares against: each
+//!   application must be granted the slot before its deadline `T_w^*`, holds
+//!   it for its worst-case minimum dwell, and the arbiter is nondeterministic.
+//!
+//! The exact, control-aware verification of the paper (wait-time dependent
+//! dwell tables, laxity-EDF arbiter) lives in the `cps-verify` crate; this
+//! crate provides the general-purpose timed-automata machinery plus the
+//! conservative baseline model used for comparison.
+//!
+//! # Example
+//!
+//! ```
+//! use cps_ta::{automaton::TimedAutomatonBuilder, guard::ClockConstraint, network::Network,
+//!              reachability};
+//!
+//! # fn main() -> Result<(), cps_ta::TaError> {
+//! // A single automaton that must leave its initial location within 5 time
+//! // units but can only do so after 10 — the error location is unreachable.
+//! let mut builder = TimedAutomatonBuilder::new("demo");
+//! let x = builder.add_clock("x");
+//! let start = builder.add_location("start");
+//! let error = builder.add_error_location("error");
+//! builder.set_initial(start);
+//! builder.add_invariant(start, ClockConstraint::le(x, 5))?;
+//! builder.add_edge(start, error, vec![ClockConstraint::ge(x, 10)], vec![], None)?;
+//! let automaton = builder.build()?;
+//! let network = Network::new(vec![automaton])?;
+//! let result = reachability::check_error_reachability(&network, 10_000)?;
+//! assert!(!result.error_reachable());
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod automaton;
+pub mod dbm;
+mod error;
+pub mod guard;
+pub mod model;
+pub mod network;
+pub mod reachability;
+
+pub use automaton::{TimedAutomaton, TimedAutomatonBuilder};
+pub use dbm::Dbm;
+pub use error::TaError;
+pub use guard::ClockConstraint;
+pub use network::Network;
+pub use reachability::{check_error_reachability, ReachabilityResult};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn public_types_are_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Dbm>();
+        assert_send_sync::<TaError>();
+        assert_send_sync::<TimedAutomaton>();
+        assert_send_sync::<Network>();
+        assert_send_sync::<ReachabilityResult>();
+    }
+}

@@ -1,0 +1,202 @@
+//! Conservative timed-automata models of TT-slot sharing.
+//!
+//! The prior-work analysis the paper compares against reasons about slot
+//! sharing through a single number per application: the **worst-case blocking
+//! time** `B` it can suffer from other occupants of the slot, checked against
+//! its **deadline** `D = T_w^*`. This module turns that check into a
+//! timed-automata reachability question so that the algebraic schedulability
+//! analyses of `cps-baseline` can be cross-validated mechanically:
+//!
+//! * a *granter* automaton that hands out the slot at some nondeterministic
+//!   time within `[0, B]` (its invariant forces the grant by `B` at the
+//!   latest), and
+//! * an *application* automaton in the style of the paper's Fig. 5
+//!   (`ET_Wait → TT → ET_Safe`, with an `Error` location entered when the
+//!   wait exceeds the deadline).
+//!
+//! The error location is reachable **iff** `B > D`, so zone-graph
+//! reachability reproduces the arithmetic verdict — and, unlike the
+//! arithmetic, it also yields a witness trace.
+
+use crate::automaton::{SyncAction, TimedAutomatonBuilder};
+use crate::guard::ClockConstraint;
+use crate::network::Network;
+use crate::reachability::{check_error_reachability, ReachabilityResult};
+use crate::TaError;
+
+/// Timing parameters of one application in the conservative slot-sharing
+/// model. All quantities are in samples (the model's integer time unit).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BlockingModelParams {
+    /// The application's deadline for being granted the slot
+    /// (`D = T_w^*`).
+    pub deadline: i64,
+    /// Worst-case time the application keeps the slot once granted (the
+    /// prior-work analysis uses the largest minimum dwell `T_dw^{-*}`).
+    pub dwell: i64,
+    /// Minimum disturbance inter-arrival time `r`.
+    pub min_inter_arrival: i64,
+    /// Worst-case blocking before the grant (from other slot occupants).
+    pub blocking: i64,
+}
+
+/// Builds the granter + application network for one application under a given
+/// worst-case blocking bound.
+///
+/// # Errors
+///
+/// Returns [`TaError::InvalidConstraint`] when a parameter is negative, and
+/// propagates automaton construction errors.
+pub fn blocking_network(params: BlockingModelParams) -> Result<Network, TaError> {
+    if params.deadline < 0
+        || params.dwell < 0
+        || params.blocking < 0
+        || params.min_inter_arrival <= 0
+    {
+        return Err(TaError::InvalidConstraint {
+            reason: "model parameters must be non-negative (r strictly positive)".to_string(),
+        });
+    }
+    const GRANT_CHANNEL: usize = 0;
+
+    // Granter: may grant at any time, but no later than the blocking bound.
+    let mut granter = TimedAutomatonBuilder::new("granter");
+    let y = granter.add_clock("y");
+    let pending = granter.add_location("pending");
+    let done = granter.add_location("done");
+    granter.set_initial(pending);
+    granter.add_invariant(pending, ClockConstraint::le(y, params.blocking))?;
+    granter.add_edge(
+        pending,
+        done,
+        vec![],
+        vec![],
+        Some(SyncAction::Send(GRANT_CHANNEL)),
+    )?;
+
+    // Application: waits for the grant, dwells, returns to the safe state.
+    let mut app = TimedAutomatonBuilder::new("application");
+    let x = app.add_clock("x");
+    let waiting = app.add_location("et_wait");
+    let using = app.add_location("tt");
+    let safe = app.add_location("et_safe");
+    let error = app.add_error_location("error");
+    app.set_initial(waiting);
+    app.add_edge(
+        waiting,
+        using,
+        vec![],
+        vec![x],
+        Some(SyncAction::Receive(GRANT_CHANNEL)),
+    )?;
+    app.add_edge(
+        waiting,
+        error,
+        vec![ClockConstraint::gt(x, params.deadline)],
+        vec![],
+        None,
+    )?;
+    app.add_invariant(using, ClockConstraint::le(x, params.dwell))?;
+    app.add_edge(
+        using,
+        safe,
+        vec![ClockConstraint::ge(x, params.dwell)],
+        vec![x],
+        None,
+    )?;
+    app.add_invariant(safe, ClockConstraint::le(x, params.min_inter_arrival))?;
+
+    Network::new(vec![granter.build()?, app.build()?])
+}
+
+/// Checks, by zone-graph reachability, whether an application with the given
+/// parameters can miss its deadline under the worst-case blocking bound.
+///
+/// Returns the full [`ReachabilityResult`]; the deadline is missable exactly
+/// when the error location is reachable.
+///
+/// # Errors
+///
+/// Propagates model construction and exploration errors.
+pub fn check_blocking_bound(params: BlockingModelParams) -> Result<ReachabilityResult, TaError> {
+    let network = blocking_network(params)?;
+    check_error_reachability(&network, 100_000)
+}
+
+/// Convenience predicate: `true` when the application is guaranteed to meet
+/// its deadline under the given worst-case blocking.
+///
+/// # Errors
+///
+/// Propagates model construction and exploration errors.
+pub fn blocking_bound_is_safe(params: BlockingModelParams) -> Result<bool, TaError> {
+    Ok(!check_blocking_bound(params)?.error_reachable())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params(deadline: i64, blocking: i64) -> BlockingModelParams {
+        BlockingModelParams {
+            deadline,
+            dwell: 4,
+            min_inter_arrival: 25,
+            blocking,
+        }
+    }
+
+    #[test]
+    fn blocking_within_deadline_is_safe() {
+        assert!(blocking_bound_is_safe(params(11, 7)).unwrap());
+        assert!(blocking_bound_is_safe(params(11, 11)).unwrap());
+        assert!(blocking_bound_is_safe(params(0, 0)).unwrap());
+    }
+
+    #[test]
+    fn blocking_beyond_deadline_reaches_the_error() {
+        let result = check_blocking_bound(params(11, 12)).unwrap();
+        assert!(result.error_reachable());
+        // The witness ends in the application's error location (index 3).
+        let witness = result.witness().unwrap();
+        assert_eq!(witness.last().unwrap()[1], 3);
+    }
+
+    #[test]
+    fn verdict_matches_the_arithmetic_over_a_grid() {
+        for deadline in 0..8 {
+            for blocking in 0..8 {
+                let safe = blocking_bound_is_safe(params(deadline, blocking)).unwrap();
+                assert_eq!(
+                    safe,
+                    blocking <= deadline,
+                    "deadline {deadline}, blocking {blocking}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn invalid_parameters_are_rejected() {
+        assert!(blocking_network(BlockingModelParams {
+            deadline: -1,
+            dwell: 4,
+            min_inter_arrival: 25,
+            blocking: 0,
+        })
+        .is_err());
+        assert!(blocking_network(BlockingModelParams {
+            deadline: 1,
+            dwell: 4,
+            min_inter_arrival: 0,
+            blocking: 0,
+        })
+        .is_err());
+    }
+
+    #[test]
+    fn exploration_stays_small() {
+        let result = check_blocking_bound(params(11, 7)).unwrap();
+        assert!(result.states_explored() < 50);
+    }
+}

@@ -1,0 +1,344 @@
+//! Networks of timed automata with binary channel synchronization.
+//!
+//! A network is the parallel composition of several automata. Each automaton
+//! keeps its own clocks (ids are shifted into a global clock space when the
+//! network is built) and locations; edges either fire alone (no
+//! synchronization label) or in sender/receiver pairs over a shared channel.
+
+use crate::automaton::{Edge, LocationId, SyncAction, TimedAutomaton};
+use crate::guard::ClockConstraint;
+use crate::TaError;
+
+/// The parallel composition of several timed automata.
+///
+/// # Example
+///
+/// ```
+/// use cps_ta::automaton::{SyncAction, TimedAutomatonBuilder};
+/// use cps_ta::network::Network;
+///
+/// # fn main() -> Result<(), cps_ta::TaError> {
+/// let mut sender = TimedAutomatonBuilder::new("sender");
+/// let s0 = sender.add_location("s0");
+/// let s1 = sender.add_location("s1");
+/// sender.set_initial(s0);
+/// sender.add_edge(s0, s1, vec![], vec![], Some(SyncAction::Send(0)))?;
+///
+/// let mut receiver = TimedAutomatonBuilder::new("receiver");
+/// let r0 = receiver.add_location("r0");
+/// let r1 = receiver.add_location("r1");
+/// receiver.set_initial(r0);
+/// receiver.add_edge(r0, r1, vec![], vec![], Some(SyncAction::Receive(0)))?;
+///
+/// let network = Network::new(vec![sender.build()?, receiver.build()?])?;
+/// assert_eq!(network.automata().len(), 2);
+/// assert_eq!(network.total_clocks(), 0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Network {
+    automata: Vec<TimedAutomaton>,
+    clock_offsets: Vec<usize>,
+    total_clocks: usize,
+}
+
+impl Network {
+    /// Composes the given automata into a network.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TaError::EmptyNetwork`] when no automata are supplied.
+    pub fn new(automata: Vec<TimedAutomaton>) -> Result<Self, TaError> {
+        if automata.is_empty() {
+            return Err(TaError::EmptyNetwork);
+        }
+        let mut clock_offsets = Vec::with_capacity(automata.len());
+        let mut total_clocks = 0;
+        for automaton in &automata {
+            clock_offsets.push(total_clocks);
+            total_clocks += automaton.clock_count();
+        }
+        Ok(Network {
+            automata,
+            clock_offsets,
+            total_clocks,
+        })
+    }
+
+    /// The composed automata in composition order.
+    pub fn automata(&self) -> &[TimedAutomaton] {
+        &self.automata
+    }
+
+    /// Total number of clocks across the network.
+    pub fn total_clocks(&self) -> usize {
+        self.total_clocks
+    }
+
+    /// The offset added to automaton `index`'s local clock ids in the global
+    /// clock space.
+    pub fn clock_offset(&self, index: usize) -> usize {
+        self.clock_offsets[index]
+    }
+
+    /// The initial location vector of the network.
+    pub fn initial_locations(&self) -> Vec<LocationId> {
+        self.automata.iter().map(|a| a.initial()).collect()
+    }
+
+    /// The largest constant appearing anywhere in the network (extrapolation
+    /// bound).
+    pub fn max_constant(&self) -> i64 {
+        self.automata
+            .iter()
+            .map(|a| a.max_constant())
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Returns `true` when any automaton currently sits in a committed
+    /// location for the given location vector.
+    pub fn any_committed(&self, locations: &[LocationId]) -> bool {
+        self.automata
+            .iter()
+            .zip(locations.iter())
+            .any(|(a, &l)| a.locations()[l].is_committed())
+    }
+
+    /// Returns `true` when any automaton sits in an error location.
+    pub fn any_error(&self, locations: &[LocationId]) -> bool {
+        self.automata
+            .iter()
+            .zip(locations.iter())
+            .any(|(a, &l)| a.locations()[l].is_error())
+    }
+
+    /// The invariant constraints (in global clock ids) of a location vector.
+    pub fn invariants(&self, locations: &[LocationId]) -> Vec<ClockConstraint> {
+        let mut constraints = Vec::new();
+        for (index, (automaton, &location)) in
+            self.automata.iter().zip(locations.iter()).enumerate()
+        {
+            let offset = self.clock_offsets[index];
+            for constraint in automaton.locations()[location].invariant() {
+                constraints.push(constraint.shift_clocks(offset));
+            }
+        }
+        constraints
+    }
+
+    /// Shifts an edge's guard into the global clock space.
+    pub fn global_guard(&self, automaton_index: usize, edge: &Edge) -> Vec<ClockConstraint> {
+        let offset = self.clock_offsets[automaton_index];
+        edge.guard()
+            .iter()
+            .map(|c| c.shift_clocks(offset))
+            .collect()
+    }
+
+    /// Shifts an edge's resets into the global clock space.
+    pub fn global_resets(&self, automaton_index: usize, edge: &Edge) -> Vec<usize> {
+        let offset = self.clock_offsets[automaton_index];
+        edge.resets().iter().map(|&c| c + offset).collect()
+    }
+
+    /// All enabled non-synchronizing edges from a location vector, as
+    /// `(automaton index, edge)` pairs. Committed-location priority is
+    /// respected: if any automaton is committed, only edges leaving committed
+    /// locations are returned.
+    pub fn local_edges<'a>(
+        &'a self,
+        locations: &'a [LocationId],
+    ) -> impl Iterator<Item = (usize, &'a Edge)> + 'a {
+        let committed = self.any_committed(locations);
+        self.automata
+            .iter()
+            .enumerate()
+            .flat_map(move |(index, automaton)| {
+                automaton
+                    .edges_from(locations[index])
+                    .map(move |edge| (index, edge))
+            })
+            .filter(move |(index, edge)| {
+                edge.sync().is_none()
+                    && (!committed
+                        || self.automata[*index].locations()[locations[*index]].is_committed())
+            })
+    }
+
+    /// All enabled synchronizing edge pairs from a location vector, as
+    /// `(sender automaton, sender edge, receiver automaton, receiver edge)`.
+    /// Committed-location priority is respected: when any automaton is
+    /// committed, at least one of the pair must leave a committed location.
+    pub fn sync_pairs<'a>(
+        &'a self,
+        locations: &'a [LocationId],
+    ) -> Vec<(usize, &'a Edge, usize, &'a Edge)> {
+        let committed = self.any_committed(locations);
+        let mut pairs = Vec::new();
+        for (sender_index, sender) in self.automata.iter().enumerate() {
+            for sender_edge in sender.edges_from(locations[sender_index]) {
+                let Some(SyncAction::Send(channel)) = sender_edge.sync() else {
+                    continue;
+                };
+                for (receiver_index, receiver) in self.automata.iter().enumerate() {
+                    if receiver_index == sender_index {
+                        continue;
+                    }
+                    for receiver_edge in receiver.edges_from(locations[receiver_index]) {
+                        let Some(SyncAction::Receive(rx_channel)) = receiver_edge.sync() else {
+                            continue;
+                        };
+                        if rx_channel != channel {
+                            continue;
+                        }
+                        if committed {
+                            let sender_committed = self.automata[sender_index].locations()
+                                [locations[sender_index]]
+                                .is_committed();
+                            let receiver_committed = self.automata[receiver_index].locations()
+                                [locations[receiver_index]]
+                                .is_committed();
+                            if !sender_committed && !receiver_committed {
+                                continue;
+                            }
+                        }
+                        pairs.push((sender_index, sender_edge, receiver_index, receiver_edge));
+                    }
+                }
+            }
+        }
+        pairs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::automaton::TimedAutomatonBuilder;
+
+    fn sender_receiver() -> Network {
+        let mut sender = TimedAutomatonBuilder::new("sender");
+        let x = sender.add_clock("x");
+        let s0 = sender.add_location("s0");
+        let s1 = sender.add_location("s1");
+        sender.set_initial(s0);
+        sender
+            .add_edge(
+                s0,
+                s1,
+                vec![ClockConstraint::ge(x, 1)],
+                vec![x],
+                Some(SyncAction::Send(0)),
+            )
+            .unwrap();
+
+        let mut receiver = TimedAutomatonBuilder::new("receiver");
+        let y = receiver.add_clock("y");
+        let r0 = receiver.add_location("r0");
+        let r1 = receiver.add_location("r1");
+        receiver.set_initial(r0);
+        receiver
+            .add_edge(r0, r1, vec![], vec![y], Some(SyncAction::Receive(0)))
+            .unwrap();
+        receiver
+            .add_edge(r0, r0, vec![ClockConstraint::le(y, 3)], vec![], None)
+            .unwrap();
+
+        Network::new(vec![sender.build().unwrap(), receiver.build().unwrap()]).unwrap()
+    }
+
+    #[test]
+    fn composition_assigns_disjoint_clock_ranges() {
+        let network = sender_receiver();
+        assert_eq!(network.total_clocks(), 2);
+        assert_eq!(network.clock_offset(0), 0);
+        assert_eq!(network.clock_offset(1), 1);
+        assert_eq!(network.initial_locations(), vec![0, 0]);
+        assert_eq!(network.max_constant(), 3);
+    }
+
+    #[test]
+    fn empty_network_is_rejected() {
+        assert!(matches!(Network::new(vec![]), Err(TaError::EmptyNetwork)));
+    }
+
+    #[test]
+    fn local_edges_exclude_synchronizing_edges() {
+        let network = sender_receiver();
+        let locations = network.initial_locations();
+        let local: Vec<_> = network.local_edges(&locations).collect();
+        // Only the receiver's self-loop is a local edge.
+        assert_eq!(local.len(), 1);
+        assert_eq!(local[0].0, 1);
+    }
+
+    #[test]
+    fn sync_pairs_match_send_with_receive() {
+        let network = sender_receiver();
+        let locations = network.initial_locations();
+        let pairs = network.sync_pairs(&locations);
+        assert_eq!(pairs.len(), 1);
+        let (sender_index, _, receiver_index, _) = pairs[0];
+        assert_eq!(sender_index, 0);
+        assert_eq!(receiver_index, 1);
+        // After the receiver moved to r1 no pair is enabled any more.
+        let moved = vec![0, 1];
+        assert!(network.sync_pairs(&moved).is_empty());
+    }
+
+    #[test]
+    fn guards_and_resets_are_shifted_into_global_ids() {
+        let network = sender_receiver();
+        let locations = network.initial_locations();
+        let pairs = network.sync_pairs(&locations);
+        let (_, sender_edge, receiver_index, receiver_edge) = pairs[0];
+        let guard = network.global_guard(0, sender_edge);
+        assert_eq!(guard.len(), 1);
+        assert_eq!(guard[0].max_clock(), Some(0));
+        let resets = network.global_resets(receiver_index, receiver_edge);
+        assert_eq!(resets, vec![1]);
+    }
+
+    #[test]
+    fn committed_priority_filters_edges() {
+        // Automaton A has a committed location with a local edge; automaton B
+        // has a local edge from an ordinary location. While A is committed only
+        // A's edge may fire.
+        let mut a = TimedAutomatonBuilder::new("a");
+        let a0 = a.add_committed_location("a0");
+        let a1 = a.add_location("a1");
+        a.set_initial(a0);
+        a.add_edge(a0, a1, vec![], vec![], None).unwrap();
+
+        let mut b = TimedAutomatonBuilder::new("b");
+        let b0 = b.add_location("b0");
+        let b1 = b.add_location("b1");
+        b.set_initial(b0);
+        b.add_edge(b0, b1, vec![], vec![], None).unwrap();
+
+        let network = Network::new(vec![a.build().unwrap(), b.build().unwrap()]).unwrap();
+        let locations = network.initial_locations();
+        assert!(network.any_committed(&locations));
+        let local: Vec<_> = network.local_edges(&locations).collect();
+        assert_eq!(local.len(), 1);
+        assert_eq!(local[0].0, 0);
+        // Once A left its committed location, B's edge becomes available.
+        let after = vec![1, 0];
+        assert!(!network.any_committed(&after));
+        assert_eq!(network.local_edges(&after).count(), 1);
+    }
+
+    #[test]
+    fn error_detection_over_location_vectors() {
+        let mut a = TimedAutomatonBuilder::new("a");
+        let ok = a.add_location("ok");
+        let bad = a.add_error_location("bad");
+        a.set_initial(ok);
+        a.add_edge(ok, bad, vec![], vec![], None).unwrap();
+        let network = Network::new(vec![a.build().unwrap()]).unwrap();
+        assert!(!network.any_error(&[0]));
+        assert!(network.any_error(&[1]));
+    }
+}

@@ -1,0 +1,354 @@
+//! Zone-graph reachability analysis.
+//!
+//! The exploration is a breadth-first search over symbolic states
+//! `(location vector, zone)`. Zones are kept canonical and `k`-extrapolated,
+//! and a new symbolic state is only enqueued if it is not included in an
+//! already-visited zone at the same location vector — the standard inclusion
+//! check that keeps the zone graph finite and small.
+
+use std::collections::{HashMap, VecDeque};
+
+use crate::automaton::LocationId;
+use crate::dbm::Dbm;
+use crate::network::Network;
+use crate::TaError;
+
+/// The result of a reachability query.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReachabilityResult {
+    error_reachable: bool,
+    states_explored: usize,
+    witness: Option<Vec<Vec<LocationId>>>,
+}
+
+impl ReachabilityResult {
+    /// Whether any error location is reachable.
+    pub fn error_reachable(&self) -> bool {
+        self.error_reachable
+    }
+
+    /// Number of symbolic states that were explored.
+    pub fn states_explored(&self) -> usize {
+        self.states_explored
+    }
+
+    /// A witness trace (sequence of location vectors from the initial state
+    /// to the error state) when the error is reachable.
+    pub fn witness(&self) -> Option<&[Vec<LocationId>]> {
+        self.witness.as_deref()
+    }
+}
+
+/// One symbolic state of the zone graph.
+#[derive(Debug, Clone)]
+struct SymbolicState {
+    locations: Vec<LocationId>,
+    zone: Dbm,
+    parent: Option<usize>,
+}
+
+/// Checks whether any error location of the network is reachable.
+///
+/// `state_budget` bounds the number of symbolic states explored; exceeding it
+/// returns [`TaError::StateBudgetExhausted`] rather than an incorrect verdict.
+///
+/// # Errors
+///
+/// Returns [`TaError::StateBudgetExhausted`] when the exploration exceeds the
+/// budget.
+pub fn check_error_reachability(
+    network: &Network,
+    state_budget: usize,
+) -> Result<ReachabilityResult, TaError> {
+    let max_constant = network.max_constant();
+    let clocks = network.total_clocks();
+
+    // Initial symbolic state: all clocks zero, constrained by the invariants,
+    // then (if no committed location) allowed to delay within the invariants.
+    let initial_locations = network.initial_locations();
+    let mut initial_zone = Dbm::zero(clocks);
+    apply_invariants_and_delay(network, &initial_locations, &mut initial_zone);
+
+    let mut states: Vec<SymbolicState> = Vec::new();
+    let mut queue: VecDeque<usize> = VecDeque::new();
+    // Visited zones per location vector, used for the inclusion check.
+    let mut visited: HashMap<Vec<LocationId>, Vec<Dbm>> = HashMap::new();
+
+    states.push(SymbolicState {
+        locations: initial_locations.clone(),
+        zone: initial_zone.clone(),
+        parent: None,
+    });
+    queue.push_back(0);
+    visited.insert(initial_locations.clone(), vec![initial_zone]);
+
+    while let Some(index) = queue.pop_front() {
+        if states.len() > state_budget {
+            return Err(TaError::StateBudgetExhausted {
+                budget: state_budget,
+            });
+        }
+        let current_locations = states[index].locations.clone();
+        let current_zone = states[index].zone.clone();
+
+        if network.any_error(&current_locations) {
+            return Ok(ReachabilityResult {
+                error_reachable: true,
+                states_explored: states.len(),
+                witness: Some(reconstruct_trace(&states, index)),
+            });
+        }
+
+        let mut successors: Vec<(Vec<LocationId>, Dbm)> = Vec::new();
+
+        // Non-synchronizing edges.
+        for (automaton_index, edge) in network.local_edges(&current_locations) {
+            let mut zone = current_zone.clone();
+            for constraint in network.global_guard(automaton_index, edge) {
+                zone.constrain(&constraint);
+            }
+            if zone.is_empty() {
+                continue;
+            }
+            for clock in network.global_resets(automaton_index, edge) {
+                zone.reset(clock);
+            }
+            let mut locations = current_locations.clone();
+            locations[automaton_index] = edge.target();
+            apply_invariants_and_delay(network, &locations, &mut zone);
+            if zone.is_empty() {
+                continue;
+            }
+            zone.extrapolate(max_constant);
+            successors.push((locations, zone));
+        }
+
+        // Synchronizing edge pairs.
+        for (send_index, send_edge, recv_index, recv_edge) in
+            network.sync_pairs(&current_locations)
+        {
+            let mut zone = current_zone.clone();
+            for constraint in network.global_guard(send_index, send_edge) {
+                zone.constrain(&constraint);
+            }
+            for constraint in network.global_guard(recv_index, recv_edge) {
+                zone.constrain(&constraint);
+            }
+            if zone.is_empty() {
+                continue;
+            }
+            for clock in network.global_resets(send_index, send_edge) {
+                zone.reset(clock);
+            }
+            for clock in network.global_resets(recv_index, recv_edge) {
+                zone.reset(clock);
+            }
+            let mut locations = current_locations.clone();
+            locations[send_index] = send_edge.target();
+            locations[recv_index] = recv_edge.target();
+            apply_invariants_and_delay(network, &locations, &mut zone);
+            if zone.is_empty() {
+                continue;
+            }
+            zone.extrapolate(max_constant);
+            successors.push((locations, zone));
+        }
+
+        for (locations, zone) in successors {
+            let seen = visited.entry(locations.clone()).or_default();
+            if seen.iter().any(|existing| zone.included_in(existing)) {
+                continue;
+            }
+            seen.push(zone.clone());
+            states.push(SymbolicState {
+                locations,
+                zone,
+                parent: Some(index),
+            });
+            queue.push_back(states.len() - 1);
+        }
+    }
+
+    Ok(ReachabilityResult {
+        error_reachable: false,
+        states_explored: states.len(),
+        witness: None,
+    })
+}
+
+/// Conjoins the invariants of the location vector and, unless a committed
+/// location forbids it, lets time pass (bounded again by the invariants).
+fn apply_invariants_and_delay(network: &Network, locations: &[LocationId], zone: &mut Dbm) {
+    for constraint in network.invariants(locations) {
+        zone.constrain(&constraint);
+    }
+    if zone.is_empty() {
+        return;
+    }
+    if !network.any_committed(locations) {
+        zone.up();
+        for constraint in network.invariants(locations) {
+            zone.constrain(&constraint);
+        }
+    }
+}
+
+fn reconstruct_trace(states: &[SymbolicState], mut index: usize) -> Vec<Vec<LocationId>> {
+    let mut trace = vec![states[index].locations.clone()];
+    while let Some(parent) = states[index].parent {
+        index = parent;
+        trace.push(states[index].locations.clone());
+    }
+    trace.reverse();
+    trace
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::automaton::{SyncAction, TimedAutomatonBuilder};
+    use crate::guard::ClockConstraint;
+
+    /// A single automaton where the error can only be reached after waiting
+    /// longer than the invariant allows — i.e. it is unreachable.
+    fn deadline_met() -> Network {
+        let mut b = TimedAutomatonBuilder::new("deadline");
+        let x = b.add_clock("x");
+        let wait = b.add_location("wait");
+        let done = b.add_location("done");
+        let error = b.add_error_location("error");
+        b.set_initial(wait);
+        b.add_invariant(wait, ClockConstraint::le(x, 5)).unwrap();
+        b.add_edge(wait, done, vec![ClockConstraint::ge(x, 1)], vec![], None)
+            .unwrap();
+        b.add_edge(wait, error, vec![ClockConstraint::gt(x, 5)], vec![], None)
+            .unwrap();
+        Network::new(vec![b.build().unwrap()]).unwrap()
+    }
+
+    /// Same shape, but the invariant is loose enough for the error guard.
+    fn deadline_missed() -> Network {
+        let mut b = TimedAutomatonBuilder::new("deadline");
+        let x = b.add_clock("x");
+        let wait = b.add_location("wait");
+        let error = b.add_error_location("error");
+        b.set_initial(wait);
+        b.add_invariant(wait, ClockConstraint::le(x, 10)).unwrap();
+        b.add_edge(wait, error, vec![ClockConstraint::gt(x, 5)], vec![], None)
+            .unwrap();
+        Network::new(vec![b.build().unwrap()]).unwrap()
+    }
+
+    #[test]
+    fn unreachable_error_is_reported_as_safe() {
+        let result = check_error_reachability(&deadline_met(), 10_000).unwrap();
+        assert!(!result.error_reachable());
+        assert!(result.witness().is_none());
+        assert!(result.states_explored() >= 1);
+    }
+
+    #[test]
+    fn reachable_error_produces_a_witness() {
+        let result = check_error_reachability(&deadline_missed(), 10_000).unwrap();
+        assert!(result.error_reachable());
+        let witness = result.witness().unwrap();
+        assert_eq!(witness.first().unwrap(), &vec![0]);
+        assert_eq!(witness.last().unwrap(), &vec![1]);
+    }
+
+    #[test]
+    fn budget_exhaustion_is_an_error_not_a_verdict() {
+        let result = check_error_reachability(&deadline_missed(), 1);
+        assert!(matches!(result, Err(TaError::StateBudgetExhausted { .. })));
+    }
+
+    #[test]
+    fn synchronization_is_required_to_reach_the_error() {
+        // The receiver can only reach its error location after the sender
+        // emits on the channel, which the sender can only do after x ≥ 3.
+        let mut sender = TimedAutomatonBuilder::new("sender");
+        let x = sender.add_clock("x");
+        let s0 = sender.add_location("s0");
+        let s1 = sender.add_location("s1");
+        sender.set_initial(s0);
+        sender
+            .add_edge(
+                s0,
+                s1,
+                vec![ClockConstraint::ge(x, 3)],
+                vec![],
+                Some(SyncAction::Send(0)),
+            )
+            .unwrap();
+
+        let mut receiver = TimedAutomatonBuilder::new("receiver");
+        let r0 = receiver.add_location("r0");
+        let bad = receiver.add_error_location("bad");
+        receiver.set_initial(r0);
+        receiver
+            .add_edge(r0, bad, vec![], vec![], Some(SyncAction::Receive(0)))
+            .unwrap();
+
+        let network =
+            Network::new(vec![sender.build().unwrap(), receiver.build().unwrap()]).unwrap();
+        let result = check_error_reachability(&network, 10_000).unwrap();
+        assert!(result.error_reachable());
+        // The witness passes through the synchronized transition.
+        assert_eq!(result.witness().unwrap().last().unwrap(), &vec![1, 1]);
+    }
+
+    #[test]
+    fn unmatched_send_cannot_fire() {
+        // A sender with no matching receiver can never move, so its error
+        // location (behind the send) stays unreachable.
+        let mut sender = TimedAutomatonBuilder::new("sender");
+        let s0 = sender.add_location("s0");
+        let bad = sender.add_error_location("bad");
+        sender.set_initial(s0);
+        sender
+            .add_edge(s0, bad, vec![], vec![], Some(SyncAction::Send(0)))
+            .unwrap();
+
+        let mut other = TimedAutomatonBuilder::new("other");
+        let o0 = other.add_location("o0");
+        other.set_initial(o0);
+
+        let network =
+            Network::new(vec![sender.build().unwrap(), other.build().unwrap()]).unwrap();
+        let result = check_error_reachability(&network, 1_000).unwrap();
+        assert!(!result.error_reachable());
+    }
+
+    #[test]
+    fn committed_locations_do_not_let_time_pass() {
+        // From a committed location the only outgoing edge requires x ≥ 1,
+        // which can never be satisfied because time cannot advance there.
+        let mut b = TimedAutomatonBuilder::new("committed");
+        let x = b.add_clock("x");
+        let c = b.add_committed_location("c");
+        let bad = b.add_error_location("bad");
+        b.set_initial(c);
+        b.add_edge(c, bad, vec![ClockConstraint::ge(x, 1)], vec![], None)
+            .unwrap();
+        let network = Network::new(vec![b.build().unwrap()]).unwrap();
+        let result = check_error_reachability(&network, 1_000).unwrap();
+        assert!(!result.error_reachable());
+    }
+
+    #[test]
+    fn zone_inclusion_keeps_cyclic_models_finite() {
+        // A self-loop that resets its clock forever: without inclusion checks
+        // the exploration would not terminate.
+        let mut b = TimedAutomatonBuilder::new("loop");
+        let x = b.add_clock("x");
+        let l = b.add_location("l");
+        b.set_initial(l);
+        b.add_invariant(l, ClockConstraint::le(x, 4)).unwrap();
+        b.add_edge(l, l, vec![ClockConstraint::ge(x, 2)], vec![x], None)
+            .unwrap();
+        let network = Network::new(vec![b.build().unwrap()]).unwrap();
+        let result = check_error_reachability(&network, 1_000).unwrap();
+        assert!(!result.error_reachable());
+        assert!(result.states_explored() < 10);
+    }
+}

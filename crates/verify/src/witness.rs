@@ -1,0 +1,146 @@
+//! Counterexample witnesses for failed verifications.
+
+use std::fmt;
+
+/// One event along a counterexample trace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceEvent {
+    /// A disturbance was sensed by the given application at the given sample.
+    Disturbance {
+        /// Index of the application within the model.
+        app: usize,
+        /// Sample at which the disturbance was sensed.
+        sample: usize,
+    },
+    /// The application missed its deadline: it had waited longer than its
+    /// maximum admissible wait `T_w^*` without being granted the slot.
+    DeadlineMissed {
+        /// Index of the application within the model.
+        app: usize,
+        /// Sample at which the miss was detected.
+        sample: usize,
+    },
+}
+
+impl fmt::Display for TraceEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceEvent::Disturbance { app, sample } => {
+                write!(f, "sample {sample}: disturbance at application {app}")
+            }
+            TraceEvent::DeadlineMissed { app, sample } => {
+                write!(f, "sample {sample}: application {app} missed its deadline")
+            }
+        }
+    }
+}
+
+/// A counterexample: the disturbance scenario that leads to a deadline miss.
+///
+/// The scenario is replayable — feeding the same disturbance arrival times to
+/// the co-simulator of `cps-sched` reproduces the failing schedule.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Witness {
+    events: Vec<TraceEvent>,
+    failing_app: usize,
+    missed_at_sample: usize,
+}
+
+impl Witness {
+    /// Creates a witness from its events and the failing application.
+    pub fn new(events: Vec<TraceEvent>, failing_app: usize, missed_at_sample: usize) -> Self {
+        Witness {
+            events,
+            failing_app,
+            missed_at_sample,
+        }
+    }
+
+    /// The trace events in chronological order.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// The application (model index) that misses its deadline.
+    pub fn failing_app(&self) -> usize {
+        self.failing_app
+    }
+
+    /// The sample at which the miss is detected.
+    pub fn missed_at_sample(&self) -> usize {
+        self.missed_at_sample
+    }
+
+    /// The disturbance arrival samples per application, extracted from the
+    /// trace; index `i` lists the samples at which application `i` was
+    /// disturbed.
+    pub fn disturbance_times(&self, applications: usize) -> Vec<Vec<usize>> {
+        let mut times = vec![Vec::new(); applications];
+        for event in &self.events {
+            if let TraceEvent::Disturbance { app, sample } = event {
+                if *app < applications {
+                    times[*app].push(*sample);
+                }
+            }
+        }
+        times
+    }
+}
+
+impl fmt::Display for Witness {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "application {} misses its deadline at sample {}:",
+            self.failing_app, self.missed_at_sample
+        )?;
+        for event in &self.events {
+            writeln!(f, "  {event}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_witness() -> Witness {
+        Witness::new(
+            vec![
+                TraceEvent::Disturbance { app: 0, sample: 0 },
+                TraceEvent::Disturbance { app: 1, sample: 0 },
+                TraceEvent::Disturbance { app: 1, sample: 30 },
+                TraceEvent::DeadlineMissed { app: 1, sample: 12 },
+            ],
+            1,
+            12,
+        )
+    }
+
+    #[test]
+    fn accessors() {
+        let w = sample_witness();
+        assert_eq!(w.failing_app(), 1);
+        assert_eq!(w.missed_at_sample(), 12);
+        assert_eq!(w.events().len(), 4);
+    }
+
+    #[test]
+    fn disturbance_times_group_by_application() {
+        let w = sample_witness();
+        let times = w.disturbance_times(2);
+        assert_eq!(times[0], vec![0]);
+        assert_eq!(times[1], vec![0, 30]);
+        // Out-of-range application indices are ignored rather than panicking.
+        let times = w.disturbance_times(1);
+        assert_eq!(times.len(), 1);
+    }
+
+    #[test]
+    fn display_is_human_readable() {
+        let text = sample_witness().to_string();
+        assert!(text.contains("application 1 misses"));
+        assert!(text.contains("sample 0: disturbance at application 0"));
+    }
+}

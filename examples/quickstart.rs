@@ -1,0 +1,47 @@
+//! Quickstart: define one switched-control application, dimension its TT
+//! resource needs, and check whether two instances can share a single slot.
+//!
+//! Run with `cargo run --example quickstart`.
+
+use cps_control::{StateFeedback, StateSpace};
+use cps_core::{dwell::DwellSearchOptions, AppTimingProfile, Mode, SwitchedApplication};
+use cps_linalg::Vector;
+use cps_verify::{SlotSharingModel, VerificationConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. A first-order plant sampled at 20 ms with a fast (TT) and a slow
+    //    (ET, one-sample delay) controller.
+    let plant = StateSpace::from_slices(&[&[0.95]], &[0.1], &[1.0])?;
+    let app = SwitchedApplication::builder("demo")
+        .plant(plant)
+        .fast_gain(StateFeedback::from_slice(&[8.0]))
+        .slow_gain(Vector::from_slice(&[1.0, 0.2]))
+        .sampling_period(0.02)
+        .settling_threshold(0.02)
+        .disturbance_state(Vector::from_slice(&[1.0]))
+        .build()?;
+
+    // 2. How fast does each mode reject a disturbance?
+    let jt = app.settling_in_mode(Mode::TimeTriggered, 300)?;
+    let je = app.settling_in_mode(Mode::EventTriggered, 300)?;
+    println!("dedicated TT slot settles in {jt} samples, pure ET in {je} samples");
+
+    // 3. Dimension the minimum TT usage for a requirement of 15 samples.
+    let profile = AppTimingProfile::from_application(&app, 15, 40, DwellSearchOptions::default())?;
+    println!(
+        "requirement 15 samples: may wait up to {} samples, needs {}..={} TT samples once granted",
+        profile.max_wait(),
+        profile.t_dw_min(0).unwrap_or(0),
+        profile.t_dw_plus(0).unwrap_or(0),
+    );
+
+    // 4. Can two such applications share one TT slot in every scenario?
+    let model = SlotSharingModel::new(vec![profile.clone(), profile])?;
+    let outcome = model.verify(&VerificationConfig::default())?;
+    println!(
+        "two instances sharing one slot: schedulable = {} ({} states explored)",
+        outcome.schedulable(),
+        outcome.states_explored()
+    );
+    Ok(())
+}

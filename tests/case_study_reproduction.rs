@@ -1,0 +1,60 @@
+//! Integration tests: the case-study reproduction end to end, from plant
+//! models to dwell tables to slot dimensioning.
+
+use cps_apps::case_study::{self, CaseStudyApp};
+use cps_baseline::Strategy;
+use cps_core::Mode;
+use cps_map::{first_fit, BaselineOracle};
+
+#[test]
+fn table1_settling_times_match_for_c1_and_c6() {
+    for (name, expected_jt, expected_je) in [("C1", 9, 35), ("C6", 11, 41)] {
+        let app = case_study::all_applications()
+            .unwrap()
+            .into_iter()
+            .find(|a| a.application().name() == name)
+            .unwrap();
+        let jt = app
+            .application()
+            .settling_in_mode(Mode::TimeTriggered, 600)
+            .unwrap();
+        let je = app
+            .application()
+            .settling_in_mode(Mode::EventTriggered, 600)
+            .unwrap();
+        assert_eq!(jt, expected_jt, "{name} J_T");
+        assert_eq!(je, expected_je, "{name} J_E");
+    }
+}
+
+#[test]
+fn c1_dwell_table_reproduces_the_published_arrays() {
+    let c1 = case_study::c1().unwrap();
+    let profile = c1.profile_with(CaseStudyApp::fast_search_options()).unwrap();
+    assert_eq!(profile.max_wait(), c1.paper_row().t_w_max);
+    assert_eq!(
+        profile.dwell_table().t_dw_min_array(),
+        &c1.paper_row().t_dw_min[..]
+    );
+    assert_eq!(
+        profile.dwell_table().t_dw_plus_array(),
+        &c1.paper_row().t_dw_plus[..]
+    );
+}
+
+#[test]
+fn baseline_mapping_needs_more_slots_than_the_paper_result() {
+    // The published Table 1 rows feed the conservative baseline mapping; it
+    // needs at least 3 slots where the paper's strategy needs 2.
+    let profiles: Vec<_> = case_study::all_applications()
+        .unwrap()
+        .iter()
+        .map(|a| a.paper_row().to_profile(a.application().name()).unwrap())
+        .collect();
+    let baseline = first_fit(
+        &profiles,
+        &BaselineOracle::with_strategy(Strategy::NonPreemptiveDeadlineMonotonic),
+    )
+    .unwrap();
+    assert!(baseline.slot_count() >= 3);
+}

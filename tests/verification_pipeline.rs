@@ -1,0 +1,59 @@
+//! Integration tests: verification verdicts are consistent with concrete
+//! scheduling and co-simulation.
+
+use cps_apps::case_study;
+use cps_core::AppTimingProfile;
+use cps_sched::SlotScheduler;
+use cps_verify::{SlotSharingModel, VerificationConfig};
+
+fn published(names: &[&str]) -> Vec<AppTimingProfile> {
+    case_study::all_applications()
+        .unwrap()
+        .iter()
+        .filter(|a| names.contains(&a.application().name()))
+        .map(|a| a.paper_row().to_profile(a.application().name()).unwrap())
+        .collect()
+}
+
+#[test]
+fn slot2_partition_is_verified_and_schedules_concretely() {
+    // {C6, C2} is the paper's second slot: the model checker accepts it and a
+    // concrete worst-case scenario (simultaneous disturbances) meets every
+    // deadline under the laxity scheduler.
+    let profiles = published(&["C2", "C6"]);
+    let model = SlotSharingModel::new(profiles.clone()).unwrap();
+    let outcome = model.verify(&VerificationConfig::default()).unwrap();
+    assert!(outcome.schedulable());
+
+    let scheduler = SlotScheduler::new(profiles).unwrap();
+    let schedule = scheduler.schedule(&[vec![0], vec![0]], 80).unwrap();
+    assert!(schedule.all_deadlines_met());
+}
+
+#[test]
+fn unschedulable_verdicts_come_with_replayable_witnesses() {
+    // Adding C6 to {C1, C5, C4} breaks the slot (this is why the paper opens
+    // a second slot). The witness scenario, replayed through the concrete
+    // scheduler, indeed misses a deadline.
+    let profiles = published(&["C1", "C5", "C4", "C6"]);
+    let model = SlotSharingModel::new(profiles.clone()).unwrap();
+    let outcome = model.verify(&VerificationConfig::default()).unwrap();
+    assert!(!outcome.schedulable());
+
+    let witness = outcome.witness().expect("counterexample available");
+    let disturbances = witness.disturbance_times(profiles.len());
+    let horizon = 1 + witness.missed_at_sample()
+        + profiles.iter().map(|p| p.min_inter_arrival()).max().unwrap();
+    let scheduler = SlotScheduler::new(profiles).unwrap();
+    let schedule = scheduler.schedule(&disturbances, horizon).unwrap();
+    assert!(!schedule.all_deadlines_met());
+}
+
+#[test]
+fn three_applications_on_one_slot_verify_quickly() {
+    let profiles = published(&["C1", "C5", "C4"]);
+    let model = SlotSharingModel::new(profiles).unwrap();
+    let outcome = model.verify(&VerificationConfig::default()).unwrap();
+    assert!(outcome.schedulable());
+    assert!(outcome.states_explored() < 100_000);
+}
