@@ -7,7 +7,14 @@ fn main() {
         let jt = a.settling_in_mode(Mode::TimeTriggered, 600).unwrap();
         let je = a.settling_in_mode(Mode::EventTriggered, 600).unwrap();
         let row = app.paper_row();
-        println!("{}: JT {} (paper {}), JE {} (paper {})", a.name(), jt, row.jt, je, row.je);
+        println!(
+            "{}: JT {} (paper {}), JE {} (paper {})",
+            a.name(),
+            jt,
+            row.jt,
+            je,
+            row.je
+        );
         match app.profile() {
             Ok(p) => {
                 println!("  T*w {} (paper {})", p.max_wait(), row.t_w_max);

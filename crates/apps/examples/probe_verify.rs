@@ -19,7 +19,10 @@ fn run(names: &[&str], cfg: &VerificationConfig, label: &str) {
     match model.verify(cfg) {
         Ok(o) => println!(
             "{label} {:?}: schedulable={} states={} time={:.2?}",
-            names, o.schedulable(), o.states_explored(), t.elapsed()
+            names,
+            o.schedulable(),
+            o.states_explored(),
+            t.elapsed()
         ),
         Err(e) => println!("{label} {:?}: error {e} time={:.2?}", names, t.elapsed()),
     }
@@ -34,5 +37,9 @@ fn main() {
     run(&["C1", "C5", "C4", "C3"], &exact, "exact");
     run(&["C6", "C2"], &exact, "exact");
     run(&["C6"], &exact, "exact");
-    run(&["C1", "C5", "C4", "C3"], &VerificationConfig::bounded(1), "bounded1");
+    run(
+        &["C1", "C5", "C4", "C3"],
+        &VerificationConfig::bounded(1),
+        "bounded1",
+    );
 }

@@ -104,6 +104,25 @@ impl CaseStudyApp {
         )
     }
 
+    /// Computes the timing profile with a single-threaded dwell search, for
+    /// callers that already parallelize across applications.
+    ///
+    /// # Errors
+    ///
+    /// Propagates dwell-table computation failures.
+    pub fn profile_single_threaded(
+        &self,
+        options: DwellSearchOptions,
+    ) -> Result<AppTimingProfile, CoreError> {
+        AppTimingProfile::from_application_with_threads(
+            &self.application,
+            self.paper_row.jstar,
+            self.paper_row.r,
+            options,
+            1,
+        )
+    }
+
     /// Search options that comfortably cover the paper's case study while
     /// keeping the exhaustive dwell search fast (the published dwell times
     /// never exceed 11 samples and the slowest `J_E` is 50 samples).
@@ -329,10 +348,56 @@ pub fn all_applications() -> Result<Vec<CaseStudyApp>, CoreError> {
     Ok(vec![c1()?, c2()?, c3()?, c4()?, c5()?, c6()?])
 }
 
+/// Recomputes the timing profile of every case-study application (the
+/// reproduction of the paper's Table 1), fanning the applications out across
+/// worker threads when the `parallel` feature is enabled.
+///
+/// The profiles are returned in the paper's order `C1..C6` regardless of
+/// which worker finishes first.
+///
+/// # Errors
+///
+/// Propagates dwell-table computation failures of any application.
+pub fn all_profiles(options: DwellSearchOptions) -> Result<Vec<AppTimingProfile>, CoreError> {
+    let apps = all_applications()?;
+    #[cfg(feature = "parallel")]
+    {
+        // Parallelism lives at the application level here; each worker runs
+        // the dwell search single-threaded to avoid nested oversubscription.
+        let results: Vec<Result<AppTimingProfile, CoreError>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = apps
+                .iter()
+                .map(|app| scope.spawn(move || app.profile_single_threaded(options)))
+                .collect();
+            handles
+                .into_iter()
+                .map(|handle| handle.join().expect("profile worker panicked"))
+                .collect()
+        });
+        results.into_iter().collect()
+    }
+    #[cfg(not(feature = "parallel"))]
+    {
+        apps.iter().map(|app| app.profile_with(options)).collect()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use cps_core::Mode;
+
+    #[test]
+    fn all_profiles_matches_per_app_computation() {
+        let options = CaseStudyApp::fast_search_options();
+        let fanned_out = all_profiles(options).unwrap();
+        let apps = all_applications().unwrap();
+        assert_eq!(fanned_out.len(), apps.len());
+        for (profile, app) in fanned_out.iter().zip(apps.iter()) {
+            assert_eq!(profile, &app.profile_with(options).unwrap());
+            assert_eq!(profile.name(), app.application().name());
+        }
+    }
 
     #[test]
     fn all_six_applications_build() {
@@ -438,7 +503,9 @@ mod tests {
     #[test]
     fn maximum_wait_times_match_the_paper_exactly() {
         for app in all_applications().unwrap() {
-            let profile = app.profile_with(CaseStudyApp::fast_search_options()).unwrap();
+            let profile = app
+                .profile_with(CaseStudyApp::fast_search_options())
+                .unwrap();
             assert_eq!(
                 profile.max_wait(),
                 app.paper_row().t_w_max,
@@ -452,7 +519,9 @@ mod tests {
     #[test]
     fn dwell_time_arrays_match_the_paper_within_one_sample() {
         for app in all_applications().unwrap() {
-            let profile = app.profile_with(CaseStudyApp::fast_search_options()).unwrap();
+            let profile = app
+                .profile_with(CaseStudyApp::fast_search_options())
+                .unwrap();
             let row = app.paper_row();
             let table = profile.dwell_table();
             for wait in 0..=row.t_w_max.min(table.max_wait()) {
@@ -477,7 +546,9 @@ mod tests {
     #[test]
     fn c1_and_c6_dwell_tables_match_the_paper_exactly() {
         for app in [c1().unwrap(), c6().unwrap()] {
-            let profile = app.profile_with(CaseStudyApp::fast_search_options()).unwrap();
+            let profile = app
+                .profile_with(CaseStudyApp::fast_search_options())
+                .unwrap();
             let row = app.paper_row();
             assert_eq!(profile.dwell_table().t_dw_min_array(), &row.t_dw_min[..]);
             assert_eq!(profile.dwell_table().t_dw_plus_array(), &row.t_dw_plus[..]);

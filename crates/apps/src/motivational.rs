@@ -135,10 +135,7 @@ mod tests {
         // The stable pair settles in 0.28 s, the unstable pair only in 0.58 s.
         let schedule = cps_core::ModeSchedule::new(4, 4, 200).unwrap();
         let modes = schedule.to_modes();
-        let j_stable = stable_pair()
-            .unwrap()
-            .settling_of_schedule(&modes)
-            .unwrap();
+        let j_stable = stable_pair().unwrap().settling_of_schedule(&modes).unwrap();
         let j_unstable = unstable_pair()
             .unwrap()
             .settling_of_schedule(&modes)

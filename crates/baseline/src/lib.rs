@@ -26,8 +26,8 @@
 //! published 4-slot baseline partition
 //! `{C1,C5}, {C4,C3}, {C6}, {C2}`.
 
-pub mod masrur;
 pub mod mapping;
+pub mod masrur;
 
 pub use mapping::first_fit_baseline;
 pub use masrur::{is_slot_schedulable, BaselineApp, Strategy};

@@ -30,8 +30,7 @@ pub fn first_fit_baseline(apps: &[BaselineApp], strategy: Strategy) -> Vec<Vec<u
     for (index, app) in apps.iter().enumerate() {
         let mut placed = false;
         for slot in &mut slots {
-            let mut candidate: Vec<BaselineApp> =
-                slot.iter().map(|&i| apps[i].clone()).collect();
+            let mut candidate: Vec<BaselineApp> = slot.iter().map(|&i| apps[i].clone()).collect();
             candidate.push(app.clone());
             if is_slot_schedulable(&candidate, strategy) {
                 slot.push(index);

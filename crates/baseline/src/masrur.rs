@@ -87,8 +87,7 @@ pub fn is_slot_schedulable(apps: &[BaselineApp], strategy: Strategy) -> bool {
     order.sort_by_key(|&i| apps[i].deadline);
 
     for (rank, &i) in order.iter().enumerate() {
-        let higher_priority_interference: usize =
-            order[..rank].iter().map(|&j| apps[j].hold).sum();
+        let higher_priority_interference: usize = order[..rank].iter().map(|&j| apps[j].hold).sum();
         let blocking = match strategy {
             Strategy::NonPreemptiveDeadlineMonotonic => order[rank + 1..]
                 .iter()
@@ -142,10 +141,7 @@ mod tests {
         // lower-priority app whose deadline cannot absorb the higher-priority
         // hold fails even without blocking.
         assert!(is_slot_schedulable(&apps, Strategy::DelayedRequests));
-        let tight = [
-            BaselineApp::new("A", 5, 8),
-            BaselineApp::new("B", 7, 4),
-        ];
+        let tight = [BaselineApp::new("A", 5, 8), BaselineApp::new("B", 7, 4)];
         assert!(!is_slot_schedulable(&tight, Strategy::DelayedRequests));
     }
 
@@ -177,8 +173,7 @@ mod tests {
     #[test]
     fn from_profile_uses_max_wait_and_jt() {
         let table = cps_core::DwellTimeTable::from_arrays(18, vec![3; 12], vec![5; 12]).unwrap();
-        let profile =
-            cps_core::AppTimingProfile::new("C1", 9, 35, 18, 25, table).unwrap();
+        let profile = cps_core::AppTimingProfile::new("C1", 9, 35, 18, 25, table).unwrap();
         let baseline = BaselineApp::from_profile(&profile);
         assert_eq!(baseline.name(), "C1");
         assert_eq!(baseline.deadline(), 11);

@@ -19,8 +19,7 @@ fn bench_fig4(c: &mut Criterion) {
     group.bench_function("motivational_example", |b| {
         b.iter(|| {
             black_box(
-                compute_dwell_table(&app, motivational::JSTAR_SAMPLES, options)
-                    .expect("computes"),
+                compute_dwell_table(&app, motivational::JSTAR_SAMPLES, options).expect("computes"),
             )
         })
     });

@@ -40,9 +40,16 @@ fn bench_substrates(c: &mut Criterion) {
         let config = BusConfig::paper_default();
         b.iter(|| {
             let mut bus = BusSimulator::new(config);
-            bus.register(Frame::new(1, FrameKind::Static { slot: 0 })).expect("registers");
-            bus.register(Frame::new(2, FrameKind::Dynamic { priority: 1, minislots: 3 }))
+            bus.register(Frame::new(1, FrameKind::Static { slot: 0 }))
                 .expect("registers");
+            bus.register(Frame::new(
+                2,
+                FrameKind::Dynamic {
+                    priority: 1,
+                    minislots: 3,
+                },
+            ))
+            .expect("registers");
             for k in 0..100 {
                 if k % 5 == 0 {
                     bus.queue_dynamic(2).expect("queues");

@@ -23,13 +23,31 @@ fn bench_verification(c: &mut Criterion) {
     let mut group = c.benchmark_group("verification");
     group.sample_size(10);
     group.bench_function("slot2_c6_c2_exact", |b| {
-        b.iter(|| black_box(slot2.verify(&VerificationConfig::default()).expect("verifies")))
+        b.iter(|| {
+            black_box(
+                slot2
+                    .verify(&VerificationConfig::default())
+                    .expect("verifies"),
+            )
+        })
     });
     group.bench_function("c1_c5_c4_exact", |b| {
-        b.iter(|| black_box(three.verify(&VerificationConfig::default()).expect("verifies")))
+        b.iter(|| {
+            black_box(
+                three
+                    .verify(&VerificationConfig::default())
+                    .expect("verifies"),
+            )
+        })
     });
     group.bench_function("c1_c5_c4_bounded_1", |b| {
-        b.iter(|| black_box(three.verify(&VerificationConfig::bounded(1)).expect("verifies")))
+        b.iter(|| {
+            black_box(
+                three
+                    .verify(&VerificationConfig::bounded(1))
+                    .expect("verifies"),
+            )
+        })
     });
     group.finish();
 }

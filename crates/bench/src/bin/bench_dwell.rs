@@ -1,0 +1,219 @@
+//! Dwell-search performance report: naive reference vs. prefix-sharing
+//! engine (single- and multi-threaded), on the paper's six case-study
+//! applications with the default [`DwellSearchOptions`].
+//!
+//! Every timed configuration is also checked for result equality against the
+//! naive oracle, so the report doubles as an end-to-end equivalence run.
+//! Writes `BENCH_dwell.json` at the repository root to seed the performance
+//! trajectory.
+//!
+//! Run with `cargo run --release -p cps-bench --bin bench_dwell`.
+
+use std::fmt::Write as _;
+use std::path::Path;
+use std::time::Instant;
+
+use cps_apps::case_study;
+use cps_core::dwell::{
+    compute_dwell_table_with_threads, reference, settling_surface_with_threads, DwellSearchOptions,
+};
+use cps_core::engine::DwellEngine;
+
+/// Milliseconds spent in `f`, returning the value as well.
+fn timed<T>(f: impl FnOnce() -> T) -> (T, f64) {
+    let start = Instant::now();
+    let value = f();
+    (value, start.elapsed().as_secs_f64() * 1e3)
+}
+
+/// Best-of-three timing, applied to the naive and engine configurations
+/// alike so the reported speedups compare like with like.
+fn timed_best<T>(mut f: impl FnMut() -> T) -> (T, f64) {
+    let (mut value, mut best) = timed(&mut f);
+    for _ in 0..2 {
+        let (v, ms) = timed(&mut f);
+        if ms < best {
+            best = ms;
+            value = v;
+        }
+    }
+    (value, best)
+}
+
+struct AppReport {
+    name: String,
+    table_naive_ms: f64,
+    table_engine_ms: f64,
+    table_engine_mt_ms: f64,
+    surface_naive_ms: f64,
+    surface_engine_ms: f64,
+    surface_engine_mt_ms: f64,
+}
+
+impl AppReport {
+    fn table_speedup(&self) -> f64 {
+        self.table_naive_ms / self.table_engine_ms
+    }
+
+    fn surface_speedup(&self) -> f64 {
+        self.surface_naive_ms / self.surface_engine_ms
+    }
+}
+
+fn main() {
+    let options = DwellSearchOptions::default();
+    let threads = DwellEngine::default_threads();
+    if threads == 1 {
+        eprintln!(
+            "note: available parallelism is 1; multi-thread timings will duplicate 1-thread runs"
+        );
+    }
+    let apps = case_study::all_applications().expect("published case-study data is valid");
+
+    let mut reports = Vec::new();
+    for app in &apps {
+        let a = app.application();
+        let jstar = app.jstar();
+
+        let (naive_table, table_naive_ms) =
+            timed_best(|| reference::compute_dwell_table(a, jstar, options).expect("computes"));
+        let (engine_table, table_engine_ms) = timed_best(|| {
+            compute_dwell_table_with_threads(a, jstar, options, 1).expect("computes")
+        });
+        let (engine_table_mt, table_engine_mt_ms) = timed_best(|| {
+            compute_dwell_table_with_threads(a, jstar, options, threads).expect("computes")
+        });
+        assert_eq!(
+            naive_table,
+            engine_table,
+            "{}: table oracle mismatch",
+            a.name()
+        );
+        assert_eq!(
+            naive_table,
+            engine_table_mt,
+            "{}: MT table oracle mismatch",
+            a.name()
+        );
+
+        let (naive_surface, surface_naive_ms) = timed_best(|| {
+            reference::settling_surface(a, options.max_wait, options.max_dwell, options.horizon)
+                .expect("computes")
+        });
+        let (engine_surface, surface_engine_ms) = timed_best(|| {
+            settling_surface_with_threads(
+                a,
+                options.max_wait,
+                options.max_dwell,
+                options.horizon,
+                1,
+            )
+            .expect("computes")
+        });
+        let (engine_surface_mt, surface_engine_mt_ms) = timed_best(|| {
+            settling_surface_with_threads(
+                a,
+                options.max_wait,
+                options.max_dwell,
+                options.horizon,
+                threads,
+            )
+            .expect("computes")
+        });
+        assert_eq!(
+            naive_surface,
+            engine_surface,
+            "{}: surface oracle mismatch",
+            a.name()
+        );
+        assert_eq!(
+            naive_surface,
+            engine_surface_mt,
+            "{}: MT surface oracle mismatch",
+            a.name()
+        );
+
+        let report = AppReport {
+            name: a.name().to_string(),
+            table_naive_ms,
+            table_engine_ms,
+            table_engine_mt_ms,
+            surface_naive_ms,
+            surface_engine_ms,
+            surface_engine_mt_ms,
+        };
+        println!(
+            "{}: table {:8.2} ms -> {:6.2} ms ({:5.1}x, {:.2} ms @ {} threads) | \
+             surface {:8.2} ms -> {:6.2} ms ({:5.1}x, {:.2} ms @ {} threads)",
+            report.name,
+            report.table_naive_ms,
+            report.table_engine_ms,
+            report.table_speedup(),
+            report.table_engine_mt_ms,
+            threads,
+            report.surface_naive_ms,
+            report.surface_engine_ms,
+            report.surface_speedup(),
+            report.surface_engine_mt_ms,
+            threads,
+        );
+        reports.push(report);
+    }
+
+    let json = render_json(&options, threads, &reports);
+    let out_path = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_dwell.json");
+    std::fs::write(&out_path, json).expect("writes BENCH_dwell.json");
+    println!("wrote {}", out_path.display());
+
+    let worst_table = reports
+        .iter()
+        .map(AppReport::table_speedup)
+        .fold(f64::INFINITY, f64::min);
+    let worst_surface = reports
+        .iter()
+        .map(AppReport::surface_speedup)
+        .fold(f64::INFINITY, f64::min);
+    println!("worst single-thread speedup: table {worst_table:.1}x, surface {worst_surface:.1}x");
+}
+
+fn render_json(options: &DwellSearchOptions, threads: usize, reports: &[AppReport]) -> String {
+    let mut json = String::new();
+    json.push_str("{\n");
+    let _ = writeln!(
+        json,
+        "  \"options\": {{\"horizon\": {}, \"max_dwell\": {}, \"max_wait\": {}}},",
+        options.horizon, options.max_dwell, options.max_wait
+    );
+    let _ = writeln!(json, "  \"threads\": {threads},");
+    if threads == 1 {
+        // Be explicit that the *_mt columns carry no multithreaded signal on
+        // this machine.
+        let _ = writeln!(
+            json,
+            "  \"note\": \"single-CPU host: *_engine_mt_ms columns are 1-thread re-runs\","
+        );
+    }
+    json.push_str("  \"apps\": [\n");
+    for (i, r) in reports.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "    {{\"name\": \"{}\", \
+             \"table_naive_ms\": {:.3}, \"table_engine_ms\": {:.3}, \
+             \"table_engine_mt_ms\": {:.3}, \"table_speedup\": {:.1}, \
+             \"surface_naive_ms\": {:.3}, \"surface_engine_ms\": {:.3}, \
+             \"surface_engine_mt_ms\": {:.3}, \"surface_speedup\": {:.1}}}{}",
+            r.name,
+            r.table_naive_ms,
+            r.table_engine_ms,
+            r.table_engine_mt_ms,
+            r.table_speedup(),
+            r.surface_naive_ms,
+            r.surface_engine_ms,
+            r.surface_engine_mt_ms,
+            r.surface_speedup(),
+            if i + 1 == reports.len() { "" } else { "," }
+        );
+    }
+    json.push_str("  ]\n}\n");
+    json
+}

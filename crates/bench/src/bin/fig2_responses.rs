@@ -21,7 +21,9 @@ fn main() {
     let kt = settling_seconds(&stable, &vec![Mode::TimeTriggered; horizon]);
     let kes = settling_seconds(&stable, &vec![Mode::EventTriggered; horizon]);
     let keu = settling_seconds(&unstable, &vec![Mode::EventTriggered; horizon]);
-    let schedule = ModeSchedule::new(4, 4, horizon).expect("valid schedule").to_modes();
+    let schedule = ModeSchedule::new(4, 4, horizon)
+        .expect("valid schedule")
+        .to_modes();
     let switched_stable = settling_seconds(&stable, &schedule);
     let switched_unstable = settling_seconds(&unstable, &schedule);
 

@@ -13,7 +13,10 @@ fn main() {
     )
     .expect("dwell table computes");
 
-    println!("Fig. 4 — dwell times vs wait time (J* = 0.36 s), T_w^* = {}", table.max_wait());
+    println!(
+        "Fig. 4 — dwell times vs wait time (J* = 0.36 s), T_w^* = {}",
+        table.max_wait()
+    );
     println!("  T_w | T_dw^- (J at T_dw^-) | T_dw^+ (J at T_dw^+)");
     for wait in 0..=table.max_wait() {
         println!(

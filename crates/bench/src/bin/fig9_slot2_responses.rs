@@ -39,5 +39,8 @@ fn main() {
         "  paper: C2 uses only 10 TT samples to reach J = J_T = 0.3 s; the conservative scheme of prior work would hold the slot for 15 samples"
     );
     let profiles: Vec<_> = scenario.apps().iter().map(|a| a.profile.clone()).collect();
-    println!("  all requirements met: {}", result.all_meet_requirements(&profiles));
+    println!(
+        "  all requirements met: {}",
+        result.all_meet_requirements(&profiles)
+    );
 }

@@ -10,15 +10,23 @@ fn main() {
     for app in case_study_apps() {
         let a = app.application();
         let row = app.paper_row();
-        let jt = a.settling_in_mode(Mode::TimeTriggered, 600).expect("settles");
-        let je = a.settling_in_mode(Mode::EventTriggered, 600).expect("settles");
+        let jt = a
+            .settling_in_mode(Mode::TimeTriggered, 600)
+            .expect("settles");
+        let je = a
+            .settling_in_mode(Mode::EventTriggered, 600)
+            .expect("settles");
         let profile = app
             .profile_with(CaseStudyApp::fast_search_options())
             .expect("profile computes");
         println!("{}:", a.name());
         println!("  J_T    {jt:3}  (paper {:3})", row.jt);
         println!("  J_E    {je:3}  (paper {:3})", row.je);
-        println!("  T_w^*  {:3}  (paper {:3})", profile.max_wait(), row.t_w_max);
+        println!(
+            "  T_w^*  {:3}  (paper {:3})",
+            profile.max_wait(),
+            row.t_w_max
+        );
         println!(
             "  T_dw^- {}  (paper {})",
             format_dwell_array(profile.dwell_table().t_dw_min_array()),

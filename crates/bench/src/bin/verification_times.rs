@@ -21,7 +21,11 @@ fn time_verification(names: &[&str], config: &VerificationConfig) {
         Ok(outcome) => println!(
             "  {:?} ({}): schedulable={} states={} time={:.2?}",
             names,
-            if config.max_disturbances_per_app.is_some() { "bounded" } else { "exact" },
+            if config.max_disturbances_per_app.is_some() {
+                "bounded"
+            } else {
+                "exact"
+            },
             outcome.schedulable(),
             outcome.states_explored(),
             start.elapsed()

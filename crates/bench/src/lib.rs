@@ -47,10 +47,7 @@ pub fn published_profiles() -> Vec<AppTimingProfile> {
 ///
 /// Propagates dwell-table computation failures.
 pub fn recomputed_profiles() -> Result<Vec<AppTimingProfile>, CoreError> {
-    case_study_apps()
-        .iter()
-        .map(|app| app.profile_with(CaseStudyApp::fast_search_options()))
-        .collect()
+    case_study::all_profiles(CaseStudyApp::fast_search_options())
 }
 
 /// Renders a settling-time series as a compact text row used by the figure

@@ -72,7 +72,9 @@ impl DelayAugmented {
         let mut b = Matrix::zeros(n + 1, 1);
         b[(n, 0)] = 1.0;
         // C_aug = [C 0]
-        let c = plant.output_matrix().hstack(&Matrix::zeros(plant.output_dim(), 1))?;
+        let c = plant
+            .output_matrix()
+            .hstack(&Matrix::zeros(plant.output_dim(), 1))?;
         Ok(DelayAugmented {
             a,
             b,

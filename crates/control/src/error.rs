@@ -80,8 +80,13 @@ mod tests {
     fn display_variants() {
         let e = ControlError::NotSingleInput { inputs: 2 };
         assert!(e.to_string().contains("2 inputs"));
-        assert!(ControlError::NotControllable.to_string().contains("controllable"));
-        let e = ControlError::WrongPoleCount { got: 2, expected: 3 };
+        assert!(ControlError::NotControllable
+            .to_string()
+            .contains("controllable"));
+        let e = ControlError::WrongPoleCount {
+            got: 2,
+            expected: 3,
+        };
         assert!(e.to_string().contains("expected 3"));
     }
 

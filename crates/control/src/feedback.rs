@@ -155,8 +155,8 @@ mod tests {
         let k = StateFeedback::from_slice(&[10.0, 5.0]);
         let a_cl = k.closed_loop(&plant()).unwrap();
         // Φ − Γ·K with Γ = [0.005, 0.1]ᵀ and K = [10, 5].
-        let expected = Matrix::from_rows(&[&[1.0 - 0.05, 0.1 - 0.025], &[-1.0, 1.0 - 0.5]])
-            .unwrap();
+        let expected =
+            Matrix::from_rows(&[&[1.0 - 0.05, 0.1 - 0.025], &[-1.0, 1.0 - 0.5]]).unwrap();
         assert!(a_cl.approx_eq(&expected, 1e-12));
     }
 

@@ -122,13 +122,15 @@ pub fn simulate_autonomous(
     }
     let mut states = Vec::with_capacity(samples + 1);
     let mut outputs = Vec::with_capacity(samples + 1);
-    let mut x = x0.clone();
-    states.push(x.clone());
-    outputs.push(scalar_output(c, &x)?);
+    outputs.push(scalar_output(c, x0)?);
+    states.push(x0.clone());
     for _ in 0..samples {
-        x = a.mul_vector(&x)?;
-        states.push(x.clone());
-        outputs.push(scalar_output(c, &x)?);
+        // One gemv into a freshly stored state: the only per-step allocation
+        // is the state the trajectory has to own anyway.
+        let mut next = Vector::zeros(a.rows());
+        a.gemv_into(states.last().expect("seeded above"), &mut next)?;
+        outputs.push(scalar_output(c, &next)?);
+        states.push(next);
     }
     Ok(Trajectory { states, outputs })
 }
@@ -218,9 +220,8 @@ mod tests {
     #[test]
     fn closed_loop_simulation_converges_for_stabilizing_gain() {
         let controller = StateFeedback::from_slice(&[60.0, 15.0]);
-        let t =
-            simulate_closed_loop(&plant(), &controller, &Vector::from_slice(&[1.0, 0.0]), 200)
-                .unwrap();
+        let t = simulate_closed_loop(&plant(), &controller, &Vector::from_slice(&[1.0, 0.0]), 200)
+            .unwrap();
         assert!(t.outputs().last().unwrap().abs() < 1e-3);
         assert_eq!(t.len(), 201);
     }
@@ -229,9 +230,8 @@ mod tests {
     fn closed_loop_simulation_diverges_without_control() {
         // The double integrator with a ramp initial velocity grows unbounded.
         let controller = StateFeedback::from_slice(&[0.0, 0.0]);
-        let t =
-            simulate_closed_loop(&plant(), &controller, &Vector::from_slice(&[0.0, 1.0]), 100)
-                .unwrap();
+        let t = simulate_closed_loop(&plant(), &controller, &Vector::from_slice(&[0.0, 1.0]), 100)
+            .unwrap();
         assert!(t.outputs().last().unwrap().abs() > 1.0);
     }
 }

@@ -229,8 +229,8 @@ mod tests {
     fn open_loop_stability_detection() {
         // Marginally stable double integrator is not Schur stable.
         assert!(!double_integrator_like().is_open_loop_stable().unwrap());
-        let stable = StateSpace::from_slices(&[&[0.5, 0.0], &[0.1, 0.3]], &[1.0, 0.0], &[1.0, 0.0])
-            .unwrap();
+        let stable =
+            StateSpace::from_slices(&[&[0.5, 0.0], &[0.1, 0.3]], &[1.0, 0.0], &[1.0, 0.0]).unwrap();
         assert!(stable.is_open_loop_stable().unwrap());
     }
 

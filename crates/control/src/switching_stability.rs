@@ -199,10 +199,16 @@ mod tests {
     fn known_stable_but_not_commonly_certifiable_pair() {
         // Classic example: both matrices are Schur stable but switching can be
         // destabilizing, so no common quadratic Lyapunov function exists.
-        let a1 = Matrix::from_rows(&[&[0.0, 2.0], &[0.0, 0.0]]).unwrap().scale(0.49);
-        let a2 = Matrix::from_rows(&[&[0.0, 0.0], &[2.0, 0.0]]).unwrap().scale(0.49);
+        let a1 = Matrix::from_rows(&[&[0.0, 2.0], &[0.0, 0.0]])
+            .unwrap()
+            .scale(0.49);
+        let a2 = Matrix::from_rows(&[&[0.0, 0.0], &[2.0, 0.0]])
+            .unwrap()
+            .scale(0.49);
         // Individually stable (nilpotent, spectral radius 0)…
-        assert!(cps_linalg::eigen::eigenvalues(&a1).unwrap().is_schur_stable());
+        assert!(cps_linalg::eigen::eigenvalues(&a1)
+            .unwrap()
+            .is_schur_stable());
         // …product has spectral radius (0.98)² · ... let the search answer.
         let found = search_common_lyapunov(&a1, &a2, 128).unwrap();
         // The product a1·a2 has an eigenvalue close to (0.98)^2·... — with

@@ -10,11 +10,33 @@
 //! * `T_w^*` — the largest wait for which the requirement is achievable at
 //!   all.
 //!
-//! [`compute_dwell_table`] derives all three by simulating every admissible
+//! [`compute_dwell_table`] derives all three by evaluating every admissible
 //! wait/dwell schedule; [`settling_surface`] exposes the full `J(T_w, T_dw)`
 //! surface used in the paper's Fig. 3.
+//!
+//! # Search engine
+//!
+//! Both entry points are backed by the prefix-sharing engine in
+//! [`crate::engine`] rather than by re-simulating each schedule end-to-end.
+//! The engine exploits the `E^{T_w} T^{T_dw} E^…` structure of every
+//! schedule with two levels of checkpointing:
+//!
+//! * all waits share **one** event-triggered prefix chain (`W` simulated
+//!   samples for the whole search instead of `O(W²)`), and
+//! * within a wait, the state at the end of the TT block is checkpointed, so
+//!   dwell `d+1` costs one TT step plus its own event-triggered tail — and
+//!   the tail stops early once a discrete-Lyapunov certificate proves the
+//!   output can never leave the settling band again.
+//!
+//! Together with the allocation-free `gemv` kernels this drops the search
+//! from `O(W·D·H)` heap-allocating samples to roughly `O(W·(D+H))`
+//! allocation-free ones, while producing **bitwise-identical** tables: the
+//! naive search is kept in [`reference`] as the oracle, and equivalence is
+//! asserted cell-for-cell by the engine tests and `tests/engine_oracle.rs`.
+//! With the `parallel` feature (default), wait rows are additionally fanned
+//! out across `std::thread` workers.
 
-use crate::{CoreError, Mode, ModeSchedule, SwitchedApplication};
+use crate::{engine::DwellEngine, CoreError, Mode, SwitchedApplication};
 
 /// Options controlling the exhaustive dwell-time search.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -84,19 +106,11 @@ impl SettlingSurface {
     }
 }
 
-/// Computes the settling-time surface `J(T_w, T_dw)` for all wait times
-/// `0..=max_wait` and dwell times `0..=max_dwell`.
-///
-/// # Errors
-///
-/// Returns [`CoreError::InvalidParameter`] when the horizon cannot accommodate
-/// the largest wait/dwell combination, and propagates simulation errors.
-pub fn settling_surface(
-    app: &SwitchedApplication,
+fn validate_surface_bounds(
     max_wait: usize,
     max_dwell: usize,
     horizon: usize,
-) -> Result<SettlingSurface, CoreError> {
+) -> Result<(), CoreError> {
     if max_wait + max_dwell >= horizon {
         return Err(CoreError::InvalidParameter {
             reason: format!(
@@ -104,16 +118,54 @@ pub fn settling_surface(
             ),
         });
     }
-    let mut settling = Vec::with_capacity(max_wait + 1);
-    for wait in 0..=max_wait {
-        let mut row = Vec::with_capacity(max_dwell + 1);
-        for dwell in 0..=max_dwell {
-            let schedule = ModeSchedule::new(wait, dwell, horizon)?;
-            let trajectory = app.simulate_modes(&schedule.to_modes())?;
-            row.push(app.settling().settling_samples(trajectory.outputs()));
-        }
-        settling.push(row);
-    }
+    Ok(())
+}
+
+/// Computes the settling-time surface `J(T_w, T_dw)` for all wait times
+/// `0..=max_wait` and dwell times `0..=max_dwell`.
+///
+/// Uses the prefix-sharing engine with the default worker count; see
+/// [`settling_surface_with_threads`] to control parallelism explicitly and
+/// [`reference::settling_surface`] for the naive oracle.
+///
+/// # Errors
+///
+/// Returns [`CoreError::InvalidParameter`] when the horizon cannot accommodate
+/// the largest wait/dwell combination.
+pub fn settling_surface(
+    app: &SwitchedApplication,
+    max_wait: usize,
+    max_dwell: usize,
+    horizon: usize,
+) -> Result<SettlingSurface, CoreError> {
+    settling_surface_with_threads(
+        app,
+        max_wait,
+        max_dwell,
+        horizon,
+        DwellEngine::default_threads(),
+    )
+}
+
+/// [`settling_surface`] with an explicit worker-thread count (`1` forces the
+/// single-threaded engine; counts above one require the `parallel` feature to
+/// take effect).
+///
+/// # Errors
+///
+/// Returns [`CoreError::InvalidParameter`] when the horizon cannot accommodate
+/// the largest wait/dwell combination.
+pub fn settling_surface_with_threads(
+    app: &SwitchedApplication,
+    max_wait: usize,
+    max_dwell: usize,
+    horizon: usize,
+    threads: usize,
+) -> Result<SettlingSurface, CoreError> {
+    validate_surface_bounds(max_wait, max_dwell, horizon)?;
+    let engine = DwellEngine::new(app);
+    let prefix = engine.prefix_chain(max_wait);
+    let settling = engine.settling_rows(&prefix, 0..max_wait + 1, max_dwell, horizon, threads);
     Ok(SettlingSurface {
         max_wait,
         max_dwell,
@@ -279,12 +331,48 @@ impl DwellTimeTable {
     }
 }
 
+/// Derives one dwell-table row (`T_dw^-`, `T_dw^+` and their settling times)
+/// from the settling-per-dwell values of a wait; `None` when no dwell meets
+/// the requirement. Shared by the engine-backed and the naive search so both
+/// apply the same selection logic.
+fn table_row(settling_per_dwell: &[Option<usize>], jstar: usize) -> Option<TableRow> {
+    let min_dwell = settling_per_dwell
+        .iter()
+        .position(|j| j.map(|j| j <= jstar).unwrap_or(false))?;
+    // Best achievable settling time over all dwell times and the first dwell
+    // that achieves it (T_dw^+).
+    let best = settling_per_dwell
+        .iter()
+        .filter_map(|j| *j)
+        .min()
+        .expect("at least one dwell settled");
+    let plus_dwell = settling_per_dwell
+        .iter()
+        .position(|j| *j == Some(best))
+        .expect("best value exists");
+    Some(TableRow {
+        min_dwell,
+        plus_dwell: plus_dwell.max(min_dwell),
+        j_at_min: settling_per_dwell[min_dwell].expect("settled at minimum dwell"),
+        j_at_plus: best,
+    })
+}
+
+struct TableRow {
+    min_dwell: usize,
+    plus_dwell: usize,
+    j_at_min: usize,
+    j_at_plus: usize,
+}
+
 /// Computes the dwell-time table of an application for a settling requirement
 /// of `jstar` samples.
 ///
-/// The search simulates every wait/dwell schedule allowed by
-/// [`DwellSearchOptions`]; the wait scan stops at the first wait time for
-/// which no dwell meets the requirement, which defines `T_w^*`.
+/// The search evaluates every wait/dwell schedule allowed by
+/// [`DwellSearchOptions`] through the prefix-sharing engine; the wait scan
+/// stops at the first wait time for which no dwell meets the requirement,
+/// which defines `T_w^*`. The result is identical to the naive
+/// [`reference::compute_dwell_table`] oracle.
 ///
 /// # Errors
 ///
@@ -299,16 +387,60 @@ pub fn compute_dwell_table(
     jstar: usize,
     options: DwellSearchOptions,
 ) -> Result<DwellTimeTable, CoreError> {
+    compute_dwell_table_with_threads(app, jstar, options, DwellEngine::default_threads())
+}
+
+/// [`compute_dwell_table`] with an explicit worker-thread count (`1` forces
+/// the single-threaded engine).
+///
+/// # Errors
+///
+/// As for [`compute_dwell_table`].
+pub fn compute_dwell_table_with_threads(
+    app: &SwitchedApplication,
+    jstar: usize,
+    options: DwellSearchOptions,
+    threads: usize,
+) -> Result<DwellTimeTable, CoreError> {
+    compute_dwell_table_detailed(app, jstar, options, threads).map(|detail| detail.table)
+}
+
+/// A computed dwell table together with the pure-mode settling times the
+/// sanity checks already measured, so profile construction does not have to
+/// re-simulate them.
+pub(crate) struct TableComputation {
+    pub table: DwellTimeTable,
+    /// Settling time of the dedicated TT slot (`J_T`).
+    pub jt: usize,
+    /// Settling time of the pure event-triggered loop (`J_E`).
+    pub je: usize,
+}
+
+pub(crate) fn compute_dwell_table_detailed(
+    app: &SwitchedApplication,
+    jstar: usize,
+    options: DwellSearchOptions,
+    threads: usize,
+) -> Result<TableComputation, CoreError> {
     if options.horizon <= options.max_wait + options.max_dwell {
         return Err(CoreError::InvalidParameter {
             reason: "horizon must exceed max_wait + max_dwell".to_string(),
         });
     }
+    let engine = DwellEngine::new(app);
     // Sanity: the event-triggered loop must settle eventually (stability), and
     // the dedicated TT loop must meet the requirement, otherwise the strategy
     // does not apply to this application.
-    app.settling_in_mode(Mode::EventTriggered, options.horizon)?;
-    let jt = app.settling_in_mode(Mode::TimeTriggered, options.horizon)?;
+    let je = engine
+        .pure_mode_settling(Mode::EventTriggered, options.horizon)
+        .ok_or(CoreError::DidNotSettle {
+            horizon: options.horizon,
+        })?;
+    let jt = engine
+        .pure_mode_settling(Mode::TimeTriggered, options.horizon)
+        .ok_or(CoreError::DidNotSettle {
+            horizon: options.horizon,
+        })?;
     if jt > jstar {
         return Err(CoreError::RequirementInfeasible { jt, jstar });
     }
@@ -318,59 +450,157 @@ pub fn compute_dwell_table(
     let mut j_at_min = Vec::new();
     let mut j_at_plus = Vec::new();
 
-    for wait in 0..=options.max_wait {
-        let max_dwell = options.max_dwell.min(options.horizon - wait - 1);
-        // Settling time for every dwell at this wait.
-        let mut settling_per_dwell = Vec::with_capacity(max_dwell + 1);
-        for dwell in 0..=max_dwell {
-            let schedule = ModeSchedule::new(wait, dwell, options.horizon)?;
-            let trajectory = app.simulate_modes(&schedule.to_modes())?;
-            settling_per_dwell.push(app.settling().settling_samples(trajectory.outputs()));
+    let prefix = engine.prefix_chain(options.max_wait);
+    // The scan stops at the first infeasible wait (T_w^* + 1). Rows are
+    // computed in blocks so worker threads stay busy while at most one block
+    // of rows past T_w^* is wasted.
+    let block = if threads > 1 { threads * 2 } else { 1 };
+    'scan: for block_start in (0..=options.max_wait).step_by(block) {
+        let block_end = (block_start + block - 1).min(options.max_wait);
+        let rows = engine.settling_rows(
+            &prefix,
+            block_start..block_end + 1,
+            options.max_dwell,
+            options.horizon,
+            threads,
+        );
+        for settling_per_dwell in rows.iter() {
+            let Some(row) = table_row(settling_per_dwell, jstar) else {
+                // This wait (and by monotonicity of the problem every larger
+                // wait) cannot meet the requirement: the previous wait was
+                // T_w^*.
+                break 'scan;
+            };
+            t_dw_min.push(row.min_dwell);
+            t_dw_plus.push(row.plus_dwell);
+            j_at_min.push(row.j_at_min);
+            j_at_plus.push(row.j_at_plus);
         }
-        // Minimum dwell meeting the requirement.
-        let min_dwell = settling_per_dwell
-            .iter()
-            .position(|j| j.map(|j| j <= jstar).unwrap_or(false));
-        let Some(min_dwell) = min_dwell else {
-            // This wait (and by monotonicity of the problem every larger wait)
-            // cannot meet the requirement: the previous wait was T_w^*.
-            break;
-        };
-        // Best achievable settling time over all dwell times and the first
-        // dwell that achieves it (T_dw^+).
-        let best = settling_per_dwell
-            .iter()
-            .filter_map(|j| *j)
-            .min()
-            .expect("at least one dwell settled");
-        let plus_dwell = settling_per_dwell
-            .iter()
-            .position(|j| *j == Some(best))
-            .expect("best value exists");
-
-        t_dw_min.push(min_dwell);
-        t_dw_plus.push(plus_dwell.max(min_dwell));
-        j_at_min.push(settling_per_dwell[min_dwell].expect("settled at minimum dwell"));
-        j_at_plus.push(best);
     }
 
     if t_dw_min.is_empty() {
         return Err(CoreError::RequirementInfeasible { jt, jstar });
     }
 
-    Ok(DwellTimeTable {
-        jstar,
-        max_wait: t_dw_min.len() - 1,
-        t_dw_min,
-        t_dw_plus,
-        j_at_min,
-        j_at_plus,
+    Ok(TableComputation {
+        table: DwellTimeTable {
+            jstar,
+            max_wait: t_dw_min.len() - 1,
+            t_dw_min,
+            t_dw_plus,
+            j_at_min,
+            j_at_plus,
+        },
+        jt,
+        je,
     })
+}
+
+/// The naive dwell search: every wait/dwell schedule is re-simulated
+/// end-to-end through [`SwitchedApplication::simulate_modes`].
+///
+/// This is the **oracle** the fast engine is verified against (it is also
+/// what the engine's complexity is benchmarked against in
+/// `BENCH_dwell.json`). It is kept simple on purpose: no checkpointing, no
+/// early exit, no parallelism.
+pub mod reference {
+    use super::{
+        table_row, validate_surface_bounds, DwellSearchOptions, DwellTimeTable, SettlingSurface,
+    };
+    use crate::{CoreError, Mode, ModeSchedule, SwitchedApplication};
+
+    /// Naive counterpart of [`super::settling_surface`].
+    ///
+    /// # Errors
+    ///
+    /// As for [`super::settling_surface`], plus propagated simulation errors.
+    pub fn settling_surface(
+        app: &SwitchedApplication,
+        max_wait: usize,
+        max_dwell: usize,
+        horizon: usize,
+    ) -> Result<SettlingSurface, CoreError> {
+        validate_surface_bounds(max_wait, max_dwell, horizon)?;
+        let mut settling = Vec::with_capacity(max_wait + 1);
+        for wait in 0..=max_wait {
+            let mut row = Vec::with_capacity(max_dwell + 1);
+            for dwell in 0..=max_dwell {
+                let schedule = ModeSchedule::new(wait, dwell, horizon)?;
+                let trajectory = app.simulate_modes(&schedule.to_modes())?;
+                row.push(app.settling().settling_samples(trajectory.outputs()));
+            }
+            settling.push(row);
+        }
+        Ok(SettlingSurface {
+            max_wait,
+            max_dwell,
+            horizon,
+            settling,
+        })
+    }
+
+    /// Naive counterpart of [`super::compute_dwell_table`].
+    ///
+    /// # Errors
+    ///
+    /// As for [`super::compute_dwell_table`].
+    pub fn compute_dwell_table(
+        app: &SwitchedApplication,
+        jstar: usize,
+        options: DwellSearchOptions,
+    ) -> Result<DwellTimeTable, CoreError> {
+        if options.horizon <= options.max_wait + options.max_dwell {
+            return Err(CoreError::InvalidParameter {
+                reason: "horizon must exceed max_wait + max_dwell".to_string(),
+            });
+        }
+        app.settling_in_mode(Mode::EventTriggered, options.horizon)?;
+        let jt = app.settling_in_mode(Mode::TimeTriggered, options.horizon)?;
+        if jt > jstar {
+            return Err(CoreError::RequirementInfeasible { jt, jstar });
+        }
+
+        let mut t_dw_min = Vec::new();
+        let mut t_dw_plus = Vec::new();
+        let mut j_at_min = Vec::new();
+        let mut j_at_plus = Vec::new();
+
+        for wait in 0..=options.max_wait {
+            let max_dwell = options.max_dwell.min(options.horizon - wait - 1);
+            let mut settling_per_dwell = Vec::with_capacity(max_dwell + 1);
+            for dwell in 0..=max_dwell {
+                let schedule = ModeSchedule::new(wait, dwell, options.horizon)?;
+                let trajectory = app.simulate_modes(&schedule.to_modes())?;
+                settling_per_dwell.push(app.settling().settling_samples(trajectory.outputs()));
+            }
+            let Some(row) = table_row(&settling_per_dwell, jstar) else {
+                break;
+            };
+            t_dw_min.push(row.min_dwell);
+            t_dw_plus.push(row.plus_dwell);
+            j_at_min.push(row.j_at_min);
+            j_at_plus.push(row.j_at_plus);
+        }
+
+        if t_dw_min.is_empty() {
+            return Err(CoreError::RequirementInfeasible { jt, jstar });
+        }
+
+        Ok(DwellTimeTable {
+            jstar,
+            max_wait: t_dw_min.len() - 1,
+            t_dw_min,
+            t_dw_plus,
+            j_at_min,
+            j_at_plus,
+        })
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::ModeSchedule;
     use cps_control::{StateFeedback, StateSpace};
     use cps_linalg::Vector;
 
@@ -419,6 +649,7 @@ mod tests {
     fn surface_rejects_too_short_horizon() {
         let app = demo_app();
         assert!(settling_surface(&app, 10, 10, 15).is_err());
+        assert!(reference::settling_surface(&app, 10, 10, 15).is_err());
     }
 
     #[test]
@@ -434,8 +665,7 @@ mod tests {
 
     #[test]
     fn from_arrays_builds_published_tables() {
-        let table =
-            DwellTimeTable::from_arrays(18, vec![3, 4, 3], vec![6, 6, 5]).unwrap();
+        let table = DwellTimeTable::from_arrays(18, vec![3, 4, 3], vec![6, 6, 5]).unwrap();
         assert_eq!(table.max_wait(), 2);
         assert_eq!(table.jstar(), 18);
         assert_eq!(table.t_dw_min(1), Some(4));
@@ -487,6 +717,13 @@ mod tests {
         let err = compute_dwell_table(&app, jt.saturating_sub(1), DwellSearchOptions::default())
             .unwrap_err();
         assert!(matches!(err, CoreError::RequirementInfeasible { .. }));
+        let err = reference::compute_dwell_table(
+            &app,
+            jt.saturating_sub(1),
+            DwellSearchOptions::default(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, CoreError::RequirementInfeasible { .. }));
     }
 
     #[test]
@@ -506,6 +743,23 @@ mod tests {
             max_wait: 40,
         };
         assert!(compute_dwell_table(&app, 15, options).is_err());
+        assert!(reference::compute_dwell_table(&app, 15, options).is_err());
+    }
+
+    #[test]
+    fn single_threaded_and_parallel_tables_agree() {
+        let app = demo_app();
+        let options = DwellSearchOptions {
+            horizon: 300,
+            max_dwell: 20,
+            max_wait: 60,
+        };
+        let serial = compute_dwell_table_with_threads(&app, 15, options, 1).unwrap();
+        let parallel = compute_dwell_table_with_threads(&app, 15, options, 4).unwrap();
+        assert_eq!(serial, parallel);
+        let s1 = settling_surface_with_threads(&app, 12, 10, 300, 1).unwrap();
+        let s4 = settling_surface_with_threads(&app, 12, 10, 300, 4).unwrap();
+        assert_eq!(s1, s4);
     }
 
     #[test]

@@ -1,0 +1,547 @@
+//! Allocation-free, prefix-sharing dwell-time search engine.
+//!
+//! The naive dwell search ([`crate::dwell::reference`]) re-simulates every
+//! wait/dwell schedule end-to-end: `O(W·D·H)` samples, each one allocating
+//! intermediate vectors. This engine produces bitwise-identical settling
+//! tables with three layers of speedup:
+//!
+//! 1. **Allocation-free kernels.** Both closed-loop modes act on the
+//!    augmented state `z = [x; u_prev]` through matrices precomputed by
+//!    [`SwitchedApplication`], so one simulated sample is a single
+//!    [`Matrix::gemv_into`] between two pre-allocated buffers — zero heap
+//!    allocations in the steady-state inner loop.
+//! 2. **Prefix sharing.** Schedules `E^w T^d E^…` share structure twice
+//!    over: all waits share one event-triggered prefix chain
+//!    ([`PrefixChain`], `W` samples total instead of `O(W²)`), and within a
+//!    wait the dwell-`d` and dwell-`d+1` schedules share their first
+//!    `w + d` samples, so each extra dwell costs one checkpointed
+//!    time-triggered step plus its own event-triggered tail.
+//! 3. **Certified early exit.** A discrete Lyapunov certificate
+//!    `AᵀPA − P = −I` for the event-triggered mode yields a sublevel set
+//!    `zᵀPz ≤ v_max` inside which the output provably never leaves half the
+//!    settling band again; tails stop as soon as they enter it instead of
+//!    running to the horizon.
+//!
+//! Exactness: the engine and the naive search evaluate the same per-sample
+//! recurrences in the same floating-point order (both are `gemv` on the same
+//! precomputed matrices), and the early exit only skips samples that are
+//! provably inside the band, so every settling cell matches the reference
+//! `Option<usize>`-for-`Option<usize>`. The oracle-equivalence tests in this
+//! module and in `tests/engine_oracle.rs` assert that on the paper's case
+//! study and on randomized plants.
+
+use cps_linalg::{decomp, lyapunov, Matrix, Vector};
+
+use crate::{Mode, SwitchedApplication};
+
+/// The event-triggered prefix chain shared by every wait time.
+///
+/// `state(w)` is the augmented state after `w` event-triggered samples from
+/// the canonical disturbance state; `last_violation(w)` is the largest sample
+/// index in `0..=w` whose output lies outside the settling band (`None` when
+/// all of them are inside).
+#[derive(Debug, Clone)]
+pub struct PrefixChain {
+    dim: usize,
+    states: Vec<f64>,
+    last_violation: Vec<Option<usize>>,
+}
+
+impl PrefixChain {
+    /// The checkpointed augmented state after `wait` event-triggered samples.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `wait` exceeds the chain length.
+    pub fn state(&self, wait: usize) -> &[f64] {
+        &self.states[wait * self.dim..(wait + 1) * self.dim]
+    }
+
+    /// Largest violating sample index among samples `0..=wait`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `wait` exceeds the chain length.
+    pub fn last_violation(&self, wait: usize) -> Option<usize> {
+        self.last_violation[wait]
+    }
+
+    /// The largest wait covered by the chain.
+    pub fn max_wait(&self) -> usize {
+        self.last_violation.len() - 1
+    }
+}
+
+/// Reusable per-thread simulation buffers; allocated once per search (or per
+/// worker thread), never inside the per-sample loop.
+#[derive(Debug)]
+struct RowWorkspace {
+    /// Checkpoint: state at the end of the current TT block.
+    z_tt: Vector,
+    /// Tail cursor.
+    z: Vector,
+    /// gemv destination, swapped with the cursor every step.
+    z_next: Vector,
+}
+
+impl RowWorkspace {
+    fn new(dim: usize) -> Self {
+        RowWorkspace {
+            z_tt: Vector::zeros(dim),
+            z: Vector::zeros(dim),
+            z_next: Vector::zeros(dim),
+        }
+    }
+}
+
+/// Lyapunov early-exit certificate: once `zᵀPz ≤ v_max`, every future
+/// event-triggered output provably stays within half the settling band.
+#[derive(Debug, Clone)]
+struct TailCertificate {
+    p: Matrix,
+    v_max: f64,
+}
+
+/// The fast dwell/settling search engine for one application.
+///
+/// Construction precomputes the Lyapunov early-exit certificate; all search
+/// entry points then run without per-sample heap allocation.
+///
+/// # Example
+///
+/// ```
+/// use cps_core::{engine::DwellEngine, Mode, SwitchedApplication};
+/// use cps_control::{StateFeedback, StateSpace};
+/// use cps_linalg::Vector;
+///
+/// # fn main() -> Result<(), cps_core::CoreError> {
+/// let plant = StateSpace::from_slices(&[&[0.95]], &[0.1], &[1.0])?;
+/// let app = SwitchedApplication::builder("demo")
+///     .plant(plant)
+///     .fast_gain(StateFeedback::from_slice(&[8.0]))
+///     .slow_gain(Vector::from_slice(&[1.0, 0.2]))
+///     .sampling_period(0.02)
+///     .settling_threshold(0.02)
+///     .disturbance_state(Vector::from_slice(&[1.0]))
+///     .build()?;
+/// let engine = DwellEngine::new(&app);
+/// // Pure-mode settling matches the trajectory-based simulator.
+/// let jt = engine.pure_mode_settling(Mode::TimeTriggered, 300);
+/// assert_eq!(jt, Some(app.settling_in_mode(Mode::TimeTriggered, 300)?));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct DwellEngine<'a> {
+    app: &'a SwitchedApplication,
+    dim: usize,
+    threshold: f64,
+    certificate: Option<TailCertificate>,
+}
+
+impl<'a> DwellEngine<'a> {
+    /// Builds the engine, attempting to construct the early-exit certificate.
+    ///
+    /// When the certificate cannot be built (e.g. the event-triggered loop is
+    /// not Schur stable) the engine still works, simulating every tail to the
+    /// horizon.
+    pub fn new(app: &'a SwitchedApplication) -> Self {
+        let dim = app.et_closed_loop().rows();
+        let threshold = app.settling().threshold();
+        let certificate = build_certificate(app, threshold);
+        DwellEngine {
+            app,
+            dim,
+            threshold,
+            certificate,
+        }
+    }
+
+    /// Whether the Lyapunov early-exit certificate is active.
+    pub fn has_certificate(&self) -> bool {
+        self.certificate.is_some()
+    }
+
+    /// Drops the certificate (used by tests to compare exit-on/exit-off runs).
+    #[doc(hidden)]
+    pub fn without_certificate(mut self) -> Self {
+        self.certificate = None;
+        self
+    }
+
+    /// Number of worker threads the search layer should use: the available
+    /// parallelism with the `parallel` feature, `1` otherwise.
+    pub fn default_threads() -> usize {
+        #[cfg(feature = "parallel")]
+        {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        }
+        #[cfg(not(feature = "parallel"))]
+        {
+            1
+        }
+    }
+
+    /// Simulates the event-triggered prefix once, checkpointing the state and
+    /// the running last-violation index after every sample.
+    pub fn prefix_chain(&self, max_wait: usize) -> PrefixChain {
+        let c = self.app.augmented_output_row();
+        let mut z = self.app.initial_augmented_state();
+        let mut z_next = Vector::zeros(self.dim);
+        let mut states = Vec::with_capacity((max_wait + 1) * self.dim);
+        let mut last_violation = Vec::with_capacity(max_wait + 1);
+        let mut viol = violation(c.dot(&z), self.threshold, 0);
+        states.extend_from_slice(z.as_slice());
+        last_violation.push(viol);
+        let a_et = self.app.mode_matrix(Mode::EventTriggered);
+        for wait in 1..=max_wait {
+            step(a_et, &mut z, &mut z_next);
+            viol = violation(c.dot(&z), self.threshold, wait).or(viol);
+            states.extend_from_slice(z.as_slice());
+            last_violation.push(viol);
+        }
+        PrefixChain {
+            dim: self.dim,
+            states,
+            last_violation,
+        }
+    }
+
+    /// Settling time of a pure-mode schedule over `horizon` samples, exactly
+    /// as [`SwitchedApplication::settling_in_mode`] measures it (but without
+    /// materializing a trajectory).
+    pub fn pure_mode_settling(&self, mode: Mode, horizon: usize) -> Option<usize> {
+        let c = self.app.augmented_output_row();
+        let a = self.app.mode_matrix(mode);
+        let mut z = self.app.initial_augmented_state();
+        let mut z_next = Vector::zeros(self.dim);
+        let mut viol = violation(c.dot(&z), self.threshold, 0);
+        let early_exit = mode == Mode::EventTriggered;
+        for k in 1..=horizon {
+            step(a, &mut z, &mut z_next);
+            let y = c.dot(&z);
+            if y.abs() > self.threshold {
+                viol = Some(k);
+            } else if early_exit && self.inside_safe_set(&z) {
+                break;
+            }
+        }
+        settle_index(viol, horizon)
+    }
+
+    /// Computes one wait row of the settling surface: the settling time for
+    /// every dwell in `0..=max_dwell` at the given wait, appended to `out`.
+    ///
+    /// Requires `wait + max_dwell < horizon` and `wait <= prefix.max_wait()`.
+    pub fn settling_row(
+        &self,
+        prefix: &PrefixChain,
+        wait: usize,
+        max_dwell: usize,
+        horizon: usize,
+        out: &mut Vec<Option<usize>>,
+    ) {
+        let mut ws = RowWorkspace::new(self.dim);
+        self.settling_row_with(prefix, wait, max_dwell, horizon, &mut ws, out);
+    }
+
+    fn settling_row_with(
+        &self,
+        prefix: &PrefixChain,
+        wait: usize,
+        max_dwell: usize,
+        horizon: usize,
+        ws: &mut RowWorkspace,
+        out: &mut Vec<Option<usize>>,
+    ) {
+        debug_assert!(wait + max_dwell < horizon, "schedule exceeds horizon");
+        let a_tt = self.app.mode_matrix(Mode::TimeTriggered);
+        let a_et = self.app.mode_matrix(Mode::EventTriggered);
+        let c = self.app.augmented_output_row();
+        ws.z_tt.as_mut_slice().copy_from_slice(prefix.state(wait));
+        let prefix_viol = prefix.last_violation(wait);
+        let mut tt_viol = None;
+        for dwell in 0..=max_dwell {
+            if dwell > 0 {
+                // Extend the shared TT block by one checkpointed sample.
+                step(a_tt, &mut ws.z_tt, &mut ws.z_next);
+                tt_viol = violation(c.dot(&ws.z_tt), self.threshold, wait + dwell).or(tt_viol);
+            }
+            // Only the post-switch event-triggered tail is specific to this
+            // dwell; everything before it is shared with dwell − 1.
+            ws.z.copy_from(&ws.z_tt);
+            let mut tail_viol = None;
+            for k in (wait + dwell + 1)..=horizon {
+                step(a_et, &mut ws.z, &mut ws.z_next);
+                let y = c.dot(&ws.z);
+                if y.abs() > self.threshold {
+                    tail_viol = Some(k);
+                } else if self.inside_safe_set(&ws.z) {
+                    // Provably in-band until the horizon: later samples can
+                    // no longer move the last-violation index.
+                    break;
+                }
+            }
+            // Violations in later segments dominate earlier ones by index.
+            let last = tail_viol.or(tt_viol).or(prefix_viol);
+            out.push(settle_index(last, horizon));
+        }
+    }
+
+    /// Computes the settling rows of all waits in `waits`, each with dwell
+    /// `0..=min(max_dwell, horizon − wait − 1)`, optionally fanning the rows
+    /// out over `threads` workers (`parallel` feature).
+    pub fn settling_rows(
+        &self,
+        prefix: &PrefixChain,
+        waits: std::ops::Range<usize>,
+        max_dwell: usize,
+        horizon: usize,
+        threads: usize,
+    ) -> Vec<Vec<Option<usize>>> {
+        let wait_list: Vec<usize> = waits.collect();
+        let mut rows: Vec<Vec<Option<usize>>> = vec![Vec::new(); wait_list.len()];
+        let row_dwell = |w: usize| max_dwell.min(horizon - w - 1);
+
+        #[cfg(feature = "parallel")]
+        if threads > 1 && wait_list.len() > 1 {
+            let chunk = wait_list.len().div_ceil(threads.min(wait_list.len()));
+            std::thread::scope(|scope| {
+                for (chunk_index, out_chunk) in rows.chunks_mut(chunk).enumerate() {
+                    let start = chunk_index * chunk;
+                    let waits_chunk = &wait_list[start..start + out_chunk.len()];
+                    scope.spawn(move || {
+                        let mut ws = RowWorkspace::new(self.dim);
+                        for (row, &w) in out_chunk.iter_mut().zip(waits_chunk) {
+                            self.settling_row_with(prefix, w, row_dwell(w), horizon, &mut ws, row);
+                        }
+                    });
+                }
+            });
+            return rows;
+        }
+
+        let _ = threads;
+        let mut ws = RowWorkspace::new(self.dim);
+        for (row, &w) in rows.iter_mut().zip(wait_list.iter()) {
+            self.settling_row_with(prefix, w, row_dwell(w), horizon, &mut ws, row);
+        }
+        rows
+    }
+
+    /// `true` when `z` lies in the certified sublevel set from which the
+    /// output can no longer leave the settling band.
+    #[inline]
+    fn inside_safe_set(&self, z: &Vector) -> bool {
+        match &self.certificate {
+            Some(cert) => quad_form(&cert.p, z) <= cert.v_max,
+            None => false,
+        }
+    }
+}
+
+/// One simulation step: `cursor ← a · cursor`, using `scratch` as the gemv
+/// destination. No heap allocation.
+#[inline]
+fn step(a: &Matrix, cursor: &mut Vector, scratch: &mut Vector) {
+    a.gemv_into(cursor, scratch)
+        .expect("engine buffers share the augmented dimension");
+    std::mem::swap(cursor, scratch);
+}
+
+/// `Some(sample)` when the output violates the band at `sample`.
+#[inline]
+fn violation(y: f64, threshold: f64, sample: usize) -> Option<usize> {
+    if y.abs() > threshold {
+        Some(sample)
+    } else {
+        None
+    }
+}
+
+/// Converts a last-violation index over samples `0..=horizon` into the
+/// settling cell the naive search produces: `None` when the final sample
+/// still violates the band, otherwise the first in-band-forever index.
+#[inline]
+fn settle_index(last_violation: Option<usize>, horizon: usize) -> Option<usize> {
+    match last_violation {
+        Some(v) if v == horizon => None,
+        Some(v) => Some(v + 1),
+        None => Some(0),
+    }
+}
+
+/// Allocation-free quadratic form `zᵀ P z`.
+fn quad_form(p: &Matrix, z: &Vector) -> f64 {
+    let m = z.len();
+    let mut acc = 0.0;
+    for i in 0..m {
+        let zi = z[i];
+        if zi == 0.0 {
+            continue;
+        }
+        let mut row = 0.0;
+        for j in 0..m {
+            row += p[(i, j)] * z[j];
+        }
+        acc += zi * row;
+    }
+    acc
+}
+
+/// Builds the early-exit certificate for the event-triggered mode.
+///
+/// With `P` solving `AᵀPA − P = −I`, the function `V(z) = zᵀPz` is
+/// non-increasing along event-triggered trajectories, and by Cauchy–Schwarz
+/// in the `P`-norm every output satisfies `|c·z|² ≤ (cᵀP⁻¹c)·V(z)`. Inside
+/// `V(z) ≤ v_max = (threshold/2)² / (cᵀP⁻¹c)` the output therefore stays
+/// within **half** the band forever — the factor-of-two margin dwarfs the
+/// `~1e-7` residual of the Lyapunov solve, keeping the exit sound in floating
+/// point.
+fn build_certificate(app: &SwitchedApplication, threshold: f64) -> Option<TailCertificate> {
+    let a = app.mode_matrix(Mode::EventTriggered);
+    let q = Matrix::identity(a.rows());
+    let p = lyapunov::solve_discrete_lyapunov(a, &q).ok()?;
+    if !lyapunov::is_positive_definite(&p).unwrap_or(false) {
+        return None;
+    }
+    let p_inv = decomp::inverse(&p).ok()?;
+    let gain = quad_form(&p_inv, app.augmented_output_row());
+    if !gain.is_finite() || gain <= 0.0 {
+        return None;
+    }
+    let margin = 0.5 * threshold;
+    Some(TailCertificate {
+        p,
+        v_max: margin * margin / gain,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{dwell, ModeSchedule};
+    use cps_control::{StateFeedback, StateSpace};
+
+    fn demo_app() -> SwitchedApplication {
+        let plant = StateSpace::from_slices(&[&[0.95]], &[0.1], &[1.0]).unwrap();
+        SwitchedApplication::builder("demo")
+            .plant(plant)
+            .fast_gain(StateFeedback::from_slice(&[8.0]))
+            .slow_gain(Vector::from_slice(&[1.0, 0.2]))
+            .sampling_period(0.02)
+            .settling_threshold(0.02)
+            .disturbance_state(Vector::from_slice(&[1.0]))
+            .build()
+            .unwrap()
+    }
+
+    fn naive_row(
+        app: &SwitchedApplication,
+        wait: usize,
+        max_dwell: usize,
+        horizon: usize,
+    ) -> Vec<Option<usize>> {
+        (0..=max_dwell)
+            .map(|dwell| {
+                let schedule = ModeSchedule::new(wait, dwell, horizon).unwrap();
+                let trajectory = app.simulate_modes(&schedule.to_modes()).unwrap();
+                app.settling().settling_samples(trajectory.outputs())
+            })
+            .collect()
+    }
+
+    #[test]
+    fn demo_app_has_certificate() {
+        let app = demo_app();
+        assert!(DwellEngine::new(&app).has_certificate());
+    }
+
+    #[test]
+    fn prefix_chain_matches_pure_et_simulation() {
+        let app = demo_app();
+        let engine = DwellEngine::new(&app);
+        let prefix = engine.prefix_chain(30);
+        assert_eq!(prefix.max_wait(), 30);
+        let trajectory = app.simulate_modes(&[Mode::EventTriggered; 30]).unwrap();
+        for wait in 0..=30 {
+            assert_eq!(
+                prefix.state(wait),
+                trajectory.states()[wait].as_slice(),
+                "prefix state diverges at wait {wait}"
+            );
+        }
+    }
+
+    #[test]
+    fn rows_match_naive_simulation_exactly() {
+        let app = demo_app();
+        let engine = DwellEngine::new(&app);
+        let horizon = 250;
+        let prefix = engine.prefix_chain(12);
+        for wait in 0..=12 {
+            let mut row = Vec::new();
+            engine.settling_row(&prefix, wait, 10, horizon, &mut row);
+            assert_eq!(row, naive_row(&app, wait, 10, horizon), "wait {wait}");
+        }
+    }
+
+    #[test]
+    fn early_exit_does_not_change_results() {
+        let app = demo_app();
+        let fast = DwellEngine::new(&app);
+        let slow = DwellEngine::new(&app).without_certificate();
+        assert!(fast.has_certificate());
+        assert!(!slow.has_certificate());
+        let prefix = fast.prefix_chain(8);
+        let rows_fast = fast.settling_rows(&prefix, 0..9, 12, 200, 1);
+        let rows_slow = slow.settling_rows(&prefix, 0..9, 12, 200, 1);
+        assert_eq!(rows_fast, rows_slow);
+    }
+
+    #[test]
+    fn parallel_rows_match_sequential_rows() {
+        let app = demo_app();
+        let engine = DwellEngine::new(&app);
+        let prefix = engine.prefix_chain(20);
+        let sequential = engine.settling_rows(&prefix, 0..21, 15, 300, 1);
+        let parallel = engine.settling_rows(&prefix, 0..21, 15, 300, 4);
+        assert_eq!(sequential, parallel);
+    }
+
+    #[test]
+    fn pure_mode_settling_matches_trajectory_simulation() {
+        let app = demo_app();
+        let engine = DwellEngine::new(&app);
+        for mode in [Mode::TimeTriggered, Mode::EventTriggered] {
+            assert_eq!(
+                engine.pure_mode_settling(mode, 300),
+                Some(app.settling_in_mode(mode, 300).unwrap()),
+                "{mode}"
+            );
+        }
+    }
+
+    #[test]
+    fn engine_surface_equals_reference_surface() {
+        let app = demo_app();
+        let fast = dwell::settling_surface(&app, 8, 10, 200).unwrap();
+        let naive = dwell::reference::settling_surface(&app, 8, 10, 200).unwrap();
+        assert_eq!(fast, naive);
+    }
+
+    #[test]
+    fn engine_table_equals_reference_table() {
+        let app = demo_app();
+        let options = dwell::DwellSearchOptions {
+            horizon: 250,
+            max_dwell: 20,
+            max_wait: 40,
+        };
+        let fast = dwell::compute_dwell_table(&app, 15, options).unwrap();
+        let naive = dwell::reference::compute_dwell_table(&app, 15, options).unwrap();
+        assert_eq!(fast, naive);
+    }
+}

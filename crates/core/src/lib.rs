@@ -53,6 +53,7 @@
 //! ```
 
 pub mod dwell;
+pub mod engine;
 mod error;
 mod mode;
 pub mod profile;

@@ -1,7 +1,7 @@
 //! The per-application timing abstraction handed to the scheduler, the
 //! verifier and the mapping heuristic.
 
-use crate::{dwell, CoreError, DwellTimeTable, Mode, SwitchedApplication};
+use crate::{dwell, CoreError, DwellTimeTable, SwitchedApplication};
 
 /// Everything the slot arbiter and the model checker need to know about an
 /// application, expressed purely in sample counts (the paper's Table 1 row):
@@ -100,10 +100,40 @@ impl AppTimingProfile {
         min_inter_arrival: usize,
         options: dwell::DwellSearchOptions,
     ) -> Result<Self, CoreError> {
-        let jt = app.settling_in_mode(Mode::TimeTriggered, options.horizon)?;
-        let je = app.settling_in_mode(Mode::EventTriggered, options.horizon)?;
-        let table = dwell::compute_dwell_table(app, jstar, options)?;
-        AppTimingProfile::new(app.name(), jt, je, jstar, min_inter_arrival, table)
+        Self::from_application_with_threads(
+            app,
+            jstar,
+            min_inter_arrival,
+            options,
+            crate::engine::DwellEngine::default_threads(),
+        )
+    }
+
+    /// [`AppTimingProfile::from_application`] with an explicit worker-thread
+    /// count for the dwell search — pass `1` when the caller already fans
+    /// applications out across threads, to avoid nested oversubscription.
+    ///
+    /// # Errors
+    ///
+    /// As for [`AppTimingProfile::from_application`].
+    pub fn from_application_with_threads(
+        app: &SwitchedApplication,
+        jstar: usize,
+        min_inter_arrival: usize,
+        options: dwell::DwellSearchOptions,
+        threads: usize,
+    ) -> Result<Self, CoreError> {
+        // The table computation's sanity checks already measure J_T and J_E
+        // through the engine; reuse them instead of re-simulating.
+        let detail = dwell::compute_dwell_table_detailed(app, jstar, options, threads)?;
+        AppTimingProfile::new(
+            app.name(),
+            detail.jt,
+            detail.je,
+            jstar,
+            min_inter_arrival,
+            detail.table,
+        )
     }
 
     /// The application's display name.

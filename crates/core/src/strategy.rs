@@ -1,7 +1,7 @@
 //! The bi-modal switched application and its closed-loop simulator.
 
-use cps_control::{sim::Trajectory, DelayAugmented, Settling, StateFeedback, StateSpace};
 use cps_control::switching_stability::{self, CommonLyapunov};
+use cps_control::{sim::Trajectory, DelayAugmented, Settling, StateFeedback, StateSpace};
 use cps_linalg::{Matrix, Vector};
 
 use crate::{CoreError, Mode};
@@ -47,6 +47,8 @@ pub struct SwitchedApplication {
     slow_gain: Vector,
     a_tt: Matrix,
     a_et: Matrix,
+    a_tt_aug: Matrix,
+    c_aug: Vector,
     sampling_period: f64,
     settling: Settling,
     disturbance_state: Vector,
@@ -109,6 +111,30 @@ impl SwitchedApplication {
         &self.a_et
     }
 
+    /// The closed-loop matrix of `mode` on the augmented state `[x; u_prev]`,
+    /// precomputed at build time so one simulation step is a single in-place
+    /// matrix-vector product.
+    pub fn mode_matrix(&self, mode: Mode) -> &Matrix {
+        match mode {
+            Mode::TimeTriggered => &self.a_tt_aug,
+            Mode::EventTriggered => &self.a_et,
+        }
+    }
+
+    /// The output row `[C 0]` over the augmented state, so `y = c_aug · z`.
+    pub fn augmented_output_row(&self) -> &Vector {
+        &self.c_aug
+    }
+
+    /// The canonical initial augmented state `[x_dist; 0]` used by every
+    /// disturbance-rejection simulation.
+    pub fn initial_augmented_state(&self) -> Vector {
+        let mut z = Vector::zeros(self.plant.state_dim() + 1);
+        z.as_mut_slice()[..self.plant.state_dim()]
+            .copy_from_slice(self.disturbance_state.as_slice());
+        z
+    }
+
     /// Converts a number of samples into seconds using the sampling period.
     pub fn samples_to_seconds(&self, samples: usize) -> f64 {
         samples as f64 * self.sampling_period
@@ -131,7 +157,7 @@ impl SwitchedApplication {
     /// Returns [`CoreError::InvalidParameter`] for an empty mode sequence and
     /// propagates dimension errors from the control layer.
     pub fn simulate_modes(&self, modes: &[Mode]) -> Result<Trajectory, CoreError> {
-        self.simulate_modes_from(modes, &self.disturbance_state.clone(), 0.0)
+        self.simulate_modes_from(modes, &self.disturbance_state, 0.0)
     }
 
     /// Simulates the switched closed loop from an arbitrary initial plant
@@ -161,18 +187,23 @@ impl SwitchedApplication {
                 ),
             });
         }
-        let mut x = x0.clone();
-        let mut u_prev = u_prev0;
+        // Both modes are a single precomputed matrix on z = [x; u_prev], so
+        // each step is one gemv into the state the trajectory stores anyway —
+        // no concat/from_slice churn.
+        let n = self.plant.state_dim();
+        let mut z = Vector::zeros(n + 1);
+        z.as_mut_slice()[..n].copy_from_slice(x0.as_slice());
+        z.as_mut_slice()[n] = u_prev0;
         let mut states = Vec::with_capacity(modes.len() + 1);
         let mut outputs = Vec::with_capacity(modes.len() + 1);
-        states.push(x.concat(&Vector::from_slice(&[u_prev])));
-        outputs.push(self.plant.output(&x)?[0]);
+        outputs.push(self.c_aug.dot(&z));
+        states.push(z);
         for mode in modes {
-            let (next_x, next_u_prev) = self.step(&x, u_prev, *mode)?;
-            x = next_x;
-            u_prev = next_u_prev;
-            states.push(x.concat(&Vector::from_slice(&[u_prev])));
-            outputs.push(self.plant.output(&x)?[0]);
+            let mut next = Vector::zeros(n + 1);
+            self.mode_matrix(*mode)
+                .gemv_into(states.last().expect("seeded above"), &mut next)?;
+            outputs.push(self.c_aug.dot(&next));
+            states.push(next);
         }
         Ok(Trajectory::new(states, outputs))
     }
@@ -191,19 +222,19 @@ impl SwitchedApplication {
     ///
     /// Propagates dimension errors from the control layer.
     pub fn step(&self, x: &Vector, u_prev: f64, mode: Mode) -> Result<(Vector, f64), CoreError> {
-        match mode {
-            Mode::TimeTriggered => {
-                let u = self.fast_gain.control(x)?;
-                let next = self.plant.step(x, &Vector::from_slice(&[u]))?;
-                Ok((next, u))
-            }
-            Mode::EventTriggered => {
-                let z = x.concat(&Vector::from_slice(&[u_prev]));
-                let u = -self.slow_gain.dot(&z);
-                let next = self.plant.step(x, &Vector::from_slice(&[u_prev]))?;
-                Ok((next, u))
-            }
+        let n = self.plant.state_dim();
+        if x.len() != n {
+            return Err(CoreError::InvalidParameter {
+                reason: format!("state has {} entries, plant has {} states", x.len(), n),
+            });
         }
+        let mut z = Vector::zeros(n + 1);
+        z.as_mut_slice()[..n].copy_from_slice(x.as_slice());
+        z.as_mut_slice()[n] = u_prev;
+        let mut next = Vector::zeros(n + 1);
+        self.mode_matrix(mode).gemv_into(&z, &mut next)?;
+        let next_x = Vector::from_slice(&next.as_slice()[..n]);
+        Ok((next_x, next.as_slice()[n]))
     }
 
     /// Settling time, in samples, when the application stays in a single mode
@@ -245,12 +276,11 @@ impl SwitchedApplication {
     /// # Errors
     ///
     /// Propagates numerical failures from the search.
-    pub fn switching_stability_certificate(
-        &self,
-    ) -> Result<Option<CommonLyapunov>, CoreError> {
-        let a_tt_aug = self.tt_closed_loop_augmented()?;
+    pub fn switching_stability_certificate(&self) -> Result<Option<CommonLyapunov>, CoreError> {
         Ok(switching_stability::search_common_lyapunov(
-            &a_tt_aug, &self.a_et, 64,
+            &self.a_tt_aug,
+            &self.a_et,
+            64,
         )?)
     }
 
@@ -265,17 +295,7 @@ impl SwitchedApplication {
     ///
     /// Propagates matrix construction errors.
     pub fn tt_closed_loop_augmented(&self) -> Result<Matrix, CoreError> {
-        let n = self.plant.state_dim();
-        let mut a = Matrix::zeros(n + 1, n + 1);
-        for i in 0..n {
-            for j in 0..n {
-                a[(i, j)] = self.a_tt[(i, j)];
-            }
-        }
-        for j in 0..n {
-            a[(n, j)] = -self.fast_gain.gain()[j];
-        }
-        Ok(a)
+        Ok(self.a_tt_aug.clone())
     }
 }
 
@@ -350,7 +370,9 @@ impl SwitchedApplicationBuilder {
     ///   state do not match the plant dimensions, or the sampling period /
     ///   settling threshold are not positive.
     pub fn build(self) -> Result<SwitchedApplication, CoreError> {
-        let plant = self.plant.ok_or(CoreError::MissingField { field: "plant" })?;
+        let plant = self
+            .plant
+            .ok_or(CoreError::MissingField { field: "plant" })?;
         let fast_gain = self
             .fast_gain
             .ok_or(CoreError::MissingField { field: "fast_gain" })?;
@@ -399,9 +421,7 @@ impl SwitchedApplicationBuilder {
                 ),
             });
         }
-        let disturbance_state = self
-            .disturbance_state
-            .unwrap_or_else(|| Vector::unit(n, 0));
+        let disturbance_state = self.disturbance_state.unwrap_or_else(|| Vector::unit(n, 0));
         if disturbance_state.len() != n {
             return Err(CoreError::InvalidParameter {
                 reason: format!(
@@ -415,6 +435,23 @@ impl SwitchedApplicationBuilder {
         let augmented = DelayAugmented::new(&plant)?;
         let a_tt = fast_gain.closed_loop(&plant)?;
         let a_et = augmented.closed_loop(&slow_gain)?;
+        // Lift the TT closed loop to z = [x; u_prev] once, so the simulator
+        // and the dwell engine advance either mode with a single gemv:
+        //   x⁺ = (Φ − Γ·K_T)·x,  u_prev⁺ = −K_T·x.
+        let mut a_tt_aug = Matrix::zeros(n + 1, n + 1);
+        for i in 0..n {
+            for j in 0..n {
+                a_tt_aug[(i, j)] = a_tt[(i, j)];
+            }
+        }
+        for j in 0..n {
+            a_tt_aug[(n, j)] = -fast_gain.gain()[j];
+        }
+        // Output row over the augmented state: y = [C 0]·z.
+        let mut c_aug = Vector::zeros(n + 1);
+        for j in 0..n {
+            c_aug[j] = plant.output_matrix()[(0, j)];
+        }
 
         Ok(SwitchedApplication {
             name: self.name,
@@ -424,6 +461,8 @@ impl SwitchedApplicationBuilder {
             slow_gain,
             a_tt,
             a_et,
+            a_tt_aug,
+            c_aug,
             sampling_period,
             settling: Settling::new(settling_threshold),
             disturbance_state,
@@ -458,7 +497,10 @@ mod tests {
             .plant(plant.clone())
             .build()
             .unwrap_err();
-        assert!(matches!(err, CoreError::MissingField { field: "fast_gain" }));
+        assert!(matches!(
+            err,
+            CoreError::MissingField { field: "fast_gain" }
+        ));
         let err = SwitchedApplication::builder("x")
             .plant(plant.clone())
             .fast_gain(StateFeedback::from_slice(&[1.0]))
@@ -504,8 +546,7 @@ mod tests {
     #[test]
     fn default_disturbance_state_is_unit_first_state() {
         let plant =
-            StateSpace::from_slices(&[&[0.9, 0.0], &[0.1, 0.8]], &[0.1, 0.0], &[1.0, 0.0])
-                .unwrap();
+            StateSpace::from_slices(&[&[0.9, 0.0], &[0.1, 0.8]], &[0.1, 0.0], &[1.0, 0.0]).unwrap();
         let app = SwitchedApplication::builder("x")
             .plant(plant)
             .fast_gain(StateFeedback::from_slice(&[1.0, 0.0]))
@@ -582,7 +623,11 @@ mod tests {
     fn simulate_from_custom_state_validates_dimension() {
         let app = demo_app();
         assert!(app
-            .simulate_modes_from(&[Mode::TimeTriggered], &Vector::from_slice(&[1.0, 2.0]), 0.0)
+            .simulate_modes_from(
+                &[Mode::TimeTriggered],
+                &Vector::from_slice(&[1.0, 2.0]),
+                0.0
+            )
             .is_err());
     }
 

@@ -189,7 +189,8 @@ mod tests {
     #[test]
     fn static_frames_transmit_every_cycle() {
         let mut bus = BusSimulator::new(config());
-        bus.register(Frame::new(1, FrameKind::Static { slot: 0 })).unwrap();
+        bus.register(Frame::new(1, FrameKind::Static { slot: 0 }))
+            .unwrap();
         let reports = bus.run(3);
         assert_eq!(reports.len(), 3);
         assert!(reports.iter().all(|r| r.transmitted(1)));
@@ -200,10 +201,13 @@ mod tests {
     #[test]
     fn dynamic_frames_transmit_only_when_queued() {
         let mut bus = BusSimulator::new(config());
-        bus.register(Frame::new(2, FrameKind::Dynamic {
-            priority: 1,
-            minislots: 2,
-        }))
+        bus.register(Frame::new(
+            2,
+            FrameKind::Dynamic {
+                priority: 1,
+                minislots: 2,
+            },
+        ))
         .unwrap();
         let quiet = bus.step_cycle();
         assert!(!quiet.transmitted(2));
@@ -219,7 +223,8 @@ mod tests {
     #[test]
     fn slot_reassignment_models_the_middleware() {
         let mut bus = BusSimulator::new(config());
-        bus.register(Frame::new(1, FrameKind::Static { slot: 0 })).unwrap();
+        bus.register(Frame::new(1, FrameKind::Static { slot: 0 }))
+            .unwrap();
         assert!(bus.step_cycle().transmitted(1));
         bus.reassign_static_slot(0, Some(9)).unwrap();
         let report = bus.step_cycle();
@@ -232,13 +237,19 @@ mod tests {
     #[test]
     fn register_propagates_segment_errors() {
         let mut bus = BusSimulator::new(config());
-        bus.register(Frame::new(1, FrameKind::Static { slot: 0 })).unwrap();
-        assert!(bus.register(Frame::new(2, FrameKind::Static { slot: 0 })).is_err());
+        bus.register(Frame::new(1, FrameKind::Static { slot: 0 }))
+            .unwrap();
         assert!(bus
-            .register(Frame::new(3, FrameKind::Dynamic {
-                priority: 1,
-                minislots: 99,
-            }))
+            .register(Frame::new(2, FrameKind::Static { slot: 0 }))
+            .is_err());
+        assert!(bus
+            .register(Frame::new(
+                3,
+                FrameKind::Dynamic {
+                    priority: 1,
+                    minislots: 99,
+                }
+            ))
             .is_err());
         assert!(bus.queue_dynamic(42).is_err());
     }
@@ -246,16 +257,23 @@ mod tests {
     #[test]
     fn mixed_traffic_cycle_report() {
         let mut bus = BusSimulator::new(config());
-        bus.register(Frame::new(1, FrameKind::Static { slot: 1 })).unwrap();
-        bus.register(Frame::new(2, FrameKind::Dynamic {
-            priority: 2,
-            minislots: 3,
-        }))
+        bus.register(Frame::new(1, FrameKind::Static { slot: 1 }))
+            .unwrap();
+        bus.register(Frame::new(
+            2,
+            FrameKind::Dynamic {
+                priority: 2,
+                minislots: 3,
+            },
+        ))
         .unwrap();
-        bus.register(Frame::new(3, FrameKind::Dynamic {
-            priority: 1,
-            minislots: 4,
-        }))
+        bus.register(Frame::new(
+            3,
+            FrameKind::Dynamic {
+                priority: 1,
+                minislots: 4,
+            },
+        ))
         .unwrap();
         bus.queue_dynamic(2).unwrap();
         bus.queue_dynamic(3).unwrap();

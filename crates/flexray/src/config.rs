@@ -153,9 +153,11 @@ impl BusConfigBuilder {
     /// strictly smaller than the static slot length (the paper's `ψ ≪ Ψ`
     /// assumption).
     pub fn build(self) -> Result<BusConfig, FlexRayError> {
-        let static_slots = self.static_slots.ok_or_else(|| FlexRayError::InvalidConfig {
-            reason: "static slot count not set".to_string(),
-        })?;
+        let static_slots = self
+            .static_slots
+            .ok_or_else(|| FlexRayError::InvalidConfig {
+                reason: "static slot count not set".to_string(),
+            })?;
         let static_slot_length_us =
             self.static_slot_length_us
                 .ok_or_else(|| FlexRayError::InvalidConfig {

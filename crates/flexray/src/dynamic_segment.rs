@@ -192,10 +192,13 @@ mod tests {
     }
 
     fn dynamic(id: u32, priority: u32, minislots: usize) -> Frame {
-        Frame::new(id, FrameKind::Dynamic {
-            priority,
-            minislots,
-        })
+        Frame::new(
+            id,
+            FrameKind::Dynamic {
+                priority,
+                minislots,
+            },
+        )
     }
 
     #[test]

@@ -90,8 +90,12 @@ mod tests {
         assert!(FlexRayError::SlotOccupied { slot: 1, owner: 9 }
             .to_string()
             .contains("frame 9"));
-        assert!(FlexRayError::DuplicateFrame { id: 3 }.to_string().contains("3"));
-        assert!(FlexRayError::UnknownFrame { id: 3 }.to_string().contains("3"));
+        assert!(FlexRayError::DuplicateFrame { id: 3 }
+            .to_string()
+            .contains("3"));
+        assert!(FlexRayError::UnknownFrame { id: 3 }
+            .to_string()
+            .contains("3"));
         assert!(FlexRayError::FrameTooLong {
             id: 2,
             required: 10,

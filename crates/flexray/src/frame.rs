@@ -123,10 +123,13 @@ mod tests {
         assert_eq!(tt.priority(), None);
         assert_eq!(tt.minislots(), None);
 
-        let et = Frame::new(4, FrameKind::Dynamic {
-            priority: 7,
-            minislots: 3,
-        });
+        let et = Frame::new(
+            4,
+            FrameKind::Dynamic {
+                priority: 7,
+                minislots: 3,
+            },
+        );
         assert_eq!(et.priority(), Some(7));
         assert_eq!(et.minislots(), Some(3));
     }
@@ -135,10 +138,13 @@ mod tests {
     fn display_includes_kind() {
         let tt = Frame::new(3, FrameKind::Static { slot: 1 });
         assert!(tt.to_string().contains("static slot 1"));
-        let et = Frame::new(4, FrameKind::Dynamic {
-            priority: 7,
-            minislots: 3,
-        });
+        let et = Frame::new(
+            4,
+            FrameKind::Dynamic {
+                priority: 7,
+                minislots: 3,
+            },
+        );
         assert!(et.to_string().contains("priority 7"));
     }
 }

@@ -154,7 +154,10 @@ mod tests {
         s.assign(1, 100).unwrap();
         assert!(matches!(
             s.assign(1, 200),
-            Err(FlexRayError::SlotOccupied { slot: 1, owner: 100 })
+            Err(FlexRayError::SlotOccupied {
+                slot: 1,
+                owner: 100
+            })
         ));
         assert!(matches!(
             s.assign(2, 100),

@@ -27,10 +27,7 @@ use crate::{BusConfig, DynamicSegment, FlexRayError};
 /// the segment, and [`FlexRayError::FrameTooLong`] when, together with the
 /// worst-case interference, it can never fit (the analysis then has no finite
 /// bound under the all-pending assumption).
-pub fn dynamic_wcrt_cycles(
-    segment: &DynamicSegment,
-    frame_id: u32,
-) -> Result<usize, FlexRayError> {
+pub fn dynamic_wcrt_cycles(segment: &DynamicSegment, frame_id: u32) -> Result<usize, FlexRayError> {
     let frames: Vec<_> = segment.frames().collect();
     let target = frames
         .iter()
@@ -122,10 +119,13 @@ mod tests {
     fn segment_with(minislots: usize, frames: &[(u32, u32, usize)]) -> DynamicSegment {
         let mut seg = DynamicSegment::new(&config(minislots));
         for &(id, priority, slots) in frames {
-            seg.register(Frame::new(id, FrameKind::Dynamic {
-                priority,
-                minislots: slots,
-            }))
+            seg.register(Frame::new(
+                id,
+                FrameKind::Dynamic {
+                    priority,
+                    minislots: slots,
+                },
+            ))
             .unwrap();
         }
         seg

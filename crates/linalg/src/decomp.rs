@@ -230,8 +230,8 @@ mod tests {
 
     #[test]
     fn solve_known_system() {
-        let a = Matrix::from_rows(&[&[3.0, 2.0, -1.0], &[2.0, -2.0, 4.0], &[-1.0, 0.5, -1.0]])
-            .unwrap();
+        let a =
+            Matrix::from_rows(&[&[3.0, 2.0, -1.0], &[2.0, -2.0, 4.0], &[-1.0, 0.5, -1.0]]).unwrap();
         let b = Vector::from_slice(&[1.0, -2.0, 0.0]);
         let x = solve(&a, &b).unwrap();
         assert!(x.approx_eq(&Vector::from_slice(&[1.0, -2.0, -2.0]), 1e-9));
@@ -300,7 +300,9 @@ mod tests {
     fn solve_rejects_wrong_rhs_length() {
         let a = Matrix::identity(2);
         let lu = LuDecomposition::new(&a).unwrap();
-        assert!(lu.solve_vector(&Vector::from_slice(&[1.0, 2.0, 3.0])).is_err());
+        assert!(lu
+            .solve_vector(&Vector::from_slice(&[1.0, 2.0, 3.0]))
+            .is_err());
         assert!(lu.solve_matrix(&Matrix::zeros(3, 1)).is_err());
     }
 

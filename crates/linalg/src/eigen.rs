@@ -42,16 +42,19 @@ impl Complex {
     }
 
     /// Complex addition.
+    #[allow(clippy::should_implement_trait)]
     pub fn add(self, other: Complex) -> Complex {
         Complex::new(self.re + other.re, self.im + other.im)
     }
 
     /// Complex subtraction.
+    #[allow(clippy::should_implement_trait)]
     pub fn sub(self, other: Complex) -> Complex {
         Complex::new(self.re - other.re, self.im - other.im)
     }
 
     /// Complex multiplication.
+    #[allow(clippy::should_implement_trait)]
     pub fn mul(self, other: Complex) -> Complex {
         Complex::new(
             self.re * other.re - self.im * other.im,
@@ -65,6 +68,7 @@ impl Complex {
     ///
     /// Panics in debug builds if `other` is exactly zero; the root finder
     /// never divides by an exact zero because the iterates are perturbed.
+    #[allow(clippy::should_implement_trait)]
     pub fn div(self, other: Complex) -> Complex {
         let denom = other.re * other.re + other.im * other.im;
         debug_assert!(denom > 0.0, "complex division by zero");
@@ -212,10 +216,7 @@ pub fn polynomial_roots(coefficients: &[f64]) -> Result<Vec<Complex>, LinalgErro
 
     // Initial guesses on a circle whose radius bounds the roots (Cauchy bound),
     // with an irrational angle offset to avoid symmetric stagnation.
-    let radius = 1.0
-        + coeffs[1..]
-            .iter()
-            .fold(0.0_f64, |acc, c| acc.max(c.abs()));
+    let radius = 1.0 + coeffs[1..].iter().fold(0.0_f64, |acc, c| acc.max(c.abs()));
     let mut roots: Vec<Complex> = (0..degree)
         .map(|i| {
             let angle = 0.4 + 2.0 * std::f64::consts::PI * i as f64 / degree as f64;
@@ -259,9 +260,7 @@ pub fn polynomial_roots(coefficients: &[f64]) -> Result<Vec<Complex>, LinalgErro
     }
     // Repeated roots only converge linearly; accept the iterate anyway when the
     // polynomial residual at every root is already negligible.
-    let max_residual = roots
-        .iter()
-        .fold(0.0_f64, |acc, &z| acc.max(eval(z).abs()));
+    let max_residual = roots.iter().fold(0.0_f64, |acc, &z| acc.max(eval(z).abs()));
     if max_residual < 1e-8 * residual_scale {
         return Ok(finish(roots));
     }
@@ -380,11 +379,8 @@ mod tests {
     #[test]
     fn eigenvalues_of_rotation_matrix_are_complex() {
         let theta = 0.3_f64;
-        let a = Matrix::from_rows(&[
-            &[theta.cos(), -theta.sin()],
-            &[theta.sin(), theta.cos()],
-        ])
-        .unwrap();
+        let a = Matrix::from_rows(&[&[theta.cos(), -theta.sin()], &[theta.sin(), theta.cos()]])
+            .unwrap();
         let eig = eigenvalues(&a).unwrap();
         // Rotation matrices have eigenvalues e^{±iθ} with unit magnitude.
         for v in eig.values() {

@@ -98,10 +98,7 @@ impl Matrix {
         for (i, row) in rows.iter().enumerate() {
             if row.len() != cols {
                 return Err(LinalgError::InvalidShape {
-                    reason: format!(
-                        "row {i} has {} columns, expected {cols}",
-                        row.len()
-                    ),
+                    reason: format!("row {i} has {} columns, expected {cols}", row.len()),
                 });
             }
             data.extend_from_slice(row);
@@ -122,10 +119,7 @@ impl Matrix {
     pub fn from_vec(rows: usize, cols: usize, data: Vec<f64>) -> Result<Self, LinalgError> {
         if rows == 0 || cols == 0 || data.len() != rows * cols {
             return Err(LinalgError::InvalidShape {
-                reason: format!(
-                    "cannot reshape {} elements into {rows}x{cols}",
-                    data.len()
-                ),
+                reason: format!("cannot reshape {} elements into {rows}x{cols}", data.len()),
             });
         }
         Ok(Matrix { rows, cols, data })
@@ -313,22 +307,51 @@ impl Matrix {
     /// Returns [`LinalgError::DimensionMismatch`] when
     /// `self.cols() != x.len()`.
     pub fn mul_vector(&self, x: &Vector) -> Result<Vector, LinalgError> {
+        let mut out = Vector::zeros(self.rows);
+        self.gemv_into(x, &mut out)?;
+        Ok(out)
+    }
+
+    /// Allocation-free matrix-vector product `out = self * x` (BLAS `gemv`).
+    ///
+    /// This is the workhorse of the dwell-time search engine: every simulated
+    /// sample of a switched closed loop is exactly one `gemv_into` on a
+    /// pre-allocated buffer. The accumulation order (ascending columns,
+    /// starting from `0.0`) is identical to [`Matrix::mul_vector`], so the two
+    /// produce bitwise-identical results.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::DimensionMismatch`] when `self.cols() != x.len()`
+    /// or `self.rows() != out.len()`.
+    pub fn gemv_into(&self, x: &Vector, out: &mut Vector) -> Result<(), LinalgError> {
         if self.cols != x.len() {
             return Err(LinalgError::DimensionMismatch {
-                operation: "mul_vector",
+                operation: "gemv_into",
                 left: self.dims(),
                 right: (x.len(), 1),
             });
         }
-        let mut out = vec![0.0; self.rows];
-        for i in 0..self.rows {
-            let mut acc = 0.0;
-            for j in 0..self.cols {
-                acc += self[(i, j)] * x[j];
-            }
-            out[i] = acc;
+        if self.rows != out.len() {
+            return Err(LinalgError::DimensionMismatch {
+                operation: "gemv_into",
+                left: self.dims(),
+                right: (out.len(), 1),
+            });
         }
-        Ok(Vector::from_vec(out))
+        let xs = x.as_slice();
+        for (row, o) in self
+            .data
+            .chunks_exact(self.cols)
+            .zip(out.as_mut_slice().iter_mut())
+        {
+            let mut acc = 0.0;
+            for (a, b) in row.iter().zip(xs.iter()) {
+                acc += a * b;
+            }
+            *o = acc;
+        }
+        Ok(())
     }
 
     /// Multiplies every element by a scalar.
@@ -670,6 +693,19 @@ mod tests {
     }
 
     #[test]
+    fn gemv_into_matches_mul_vector() {
+        let a = Matrix::from_rows(&[&[1.5, -2.0, 0.25], &[0.0, 3.0, -1.0]]).unwrap();
+        let x = Vector::from_slice(&[0.1, -0.7, 2.0]);
+        let mut out = Vector::zeros(2);
+        a.gemv_into(&x, &mut out).unwrap();
+        assert_eq!(out, a.mul_vector(&x).unwrap());
+        // Dimension validation on both operands.
+        assert!(a.gemv_into(&Vector::zeros(2), &mut out).is_err());
+        let mut bad_out = Vector::zeros(3);
+        assert!(a.gemv_into(&x, &mut bad_out).is_err());
+    }
+
+    #[test]
     fn transpose_involution() {
         let a = Matrix::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]]).unwrap();
         assert_eq!(a.transpose().dims(), (3, 2));
@@ -697,8 +733,7 @@ mod tests {
 
     #[test]
     fn submatrix_extracts_block() {
-        let a = Matrix::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0], &[7.0, 8.0, 9.0]])
-            .unwrap();
+        let a = Matrix::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0], &[7.0, 8.0, 9.0]]).unwrap();
         let block = a.submatrix(1, 3, 0, 2).unwrap();
         let expected = Matrix::from_rows(&[&[4.0, 5.0], &[7.0, 8.0]]).unwrap();
         assert!(block.approx_eq(&expected, 1e-12));
@@ -726,8 +761,7 @@ mod tests {
         let a = Matrix::from_rows(&[&[1.0, 2.0]]).unwrap();
         let b = Matrix::from_rows(&[&[0.0, 3.0], &[1.0, 0.0]]).unwrap();
         let k = a.kronecker(&b);
-        let expected =
-            Matrix::from_rows(&[&[0.0, 3.0, 0.0, 6.0], &[1.0, 0.0, 2.0, 0.0]]).unwrap();
+        let expected = Matrix::from_rows(&[&[0.0, 3.0, 0.0, 6.0], &[1.0, 0.0, 2.0, 0.0]]).unwrap();
         assert!(k.approx_eq(&expected, 1e-12));
     }
 

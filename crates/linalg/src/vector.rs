@@ -66,6 +66,11 @@ impl Vector {
         &self.data
     }
 
+    /// Mutably borrow the underlying storage (for in-place kernels).
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
     /// Consumes the vector and returns the underlying storage.
     pub fn into_vec(self) -> Vec<f64> {
         self.data
@@ -109,6 +114,29 @@ impl Vector {
     pub fn scale(&self, factor: f64) -> Vector {
         Vector {
             data: self.data.iter().map(|x| x * factor).collect(),
+        }
+    }
+
+    /// Copies the elements of `other` into `self` without reallocating.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lengths differ.
+    pub fn copy_from(&mut self, other: &Vector) {
+        assert_eq!(self.len(), other.len(), "copy_from length mismatch");
+        self.data.copy_from_slice(&other.data);
+    }
+
+    /// In-place scaled accumulation `self += alpha · x` (BLAS `axpy`), with
+    /// no heap allocation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lengths differ.
+    pub fn axpy(&mut self, alpha: f64, x: &Vector) {
+        assert_eq!(self.len(), x.len(), "axpy length mismatch");
+        for (a, b) in self.data.iter_mut().zip(x.data.iter()) {
+            *a += alpha * b;
         }
     }
 
@@ -268,6 +296,35 @@ mod tests {
         assert_eq!((&b - &a).as_slice(), &[2.0, 3.0]);
         assert_eq!((&a * 2.0).as_slice(), &[2.0, 4.0]);
         assert_eq!((-&a).as_slice(), &[-1.0, -2.0]);
+    }
+
+    #[test]
+    fn in_place_kernels_match_allocating_ops() {
+        let mut a = Vector::from_slice(&[1.0, 2.0, 3.0]);
+        let b = Vector::from_slice(&[0.5, -1.0, 2.0]);
+        let reference = &a + &b.scale(2.0);
+        a.axpy(2.0, &b);
+        assert_eq!(a, reference);
+        let mut c = Vector::zeros(3);
+        c.copy_from(&a);
+        assert_eq!(c, a);
+        c.as_mut_slice()[1] = 0.0;
+        assert_eq!(c.get(1), Some(0.0));
+        assert_eq!(c.get(0), a.get(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "axpy length mismatch")]
+    fn axpy_rejects_length_mismatch() {
+        let mut a = Vector::zeros(2);
+        a.axpy(1.0, &Vector::zeros(3));
+    }
+
+    #[test]
+    #[should_panic(expected = "copy_from length mismatch")]
+    fn copy_from_rejects_length_mismatch() {
+        let mut a = Vector::zeros(2);
+        a.copy_from(&Vector::zeros(3));
     }
 
     #[test]

@@ -129,19 +129,12 @@ mod tests {
 
     #[test]
     fn model_checking_oracle_packs_compatible_applications() {
-        let profiles = vec![
-            profile("A", 10, 3),
-            profile("B", 10, 3),
-            profile("C", 0, 5),
-        ];
+        let profiles = vec![profile("A", 10, 3), profile("B", 10, 3), profile("C", 0, 5)];
         let report = first_fit(&profiles, &ModelCheckingOracle::new()).unwrap();
         // C cannot wait at all, so it needs its own slot; A and B share one.
         assert_eq!(report.slot_count(), 2);
         let c_index = 2;
-        assert!(report
-            .slots()
-            .iter()
-            .any(|slot| slot == &vec![c_index]));
+        assert!(report.slots().iter().any(|slot| slot == &vec![c_index]));
     }
 
     #[test]

@@ -115,7 +115,10 @@ mod tests {
         let apps = [profile("A", 10, 9), profile("B", 10, 9)];
         let exact = ModelCheckingOracle::new().admits(&apps).unwrap();
         let conservative = BaselineOracle::new().admits(&apps).unwrap();
-        assert!(exact || !conservative, "baseline must never accept more than the exact oracle");
+        assert!(
+            exact || !conservative,
+            "baseline must never accept more than the exact oracle"
+        );
     }
 
     #[test]

@@ -25,9 +25,7 @@
 /// // Equal laxity: the lower index wins.
 /// assert_eq!(select_by_laxity([(3, 2, 8), (1, 2, 8)].into_iter()), Some(1));
 /// ```
-pub fn select_by_laxity(
-    waiting: impl Iterator<Item = (usize, usize, usize)>,
-) -> Option<usize> {
+pub fn select_by_laxity(waiting: impl Iterator<Item = (usize, usize, usize)>) -> Option<usize> {
     waiting
         .map(|(index, waited, max_wait)| (max_wait.saturating_sub(waited), index))
         .min()

@@ -8,7 +8,7 @@
 
 use cps_core::{sequence, AppTimingProfile, SwitchedApplication};
 
-use crate::{ScheduleOutcome, SchedError, SlotScheduler};
+use crate::{SchedError, ScheduleOutcome, SlotScheduler};
 
 /// One application of a co-simulation scenario.
 #[derive(Debug, Clone, PartialEq)]
@@ -70,9 +70,7 @@ impl CosimResult {
         self.settling_samples
             .iter()
             .zip(profiles.iter())
-            .all(|(settling, profile)| {
-                settling.map(|j| j <= profile.jstar()).unwrap_or(false)
-            })
+            .all(|(settling, profile)| settling.map(|j| j <= profile.jstar()).unwrap_or(false))
     }
 }
 
@@ -122,8 +120,7 @@ impl CosimScenario {
     ///
     /// Propagates scheduler and simulation failures.
     pub fn run(&self) -> Result<CosimResult, SchedError> {
-        let profiles: Vec<AppTimingProfile> =
-            self.apps.iter().map(|a| a.profile.clone()).collect();
+        let profiles: Vec<AppTimingProfile> = self.apps.iter().map(|a| a.profile.clone()).collect();
         let scheduler = SlotScheduler::new(profiles)?;
         let disturbances: Vec<Vec<usize>> = self
             .apps

@@ -46,8 +46,14 @@ impl ScheduleOutcome {
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum AppState {
     Idle,
-    Waiting { waited: usize },
-    Using { waited: usize, received: usize, start: usize },
+    Waiting {
+        waited: usize,
+    },
+    Using {
+        waited: usize,
+        received: usize,
+        start: usize,
+    },
 }
 
 /// The discrete-time scheduler for one shared TT slot.
@@ -144,9 +150,7 @@ impl SlotScheduler {
 
             // 3. Release occupants that reached their maximum useful dwell.
             if let Some((app, waited, received, start)) = self.occupant(&states) {
-                let t_plus = self.profiles[app]
-                    .t_dw_plus(waited)
-                    .unwrap_or(0);
+                let t_plus = self.profiles[app].t_dw_plus(waited).unwrap_or(0);
                 if received >= t_plus {
                     grants.push(GrantRecord {
                         app,
@@ -287,7 +291,12 @@ mod tests {
     use super::*;
     use cps_core::DwellTimeTable;
 
-    fn profile(name: &str, max_wait: usize, dwell_min: usize, dwell_plus: usize) -> AppTimingProfile {
+    fn profile(
+        name: &str,
+        max_wait: usize,
+        dwell_min: usize,
+        dwell_plus: usize,
+    ) -> AppTimingProfile {
         let jstar = max_wait + dwell_plus + 1;
         let table = DwellTimeTable::from_arrays(
             jstar,
@@ -299,11 +308,7 @@ mod tests {
     }
 
     fn scheduler() -> SlotScheduler {
-        SlotScheduler::new(vec![
-            profile("A", 10, 3, 5),
-            profile("B", 4, 3, 5),
-        ])
-        .unwrap()
+        SlotScheduler::new(vec![profile("A", 10, 3, 5), profile("B", 4, 3, 5)]).unwrap()
     }
 
     #[test]
@@ -369,7 +374,10 @@ mod tests {
         assert!(outcome.all_deadlines_met());
         assert_eq!(outcome.grants().len(), 2);
         assert_eq!(outcome.traces()[0].waits, vec![0, 0]);
-        assert_eq!(outcome.traces()[0].tt_samples_relative_to(30), vec![0, 1, 2, 3, 4]);
+        assert_eq!(
+            outcome.traces()[0].tt_samples_relative_to(30),
+            vec![0, 1, 2, 3, 4]
+        );
     }
 
     #[test]

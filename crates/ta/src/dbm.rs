@@ -51,6 +51,7 @@ impl Bound {
     }
 
     /// Bound addition (used by the shortest-path closure).
+    #[allow(clippy::should_implement_trait)]
     pub fn add(self, other: Bound) -> Bound {
         match (self, other) {
             (Bound::Unbounded, _) | (_, Bound::Unbounded) => Bound::Unbounded,

@@ -57,9 +57,12 @@ mod tests {
 
     #[test]
     fn display_variants() {
-        assert!(TaError::UnknownEntity { kind: "clock", id: 3 }
-            .to_string()
-            .contains("clock"));
+        assert!(TaError::UnknownEntity {
+            kind: "clock",
+            id: 3
+        }
+        .to_string()
+        .contains("clock"));
         assert!(TaError::MissingInitialLocation {
             automaton: "app".to_string()
         }

@@ -217,7 +217,13 @@ mod tests {
         assert_eq!(ClockConstraint::lt(1, 2).to_string(), "x1 < 2");
         assert_eq!(ClockConstraint::ge(0, 5).to_string(), "x0 >= 5");
         assert_eq!(ClockConstraint::gt(0, 5).to_string(), "x0 > 5");
-        assert_eq!(ClockConstraint::diff_ge(0, 1, 2).to_string(), "x0 - x1 >= 2");
-        assert_eq!(ClockConstraint::diff_le(0, 1, 2).to_string(), "x0 - x1 <= 2");
+        assert_eq!(
+            ClockConstraint::diff_ge(0, 1, 2).to_string(),
+            "x0 - x1 >= 2"
+        );
+        assert_eq!(
+            ClockConstraint::diff_le(0, 1, 2).to_string(),
+            "x0 - x1 <= 2"
+        );
     }
 }

@@ -124,8 +124,7 @@ pub fn check_error_reachability(
         }
 
         // Synchronizing edge pairs.
-        for (send_index, send_edge, recv_index, recv_edge) in
-            network.sync_pairs(&current_locations)
+        for (send_index, send_edge, recv_index, recv_edge) in network.sync_pairs(&current_locations)
         {
             let mut zone = current_zone.clone();
             for constraint in network.global_guard(send_index, send_edge) {
@@ -313,8 +312,7 @@ mod tests {
         let o0 = other.add_location("o0");
         other.set_initial(o0);
 
-        let network =
-            Network::new(vec![sender.build().unwrap(), other.build().unwrap()]).unwrap();
+        let network = Network::new(vec![sender.build().unwrap(), other.build().unwrap()]).unwrap();
         let result = check_error_reachability(&network, 1_000).unwrap();
         assert!(!result.error_reachable());
     }

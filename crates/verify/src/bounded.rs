@@ -79,11 +79,8 @@ mod tests {
     #[test]
     fn bound_is_small_when_interarrival_dominates_the_window() {
         // Window = 10 + 4 = 14 ≪ r = 40 → bound of 2.
-        let model = SlotSharingModel::new(vec![
-            profile("A", 10, 4, 40),
-            profile("B", 8, 4, 40),
-        ])
-        .unwrap();
+        let model =
+            SlotSharingModel::new(vec![profile("A", 10, 4, 40), profile("B", 8, 4, 40)]).unwrap();
         assert_eq!(sufficient_instance_bound(&model), 2);
     }
 
@@ -97,11 +94,8 @@ mod tests {
 
     #[test]
     fn accelerated_verdict_matches_the_exact_one() {
-        let schedulable = SlotSharingModel::new(vec![
-            profile("A", 10, 3, 30),
-            profile("B", 10, 3, 30),
-        ])
-        .unwrap();
+        let schedulable =
+            SlotSharingModel::new(vec![profile("A", 10, 3, 30), profile("B", 10, 3, 30)]).unwrap();
         let unschedulable = SlotSharingModel::new(vec![
             profile("A", 2, 4, 30),
             profile("B", 2, 4, 30),

@@ -213,9 +213,8 @@ impl Explorer {
         }
 
         // 3. Scheduler decision for this sample.
-        let mut occupant: Option<usize> = cells
-            .iter()
-            .position(|c| matches!(c, Cell::Using { .. }));
+        let mut occupant: Option<usize> =
+            cells.iter().position(|c| matches!(c, Cell::Using { .. }));
 
         // Release occupants that have exhausted their useful dwell.
         if let Some(app) = occupant {
@@ -456,12 +455,17 @@ mod tests {
     use cps_core::{AppTimingProfile, DwellTimeTable};
 
     /// A profile with constant dwell times and a configurable deadline.
-    fn profile(name: &str, max_wait: usize, dwell_min: usize, dwell_plus: usize, r: usize) -> AppTimingProfile {
+    fn profile(
+        name: &str,
+        max_wait: usize,
+        dwell_min: usize,
+        dwell_plus: usize,
+        r: usize,
+    ) -> AppTimingProfile {
         let len = max_wait + 1;
         let jstar = max_wait + dwell_plus + 1;
-        let table =
-            DwellTimeTable::from_arrays(jstar, vec![dwell_min; len], vec![dwell_plus; len])
-                .unwrap();
+        let table = DwellTimeTable::from_arrays(jstar, vec![dwell_min; len], vec![dwell_plus; len])
+            .unwrap();
         AppTimingProfile::new(name, 1, jstar + 10, jstar, r.max(jstar + 1), table).unwrap()
     }
 
@@ -478,11 +482,9 @@ mod tests {
     fn two_applications_with_generous_deadlines_are_schedulable() {
         // Each needs at most 5 TT samples and can wait 10: even when both are
         // disturbed simultaneously the second one waits at most ~5 samples.
-        let model = SlotSharingModel::new(vec![
-            profile("A", 10, 3, 5, 30),
-            profile("B", 10, 3, 5, 30),
-        ])
-        .unwrap();
+        let model =
+            SlotSharingModel::new(vec![profile("A", 10, 3, 5, 30), profile("B", 10, 3, 5, 30)])
+                .unwrap();
         let outcome = verify(&model, &VerificationConfig::default()).unwrap();
         assert!(outcome.schedulable());
     }
@@ -492,11 +494,9 @@ mod tests {
         // An application that cannot wait at all (max_wait = 0) shares the
         // slot with another one that needs 5 samples once granted: if the
         // competitor is granted first the zero-laxity app must miss.
-        let model = SlotSharingModel::new(vec![
-            profile("A", 0, 5, 5, 30),
-            profile("B", 0, 5, 5, 30),
-        ])
-        .unwrap();
+        let model =
+            SlotSharingModel::new(vec![profile("A", 0, 5, 5, 30), profile("B", 0, 5, 5, 30)])
+                .unwrap();
         let outcome = verify(&model, &VerificationConfig::default()).unwrap();
         assert!(!outcome.schedulable());
         let witness = outcome.witness().unwrap();
@@ -539,11 +539,9 @@ mod tests {
 
     #[test]
     fn witness_scenario_contains_the_failing_application() {
-        let model = SlotSharingModel::new(vec![
-            profile("A", 0, 5, 5, 30),
-            profile("B", 0, 5, 5, 30),
-        ])
-        .unwrap();
+        let model =
+            SlotSharingModel::new(vec![profile("A", 0, 5, 5, 30), profile("B", 0, 5, 5, 30)])
+                .unwrap();
         let outcome = verify(&model, &VerificationConfig::default()).unwrap();
         let witness = outcome.witness().unwrap();
         let times = witness.disturbance_times(2);
@@ -574,11 +572,9 @@ mod tests {
 
     #[test]
     fn state_budget_exhaustion_is_reported() {
-        let model = SlotSharingModel::new(vec![
-            profile("A", 10, 3, 5, 60),
-            profile("B", 10, 3, 5, 60),
-        ])
-        .unwrap();
+        let model =
+            SlotSharingModel::new(vec![profile("A", 10, 3, 5, 60), profile("B", 10, 3, 5, 60)])
+                .unwrap();
         let result = verify(
             &model,
             &VerificationConfig {
@@ -596,11 +592,9 @@ mod tests {
     fn preemption_after_minimum_dwell_lets_tighter_apps_in() {
         // A holds the slot for at least 3 samples but up to 8; B can only wait
         // 4. If preemption at the minimum dwell works, B always makes it.
-        let model = SlotSharingModel::new(vec![
-            profile("A", 10, 3, 8, 40),
-            profile("B", 4, 3, 8, 40),
-        ])
-        .unwrap();
+        let model =
+            SlotSharingModel::new(vec![profile("A", 10, 3, 8, 40), profile("B", 4, 3, 8, 40)])
+                .unwrap();
         let outcome = verify(&model, &VerificationConfig::default()).unwrap();
         assert!(outcome.schedulable());
     }

@@ -26,7 +26,9 @@ pub enum VerifyError {
 impl fmt::Display for VerifyError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            VerifyError::EmptyModel => write!(f, "slot-sharing model needs at least one application"),
+            VerifyError::EmptyModel => {
+                write!(f, "slot-sharing model needs at least one application")
+            }
             VerifyError::InvalidConfig { reason } => write!(f, "invalid configuration: {reason}"),
             VerifyError::StateBudgetExhausted { budget } => {
                 write!(f, "verification exceeded the state budget of {budget}")

@@ -36,6 +36,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         );
     }
     let profiles: Vec<_> = scenario.apps().iter().map(|a| a.profile.clone()).collect();
-    println!("all requirements met: {}", result.all_meet_requirements(&profiles));
+    println!(
+        "all requirements met: {}",
+        result.all_meet_requirements(&profiles)
+    );
     Ok(())
 }

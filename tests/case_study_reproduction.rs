@@ -30,7 +30,9 @@ fn table1_settling_times_match_for_c1_and_c6() {
 #[test]
 fn c1_dwell_table_reproduces_the_published_arrays() {
     let c1 = case_study::c1().unwrap();
-    let profile = c1.profile_with(CaseStudyApp::fast_search_options()).unwrap();
+    let profile = c1
+        .profile_with(CaseStudyApp::fast_search_options())
+        .unwrap();
     assert_eq!(profile.max_wait(), c1.paper_row().t_w_max);
     assert_eq!(
         profile.dwell_table().t_dw_min_array(),

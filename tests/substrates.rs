@@ -36,10 +36,13 @@ fn flexray_configuration_supports_the_one_sample_delay_abstraction() {
     let mut segment = DynamicSegment::new(&config);
     for (id, priority) in [(10, 1), (20, 2), (30, 3), (40, 4), (50, 5), (60, 6)] {
         segment
-            .register(Frame::new(id, FrameKind::Dynamic {
-                priority,
-                minislots: 4,
-            }))
+            .register(Frame::new(
+                id,
+                FrameKind::Dynamic {
+                    priority,
+                    minislots: 4,
+                },
+            ))
             .unwrap();
     }
     assert!(wcrt::one_sample_delay_is_sound(&config, &segment, 0.02).unwrap());

@@ -42,8 +42,13 @@ fn unschedulable_verdicts_come_with_replayable_witnesses() {
 
     let witness = outcome.witness().expect("counterexample available");
     let disturbances = witness.disturbance_times(profiles.len());
-    let horizon = 1 + witness.missed_at_sample()
-        + profiles.iter().map(|p| p.min_inter_arrival()).max().unwrap();
+    let horizon = 1
+        + witness.missed_at_sample()
+        + profiles
+            .iter()
+            .map(|p| p.min_inter_arrival())
+            .max()
+            .unwrap();
     let scheduler = SlotScheduler::new(profiles).unwrap();
     let schedule = scheduler.schedule(&disturbances, horizon).unwrap();
     assert!(!schedule.all_deadlines_met());
