@@ -7,13 +7,14 @@
 //! Writes `BENCH_dwell.json` at the repository root to seed the performance
 //! trajectory.
 //!
-//! Run with `cargo run --release -p cps-bench --bin bench_dwell`.
+//! Run with `cargo run --release -p cps-bench --bin bench_dwell` (append
+//! `-- --quick` for the reduced sizes the CI bench-smoke job uses).
 
 use std::fmt::Write as _;
 use std::path::Path;
 use std::time::Instant;
 
-use cps_apps::case_study;
+use cps_apps::case_study::{self, CaseStudyApp};
 use cps_core::dwell::{
     compute_dwell_table_with_threads, reference, settling_surface_with_threads, DwellSearchOptions,
 };
@@ -61,7 +62,14 @@ impl AppReport {
 }
 
 fn main() {
-    let options = DwellSearchOptions::default();
+    let quick = std::env::args().any(|a| a == "--quick");
+    let options = if quick {
+        // The reduced search window the case-study reproduction itself uses;
+        // small enough for a CI smoke run, still covering every app.
+        CaseStudyApp::fast_search_options()
+    } else {
+        DwellSearchOptions::default()
+    };
     let threads = DwellEngine::default_threads();
     if threads == 1 {
         eprintln!(
@@ -160,7 +168,7 @@ fn main() {
         reports.push(report);
     }
 
-    let json = render_json(&options, threads, &reports);
+    let json = render_json(quick, &options, threads, &reports);
     let out_path = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_dwell.json");
     std::fs::write(&out_path, json).expect("writes BENCH_dwell.json");
     println!("wrote {}", out_path.display());
@@ -176,9 +184,15 @@ fn main() {
     println!("worst single-thread speedup: table {worst_table:.1}x, surface {worst_surface:.1}x");
 }
 
-fn render_json(options: &DwellSearchOptions, threads: usize, reports: &[AppReport]) -> String {
+fn render_json(
+    quick: bool,
+    options: &DwellSearchOptions,
+    threads: usize,
+    reports: &[AppReport],
+) -> String {
     let mut json = String::new();
     json.push_str("{\n");
+    let _ = writeln!(json, "  \"quick\": {quick},");
     let _ = writeln!(
         json,
         "  \"options\": {{\"horizon\": {}, \"max_dwell\": {}, \"max_wait\": {}}},",

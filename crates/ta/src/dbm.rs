@@ -108,6 +108,14 @@ pub struct Dbm {
     bounds: Vec<Bound>,
 }
 
+impl Default for Dbm {
+    /// The zero-clock zone — a placeholder for scratch buffers that are
+    /// always overwritten via [`Dbm::copy_from`] before use.
+    fn default() -> Self {
+        Dbm::zero(0)
+    }
+}
+
 impl Dbm {
     /// The zone in which every clock equals zero.
     pub fn zero(clocks: usize) -> Self {
@@ -142,6 +150,37 @@ impl Dbm {
     /// The bound on `xᵢ − xⱼ` (indices include the reference clock 0).
     pub fn bound(&self, i: usize, j: usize) -> Bound {
         self.bounds[i * self.dim() + j]
+    }
+
+    /// The raw row-major bound matrix, `(clocks + 1)²` entries.
+    ///
+    /// Used by the zone-graph explorer to store zones in a flat arena; two
+    /// canonical zones over the same clocks are included in one another
+    /// exactly when [`bounds_included_in`] holds entry-wise on these slices.
+    pub fn as_bounds(&self) -> &[Bound] {
+        &self.bounds
+    }
+
+    /// Overwrites this zone with `other` without reallocating when the
+    /// dimensions already match.
+    pub fn copy_from(&mut self, other: &Dbm) {
+        self.clocks = other.clocks;
+        self.bounds.clear();
+        self.bounds.extend_from_slice(&other.bounds);
+    }
+
+    /// Overwrites this zone with a raw bound matrix previously obtained from
+    /// [`Dbm::as_bounds`] of a zone over `clocks` clocks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bounds` is not a `(clocks + 1)²` matrix.
+    pub fn copy_from_bounds(&mut self, clocks: usize, bounds: &[Bound]) {
+        let dim = clocks + 1;
+        assert_eq!(bounds.len(), dim * dim, "bound matrix has the wrong size");
+        self.clocks = clocks;
+        self.bounds.clear();
+        self.bounds.extend_from_slice(bounds);
     }
 
     fn set_bound(&mut self, i: usize, j: usize, bound: Bound) {
@@ -200,11 +239,27 @@ impl Dbm {
 
     /// Conjoins the zone with a single clock constraint and re-canonicalizes.
     pub fn constrain(&mut self, constraint: &ClockConstraint) {
+        if self.tighten(constraint) {
+            self.canonicalize();
+        }
+    }
+
+    /// Tightens the DBM entry of a single constraint **without**
+    /// re-canonicalizing; returns `true` when the entry actually changed.
+    ///
+    /// Conjoining a whole guard is `tighten` per constraint followed by one
+    /// [`Dbm::canonicalize`] — the shortest-path closure of the intersection
+    /// is the same whether the closure runs after each tightening or once at
+    /// the end, so this saves `O(n³)` work per extra constraint. The hot
+    /// exploration loop in [`crate::explorer`] relies on it.
+    pub fn tighten(&mut self, constraint: &ClockConstraint) -> bool {
         let (i, j, bound) = constraint.as_dbm_entry();
         let tightened = bound.min(self.bound(i, j));
         if tightened != self.bound(i, j) {
             self.set_bound(i, j, tightened);
-            self.canonicalize();
+            true
+        } else {
+            false
         }
     }
 
@@ -220,10 +275,7 @@ impl Dbm {
     /// `other`. Both zones must be canonical.
     pub fn included_in(&self, other: &Dbm) -> bool {
         debug_assert_eq!(self.clocks, other.clocks);
-        self.bounds
-            .iter()
-            .zip(other.bounds.iter())
-            .all(|(a, b)| a.tighter_or_equal(b))
+        bounds_included_in(&self.bounds, &other.bounds)
     }
 
     /// Classic `k`-extrapolation: bounds larger than `k` become unbounded and
@@ -246,6 +298,15 @@ impl Dbm {
         }
         self.canonicalize();
     }
+}
+
+/// Entry-wise zone inclusion on raw bound matrices (see [`Dbm::as_bounds`]):
+/// `true` when the canonical zone stored in `a` is contained in the one
+/// stored in `b`. Both slices must come from canonical zones over the same
+/// clock set.
+pub fn bounds_included_in(a: &[Bound], b: &[Bound]) -> bool {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter().zip(b.iter()).all(|(x, y)| x.tighter_or_equal(y))
 }
 
 impl fmt::Display for Dbm {
@@ -377,6 +438,50 @@ mod tests {
     }
 
     #[test]
+    fn tighten_defers_canonicalization() {
+        let mut batched = Dbm::zero(2);
+        batched.up();
+        let mut sequential = batched.clone();
+        let guard = [
+            ClockConstraint::ge(0, 2),
+            ClockConstraint::le(0, 9),
+            ClockConstraint::diff_le(1, 0, 3),
+        ];
+        for c in &guard {
+            sequential.constrain(c);
+            batched.tighten(c);
+        }
+        batched.canonicalize();
+        // One closure at the end reaches the same canonical form as a
+        // closure after every constraint.
+        assert_eq!(batched, sequential);
+        // Re-tightening with an already-implied constraint reports no change.
+        assert!(!batched.tighten(&ClockConstraint::le(0, 9)));
+    }
+
+    #[test]
+    fn copy_from_and_raw_bounds_round_trip() {
+        let mut source = Dbm::zero(2);
+        source.up();
+        source.constrain(&ClockConstraint::le(0, 4));
+        let mut target = Dbm::zero(2);
+        target.copy_from(&source);
+        assert_eq!(target, source);
+        let mut reloaded = Dbm::universe(2);
+        reloaded.copy_from_bounds(source.clocks(), source.as_bounds());
+        assert_eq!(reloaded, source);
+        assert!(bounds_included_in(source.as_bounds(), target.as_bounds()));
+    }
+
+    #[test]
+    #[should_panic(expected = "wrong size")]
+    fn loading_mismatched_bounds_panics() {
+        let source = Dbm::zero(1);
+        let mut target = Dbm::zero(2);
+        target.copy_from_bounds(2, source.as_bounds());
+    }
+
+    #[test]
     fn display_renders_a_square_matrix() {
         let zone = Dbm::zero(1);
         let text = zone.to_string();
@@ -408,6 +513,60 @@ mod tests {
                 zone.reset(0);
                 prop_assert!(zone.satisfies(&ClockConstraint::le(0, 0)));
                 prop_assert!(!zone.satisfies(&ClockConstraint::ge(0, 1)));
+            }
+
+            #[test]
+            fn canonicalize_is_idempotent(lo in 0i64..20, hi in 0i64..20, d in -10i64..10) {
+                let mut zone = Dbm::zero(2);
+                zone.up();
+                zone.tighten(&ClockConstraint::ge(0, lo));
+                zone.tighten(&ClockConstraint::le(0, hi));
+                zone.tighten(&ClockConstraint::diff_le(0, 1, d));
+                zone.canonicalize();
+                if zone.is_empty() {
+                    // A negative cycle has no well-defined closure; the only
+                    // stable property is that the zone stays empty.
+                    zone.canonicalize();
+                    prop_assert!(zone.is_empty());
+                } else {
+                    let once = zone.clone();
+                    zone.canonicalize();
+                    prop_assert_eq!(once, zone);
+                }
+            }
+
+            #[test]
+            fn inclusion_is_reflexive_and_transitive(hi in 1i64..30, cut_a in 0i64..30, cut_b in 0i64..30) {
+                // Three canonical zones nested by construction: every
+                // `constrain` only removes valuations.
+                let mut outer = Dbm::zero(2);
+                outer.up();
+                outer.constrain(&ClockConstraint::le(0, hi));
+                let mut middle = outer.clone();
+                middle.constrain(&ClockConstraint::le(0, cut_a));
+                let mut inner = middle.clone();
+                inner.constrain(&ClockConstraint::le(1, cut_b));
+                for zone in [&outer, &middle, &inner] {
+                    prop_assert!(zone.included_in(zone));
+                }
+                prop_assert!(inner.included_in(&middle));
+                prop_assert!(middle.included_in(&outer));
+                prop_assert!(inner.included_in(&outer));
+            }
+
+            #[test]
+            fn up_then_extrapolate_preserves_emptiness(lo in 0i64..40, hi in 0i64..40, k in 1i64..20) {
+                // `lo > hi` produces an empty zone; both operations must keep
+                // empty zones empty and non-empty zones non-empty.
+                let mut zone = Dbm::zero(1);
+                zone.up();
+                zone.constrain(&ClockConstraint::ge(0, lo));
+                zone.constrain(&ClockConstraint::le(0, hi));
+                let was_empty = zone.is_empty();
+                prop_assert_eq!(was_empty, lo > hi);
+                zone.up();
+                zone.extrapolate(k);
+                prop_assert_eq!(zone.is_empty(), was_empty);
             }
 
             #[test]

@@ -1,0 +1,424 @@
+//! Allocation-lean zone-graph exploration engine.
+//!
+//! [`ZoneGraphExplorer`] answers the same question as
+//! [`crate::reachability::check_error_reachability`] — "is any error location
+//! reachable?" — but is built for throughput:
+//!
+//! * **Location interning** — every distinct location vector is mapped once
+//!   to a dense `u32` id. The per-successor visited lookup hashes a borrowed
+//!   `&[LocationId]` slice against `Box<[LocationId]>` keys instead of
+//!   cloning a `Vec<LocationId>` per candidate state.
+//! * **Flat zone arena** — all stored zones live in one `Vec<Bound>`; the
+//!   per-location visited list holds indices into it, so the inclusion check
+//!   walks contiguous slices instead of chasing per-zone heap allocations.
+//! * **Bidirectional subsumption** — a successor included in a stored zone is
+//!   dropped (the classic forward check), *and* stored states whose zone is
+//!   included in a newly found larger zone are evicted; if they are still
+//!   queued they are marked dead and skipped when popped, so the engine never
+//!   expands work that a larger zone already covers.
+//! * **Scratch-buffer successor generation** — two reusable [`Dbm`] buffers
+//!   (`cur`, `succ`) are threaded through the loop; guard, reset, invariant,
+//!   delay and extrapolation all run in place via [`Dbm::tighten`] +
+//!   one deferred [`Dbm::canonicalize`], so generating a successor performs
+//!   zero heap allocations once the buffers are warm.
+//!
+//! The naive breadth-first search is kept as
+//! [`crate::reachability::reference`] and serves as the correctness oracle:
+//! `cps-ta`'s tests (and `cps-bench`'s `bench_reach`) assert verdict and
+//! witness equivalence between the two on every model they touch.
+//!
+//! The explorer is reusable: all buffers (arena, queue, interner, scratch
+//! zones) survive across [`ZoneGraphExplorer::check`] calls, so verifying a
+//! batch of networks amortizes every allocation.
+
+use std::collections::{HashMap, VecDeque};
+
+use crate::automaton::{Edge, LocationId};
+use crate::dbm::{bounds_included_in, Bound, Dbm};
+use crate::network::Network;
+use crate::reachability::ReachabilityResult;
+use crate::TaError;
+
+const NO_PARENT: u32 = u32::MAX;
+
+/// One stored symbolic state. The location vector lives in the interner and
+/// the zone in the arena, so the record itself is four words.
+#[derive(Debug, Clone, Copy)]
+struct StateRecord {
+    /// Interned location-vector id.
+    loc: u32,
+    /// Zone slot in the arena (slot × zone_len is the slice offset).
+    zone: u32,
+    /// Index of the parent state, or [`NO_PARENT`].
+    parent: u32,
+    /// Cleared when a later, larger zone at the same location subsumed this
+    /// state while it was still queued.
+    alive: bool,
+}
+
+/// Reusable allocation-lean zone-graph reachability engine.
+///
+/// # Example
+///
+/// ```
+/// use cps_ta::{automaton::TimedAutomatonBuilder, guard::ClockConstraint, network::Network};
+/// use cps_ta::explorer::ZoneGraphExplorer;
+///
+/// # fn main() -> Result<(), cps_ta::TaError> {
+/// let mut b = TimedAutomatonBuilder::new("demo");
+/// let x = b.add_clock("x");
+/// let start = b.add_location("start");
+/// let error = b.add_error_location("error");
+/// b.set_initial(start);
+/// b.add_invariant(start, ClockConstraint::le(x, 5))?;
+/// b.add_edge(start, error, vec![ClockConstraint::ge(x, 10)], vec![], None)?;
+/// let network = Network::new(vec![b.build()?])?;
+///
+/// let mut explorer = ZoneGraphExplorer::new();
+/// let result = explorer.check(&network, 10_000)?;
+/// assert!(!result.error_reachable());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Default)]
+pub struct ZoneGraphExplorer {
+    /// Interner: location vector → dense id. Lookups borrow `&[LocationId]`;
+    /// only genuinely new vectors allocate.
+    loc_index: HashMap<Box<[LocationId]>, u32>,
+    /// Reverse interner, indexed by location id.
+    loc_vecs: Vec<Box<[LocationId]>>,
+    /// Per location id: indices of states whose zone is stored (the visited
+    /// list the inclusion check walks).
+    loc_zones: Vec<Vec<u32>>,
+    /// All stored zones, back to back; zone slot `s` occupies
+    /// `arena[s * zone_len .. (s + 1) * zone_len]`.
+    arena: Vec<Bound>,
+    states: Vec<StateRecord>,
+    queue: VecDeque<u32>,
+    /// Scratch: zone of the state currently being expanded.
+    cur: Dbm,
+    /// Scratch: successor zone under construction.
+    succ: Dbm,
+    cur_locs: Vec<LocationId>,
+    succ_locs: Vec<LocationId>,
+    sync_buf_capacity: usize,
+}
+
+impl ZoneGraphExplorer {
+    /// Creates an engine with empty buffers.
+    pub fn new() -> Self {
+        ZoneGraphExplorer::default()
+    }
+
+    /// Checks whether any error location of the network is reachable.
+    ///
+    /// Semantics (verdict, witness shape, budget accounting) match
+    /// [`crate::reachability::reference::check_error_reachability`]:
+    /// `state_budget` bounds the number of symbolic states *popped and
+    /// expanded*, and exceeding it is an error rather than a verdict.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TaError::StateBudgetExhausted`] when the exploration pops
+    /// more than `state_budget` states.
+    pub fn check(
+        &mut self,
+        network: &Network,
+        state_budget: usize,
+    ) -> Result<ReachabilityResult, TaError> {
+        self.reset();
+        let clocks = network.total_clocks();
+        let dim = clocks + 1;
+        let zone_len = dim * dim;
+        let max_constant = network.max_constant();
+
+        let ZoneGraphExplorer {
+            loc_index,
+            loc_vecs,
+            loc_zones,
+            arena,
+            states,
+            queue,
+            cur,
+            succ,
+            cur_locs,
+            succ_locs,
+            sync_buf_capacity,
+        } = self;
+
+        // Reusable buffer of enabled sync pairs (references into `network`).
+        let mut sync_pairs: Vec<(usize, &Edge, usize, &Edge)> =
+            Vec::with_capacity(*sync_buf_capacity);
+
+        // Initial state: all clocks zero, invariants applied, delay allowed.
+        let initial_locations = network.initial_locations();
+        *succ = Dbm::zero(clocks);
+        apply_invariants_and_delay(network, &initial_locations, succ);
+        let initial_loc = intern(loc_index, loc_vecs, loc_zones, &initial_locations);
+        push_state(
+            arena,
+            states,
+            queue,
+            &mut loc_zones[initial_loc as usize],
+            initial_loc,
+            NO_PARENT,
+            succ.as_bounds(),
+        );
+
+        let mut explored = 0usize;
+        while let Some(index) = queue.pop_front() {
+            let record = states[index as usize];
+            if !record.alive {
+                continue;
+            }
+            explored += 1;
+            if explored > state_budget {
+                *sync_buf_capacity = sync_pairs.capacity();
+                return Err(TaError::StateBudgetExhausted {
+                    budget: state_budget,
+                });
+            }
+
+            cur_locs.clear();
+            cur_locs.extend_from_slice(&loc_vecs[record.loc as usize]);
+            cur.copy_from_bounds(clocks, zone_slice(arena, record.zone, zone_len));
+
+            if network.any_error(cur_locs) {
+                *sync_buf_capacity = sync_pairs.capacity();
+                return Ok(ReachabilityResult::new(
+                    true,
+                    explored,
+                    Some(reconstruct_trace(states, loc_vecs, index)),
+                ));
+            }
+
+            // Non-synchronizing edges.
+            for (automaton_index, edge) in network.local_edges(cur_locs) {
+                succ.copy_from(cur);
+                let mut changed = false;
+                for constraint in network.guard_iter(automaton_index, edge) {
+                    changed |= succ.tighten(&constraint);
+                }
+                if changed {
+                    succ.canonicalize();
+                }
+                if succ.is_empty() {
+                    continue;
+                }
+                for clock in network.resets_iter(automaton_index, edge) {
+                    succ.reset(clock);
+                }
+                succ_locs.clear();
+                succ_locs.extend_from_slice(cur_locs);
+                succ_locs[automaton_index] = edge.target();
+                apply_invariants_and_delay(network, succ_locs, succ);
+                if succ.is_empty() {
+                    continue;
+                }
+                succ.extrapolate(max_constant);
+                insert_successor(
+                    loc_index, loc_vecs, loc_zones, arena, states, queue, succ_locs, succ, index,
+                    zone_len,
+                );
+            }
+
+            // Synchronizing edge pairs.
+            network.sync_pairs_into(cur_locs, &mut sync_pairs);
+            for &(send_index, send_edge, recv_index, recv_edge) in &sync_pairs {
+                succ.copy_from(cur);
+                let mut changed = false;
+                for constraint in network.guard_iter(send_index, send_edge) {
+                    changed |= succ.tighten(&constraint);
+                }
+                for constraint in network.guard_iter(recv_index, recv_edge) {
+                    changed |= succ.tighten(&constraint);
+                }
+                if changed {
+                    succ.canonicalize();
+                }
+                if succ.is_empty() {
+                    continue;
+                }
+                for clock in network.resets_iter(send_index, send_edge) {
+                    succ.reset(clock);
+                }
+                for clock in network.resets_iter(recv_index, recv_edge) {
+                    succ.reset(clock);
+                }
+                succ_locs.clear();
+                succ_locs.extend_from_slice(cur_locs);
+                succ_locs[send_index] = send_edge.target();
+                succ_locs[recv_index] = recv_edge.target();
+                apply_invariants_and_delay(network, succ_locs, succ);
+                if succ.is_empty() {
+                    continue;
+                }
+                succ.extrapolate(max_constant);
+                insert_successor(
+                    loc_index, loc_vecs, loc_zones, arena, states, queue, succ_locs, succ, index,
+                    zone_len,
+                );
+            }
+        }
+
+        *sync_buf_capacity = sync_pairs.capacity();
+        Ok(ReachabilityResult::new(false, explored, None))
+    }
+
+    /// Clears all per-run state but keeps every buffer's capacity.
+    fn reset(&mut self) {
+        self.loc_index.clear();
+        self.loc_vecs.clear();
+        self.loc_zones.clear();
+        self.arena.clear();
+        self.states.clear();
+        self.queue.clear();
+        self.cur_locs.clear();
+        self.succ_locs.clear();
+    }
+}
+
+fn zone_slice(arena: &[Bound], slot: u32, zone_len: usize) -> &[Bound] {
+    let start = slot as usize * zone_len;
+    &arena[start..start + zone_len]
+}
+
+fn intern(
+    loc_index: &mut HashMap<Box<[LocationId]>, u32>,
+    loc_vecs: &mut Vec<Box<[LocationId]>>,
+    loc_zones: &mut Vec<Vec<u32>>,
+    locations: &[LocationId],
+) -> u32 {
+    if let Some(&id) = loc_index.get(locations) {
+        return id;
+    }
+    let id = loc_vecs.len() as u32;
+    let boxed: Box<[LocationId]> = locations.into();
+    loc_index.insert(boxed.clone(), id);
+    loc_vecs.push(boxed);
+    loc_zones.push(Vec::new());
+    id
+}
+
+/// Stores a zone + state record unconditionally (used for the initial state).
+fn push_state(
+    arena: &mut Vec<Bound>,
+    states: &mut Vec<StateRecord>,
+    queue: &mut VecDeque<u32>,
+    zone_list: &mut Vec<u32>,
+    loc: u32,
+    parent: u32,
+    bounds: &[Bound],
+) {
+    let slot = (arena.len() / bounds.len().max(1)) as u32;
+    arena.extend_from_slice(bounds);
+    let index = states.len() as u32;
+    states.push(StateRecord {
+        loc,
+        zone: slot,
+        parent,
+        alive: true,
+    });
+    zone_list.push(index);
+    queue.push_back(index);
+}
+
+/// Inclusion-checked insertion with bidirectional subsumption.
+#[allow(clippy::too_many_arguments)]
+fn insert_successor(
+    loc_index: &mut HashMap<Box<[LocationId]>, u32>,
+    loc_vecs: &mut Vec<Box<[LocationId]>>,
+    loc_zones: &mut Vec<Vec<u32>>,
+    arena: &mut Vec<Bound>,
+    states: &mut Vec<StateRecord>,
+    queue: &mut VecDeque<u32>,
+    locations: &[LocationId],
+    zone: &Dbm,
+    parent: u32,
+    zone_len: usize,
+) {
+    let loc = intern(loc_index, loc_vecs, loc_zones, locations);
+    let list = &mut loc_zones[loc as usize];
+    let new_bounds = zone.as_bounds();
+
+    // Forward subsumption: drop the successor when a stored zone covers it.
+    if list.iter().any(|&s| {
+        bounds_included_in(
+            new_bounds,
+            zone_slice(arena, states[s as usize].zone, zone_len),
+        )
+    }) {
+        return;
+    }
+
+    // Backward subsumption: evict stored zones the new one covers; states
+    // still queued are marked dead and skipped on pop.
+    list.retain(|&s| {
+        let covered = bounds_included_in(
+            zone_slice(arena, states[s as usize].zone, zone_len),
+            new_bounds,
+        );
+        if covered {
+            states[s as usize].alive = false;
+        }
+        !covered
+    });
+
+    let slot = (arena.len() / zone_len) as u32;
+    arena.extend_from_slice(new_bounds);
+    let index = states.len() as u32;
+    states.push(StateRecord {
+        loc,
+        zone: slot,
+        parent,
+        alive: true,
+    });
+    list.push(index);
+    queue.push_back(index);
+}
+
+/// Conjoins the invariants of the location vector and, unless a committed
+/// location forbids it, lets time pass (bounded again by the invariants).
+/// Batched: one canonicalization per tightening round instead of one per
+/// constraint.
+fn apply_invariants_and_delay(network: &Network, locations: &[LocationId], zone: &mut Dbm) {
+    let mut changed = false;
+    for constraint in network.invariants_iter(locations) {
+        changed |= zone.tighten(&constraint);
+    }
+    if changed {
+        zone.canonicalize();
+    }
+    if zone.is_empty() {
+        return;
+    }
+    if !network.any_committed(locations) {
+        zone.up();
+        let mut changed = false;
+        for constraint in network.invariants_iter(locations) {
+            changed |= zone.tighten(&constraint);
+        }
+        if changed {
+            zone.canonicalize();
+        }
+    }
+}
+
+fn reconstruct_trace(
+    states: &[StateRecord],
+    loc_vecs: &[Box<[LocationId]>],
+    index: u32,
+) -> Vec<Vec<LocationId>> {
+    let mut trace = Vec::new();
+    let mut cursor = index;
+    loop {
+        trace.push(loc_vecs[states[cursor as usize].loc as usize].to_vec());
+        let parent = states[cursor as usize].parent;
+        if parent == NO_PARENT {
+            break;
+        }
+        cursor = parent;
+    }
+    trace.reverse();
+    trace
+}

@@ -11,8 +11,13 @@
 //!   committed/error flags) and edges (guards, resets, channel
 //!   synchronization).
 //! * [`network`] — networks of automata communicating over binary channels.
-//! * [`reachability`] — breadth-first zone-graph exploration answering
-//!   "is any error location reachable?" with a witness trace.
+//! * [`explorer`] — the allocation-lean zone-graph engine (interned location
+//!   vectors, flat zone arena, bidirectional subsumption, scratch-buffer
+//!   successor generation).
+//! * [`reachability`] — the public reachability API ("is any error location
+//!   reachable?", with a witness trace), backed by the engine, plus the
+//!   original clone-heavy BFS kept as [`reachability::reference`] — the
+//!   oracle the engine is validated against.
 //! * [`model`] — a conservative timed-automata model of TT-slot sharing in
 //!   the style of the prior-work analysis the paper compares against: each
 //!   application must be granted the slot before its deadline `T_w^*`, holds
@@ -50,6 +55,7 @@
 pub mod automaton;
 pub mod dbm;
 mod error;
+pub mod explorer;
 pub mod guard;
 pub mod model;
 pub mod network;
@@ -58,6 +64,7 @@ pub mod reachability;
 pub use automaton::{TimedAutomaton, TimedAutomatonBuilder};
 pub use dbm::Dbm;
 pub use error::TaError;
+pub use explorer::ZoneGraphExplorer;
 pub use guard::ClockConstraint;
 pub use network::Network;
 pub use reachability::{check_error_reachability, ReachabilityResult};
@@ -74,5 +81,6 @@ mod tests {
         assert_send_sync::<TimedAutomaton>();
         assert_send_sync::<Network>();
         assert_send_sync::<ReachabilityResult>();
+        assert_send_sync::<ZoneGraphExplorer>();
     }
 }

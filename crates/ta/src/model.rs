@@ -133,6 +133,119 @@ pub fn blocking_bound_is_safe(params: BlockingModelParams) -> Result<bool, TaErr
     Ok(!check_blocking_bound(params)?.error_reachable())
 }
 
+/// Timing parameters of one application in the TDMA-style slot-sharing
+/// network built by [`slot_sharing_network`]. All quantities are in samples.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SlotAppParams {
+    /// Deadline `D = T_w^*` for being granted the slot after a disturbance.
+    pub deadline: i64,
+    /// Time the application keeps the slot once granted (`T_dw^{-*}`).
+    pub dwell: i64,
+    /// Minimum disturbance inter-arrival time `r`.
+    pub min_inter_arrival: i64,
+}
+
+/// Builds a FlexRay-style TDMA slot-sharing network: one *granter* automaton
+/// cycling through the applications' slot windows (each at most
+/// `slot_length` long, granting or skipping nondeterministically), plus one
+/// automaton per application in the style of the paper's Fig. 5
+/// (`ET_Wait → TT → ET_Safe`, with an `Error` location entered when the wait
+/// exceeds the deadline).
+///
+/// The wait of application `i` is bounded by the full cycle
+/// `n · slot_length` through an invariant, so its error location is
+/// reachable **iff** its deadline is shorter than the worst-case cycle the
+/// granter can impose — the composed zone graph grows quickly with the
+/// number of applications and the constants, which makes this family the
+/// `bench_reach` scaling workload.
+///
+/// # Errors
+///
+/// Returns [`TaError::InvalidConstraint`] when `apps` is empty, a parameter
+/// is negative, `slot_length` is not positive or `r` is not positive.
+pub fn slot_sharing_network(apps: &[SlotAppParams], slot_length: i64) -> Result<Network, TaError> {
+    if apps.is_empty() {
+        return Err(TaError::InvalidConstraint {
+            reason: "slot-sharing network needs at least one application".to_string(),
+        });
+    }
+    if slot_length <= 0 {
+        return Err(TaError::InvalidConstraint {
+            reason: "slot length must be strictly positive".to_string(),
+        });
+    }
+    for params in apps {
+        if params.deadline < 0 || params.dwell < 0 || params.min_inter_arrival <= 0 {
+            return Err(TaError::InvalidConstraint {
+                reason: "application parameters must be non-negative (r strictly positive)"
+                    .to_string(),
+            });
+        }
+    }
+    let cycle = slot_length * apps.len() as i64;
+
+    // Granter: one location per slot window; within a window it may grant
+    // the window's application (if that application is waiting) or skip; the
+    // invariant forces the window to close after `slot_length`.
+    let mut granter = TimedAutomatonBuilder::new("granter");
+    let y = granter.add_clock("y");
+    let windows: Vec<_> = (0..apps.len())
+        .map(|i| granter.add_location(format!("slot{i}")))
+        .collect();
+    granter.set_initial(windows[0]);
+    for (i, &window) in windows.iter().enumerate() {
+        let next = windows[(i + 1) % windows.len()];
+        granter.add_invariant(window, ClockConstraint::le(y, slot_length))?;
+        granter.add_edge(window, next, vec![], vec![y], Some(SyncAction::Send(i)))?;
+        granter.add_edge(window, next, vec![], vec![y], None)?;
+    }
+
+    let mut automata = vec![granter.build()?];
+    for (i, params) in apps.iter().enumerate() {
+        let mut app = TimedAutomatonBuilder::new(format!("app{i}"));
+        let x = app.add_clock("x");
+        let waiting = app.add_location("et_wait");
+        let using = app.add_location("tt");
+        let safe = app.add_location("et_safe");
+        let error = app.add_error_location("error");
+        app.set_initial(waiting);
+        // The cycle bound plays the role of the worst-case blocking window.
+        app.add_invariant(waiting, ClockConstraint::le(x, cycle))?;
+        app.add_edge(
+            waiting,
+            using,
+            vec![],
+            vec![x],
+            Some(SyncAction::Receive(i)),
+        )?;
+        app.add_edge(
+            waiting,
+            error,
+            vec![ClockConstraint::gt(x, params.deadline)],
+            vec![],
+            None,
+        )?;
+        app.add_invariant(using, ClockConstraint::le(x, params.dwell))?;
+        app.add_edge(
+            using,
+            safe,
+            vec![ClockConstraint::ge(x, params.dwell)],
+            vec![x],
+            None,
+        )?;
+        app.add_invariant(safe, ClockConstraint::le(x, params.min_inter_arrival))?;
+        app.add_edge(
+            safe,
+            waiting,
+            vec![ClockConstraint::ge(x, params.min_inter_arrival)],
+            vec![x],
+            None,
+        )?;
+        automata.push(app.build()?);
+    }
+    Network::new(automata)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -198,5 +311,67 @@ mod tests {
     fn exploration_stays_small() {
         let result = check_blocking_bound(params(11, 7)).unwrap();
         assert!(result.states_explored() < 50);
+    }
+
+    fn slot_apps(count: usize, deadline: i64) -> Vec<SlotAppParams> {
+        vec![
+            SlotAppParams {
+                deadline,
+                dwell: 3,
+                min_inter_arrival: 20,
+            };
+            count
+        ]
+    }
+
+    #[test]
+    fn slot_sharing_rejects_invalid_parameters() {
+        assert!(slot_sharing_network(&[], 5).is_err());
+        assert!(slot_sharing_network(&slot_apps(1, 10), 0).is_err());
+        assert!(slot_sharing_network(
+            &[SlotAppParams {
+                deadline: -1,
+                dwell: 3,
+                min_inter_arrival: 20,
+            }],
+            5
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn slot_sharing_deadline_beyond_the_cycle_is_safe() {
+        // Two applications, slot length 4 → worst-case cycle 8; deadlines of
+        // 8 can always be met, so the error is unreachable.
+        let network = slot_sharing_network(&slot_apps(2, 8), 4).unwrap();
+        let result = check_error_reachability(&network, 100_000).unwrap();
+        assert!(!result.error_reachable());
+    }
+
+    #[test]
+    fn slot_sharing_tight_deadline_reaches_the_error() {
+        // A deadline shorter than the cycle can be missed when the granter
+        // skips the application's window.
+        let network = slot_sharing_network(&slot_apps(2, 5), 4).unwrap();
+        let result = check_error_reachability(&network, 100_000).unwrap();
+        assert!(result.error_reachable());
+        let witness = result.witness().unwrap();
+        // The last vector contains an application in its error location (3).
+        assert!(witness.last().unwrap()[1..].contains(&3));
+    }
+
+    #[test]
+    fn slot_sharing_engine_agrees_with_reference() {
+        // Three-application networks take minutes in the reference engine
+        // (that asymmetry is exactly what `bench_reach` measures); the unit
+        // test sticks to one- and two-application models.
+        for (count, deadline, slot) in [(1, 2, 3), (2, 8, 4), (2, 5, 4)] {
+            let network = slot_sharing_network(&slot_apps(count, deadline), slot).unwrap();
+            let engine = check_error_reachability(&network, 500_000).unwrap();
+            let reference =
+                crate::reachability::reference::check_error_reachability(&network, 500_000)
+                    .unwrap();
+            assert_eq!(engine.error_reachable(), reference.error_reachable());
+        }
     }
 }

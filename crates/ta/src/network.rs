@@ -116,31 +116,56 @@ impl Network {
 
     /// The invariant constraints (in global clock ids) of a location vector.
     pub fn invariants(&self, locations: &[LocationId]) -> Vec<ClockConstraint> {
-        let mut constraints = Vec::new();
-        for (index, (automaton, &location)) in
-            self.automata.iter().zip(locations.iter()).enumerate()
-        {
-            let offset = self.clock_offsets[index];
-            for constraint in automaton.locations()[location].invariant() {
-                constraints.push(constraint.shift_clocks(offset));
-            }
-        }
-        constraints
+        self.invariants_iter(locations).collect()
+    }
+
+    /// Allocation-free variant of [`Network::invariants`]: streams the
+    /// invariant constraints of a location vector in global clock ids.
+    pub fn invariants_iter<'a>(
+        &'a self,
+        locations: &'a [LocationId],
+    ) -> impl Iterator<Item = ClockConstraint> + 'a {
+        self.automata
+            .iter()
+            .zip(locations.iter())
+            .enumerate()
+            .flat_map(move |(index, (automaton, &location))| {
+                let offset = self.clock_offsets[index];
+                automaton.locations()[location]
+                    .invariant()
+                    .iter()
+                    .map(move |c| c.shift_clocks(offset))
+            })
     }
 
     /// Shifts an edge's guard into the global clock space.
     pub fn global_guard(&self, automaton_index: usize, edge: &Edge) -> Vec<ClockConstraint> {
+        self.guard_iter(automaton_index, edge).collect()
+    }
+
+    /// Allocation-free variant of [`Network::global_guard`].
+    pub fn guard_iter<'a>(
+        &self,
+        automaton_index: usize,
+        edge: &'a Edge,
+    ) -> impl Iterator<Item = ClockConstraint> + 'a {
         let offset = self.clock_offsets[automaton_index];
-        edge.guard()
-            .iter()
-            .map(|c| c.shift_clocks(offset))
-            .collect()
+        edge.guard().iter().map(move |c| c.shift_clocks(offset))
     }
 
     /// Shifts an edge's resets into the global clock space.
     pub fn global_resets(&self, automaton_index: usize, edge: &Edge) -> Vec<usize> {
+        self.resets_iter(automaton_index, edge).collect()
+    }
+
+    /// Allocation-free variant of [`Network::global_resets`].
+    pub fn resets_iter<'a>(
+        &self,
+        automaton_index: usize,
+        edge: &'a Edge,
+    ) -> impl Iterator<Item = usize> + 'a {
         let offset = self.clock_offsets[automaton_index];
-        edge.resets().iter().map(|&c| c + offset).collect()
+        edge.resets().iter().map(move |&c| c + offset)
     }
 
     /// All enabled non-synchronizing edges from a location vector, as
@@ -175,8 +200,23 @@ impl Network {
         &'a self,
         locations: &'a [LocationId],
     ) -> Vec<(usize, &'a Edge, usize, &'a Edge)> {
-        let committed = self.any_committed(locations);
         let mut pairs = Vec::new();
+        self.sync_pairs_into(locations, &mut pairs);
+        pairs
+    }
+
+    /// Buffer-reusing variant of [`Network::sync_pairs`]: clears `out` and
+    /// fills it with the enabled synchronizing edge pairs, so a caller that
+    /// explores many states can keep one buffer alive instead of allocating a
+    /// fresh vector per state.
+    pub fn sync_pairs_into<'a>(
+        &'a self,
+        locations: &[LocationId],
+        out: &mut Vec<(usize, &'a Edge, usize, &'a Edge)>,
+    ) {
+        out.clear();
+        let committed = self.any_committed(locations);
+        let pairs = out;
         for (sender_index, sender) in self.automata.iter().enumerate() {
             for sender_edge in sender.edges_from(locations[sender_index]) {
                 let Some(SyncAction::Send(channel)) = sender_edge.sync() else {
@@ -209,7 +249,6 @@ impl Network {
                 }
             }
         }
-        pairs
     }
 }
 

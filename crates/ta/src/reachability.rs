@@ -1,15 +1,16 @@
 //! Zone-graph reachability analysis.
 //!
-//! The exploration is a breadth-first search over symbolic states
-//! `(location vector, zone)`. Zones are kept canonical and `k`-extrapolated,
-//! and a new symbolic state is only enqueued if it is not included in an
-//! already-visited zone at the same location vector — the standard inclusion
-//! check that keeps the zone graph finite and small.
+//! The public entry point [`check_error_reachability`] runs the
+//! allocation-lean [`crate::explorer::ZoneGraphExplorer`]; the original
+//! clone-per-transition breadth-first search is kept verbatim (modulo the
+//! budget-accounting fix) as [`reference::check_error_reachability`] and acts
+//! as the correctness oracle for the engine — tests and the `bench_reach`
+//! harness assert verdict and witness equivalence between the two.
 
 use std::collections::{HashMap, VecDeque};
 
 use crate::automaton::LocationId;
-use crate::dbm::Dbm;
+use crate::explorer::ZoneGraphExplorer;
 use crate::network::Network;
 use crate::TaError;
 
@@ -22,12 +23,24 @@ pub struct ReachabilityResult {
 }
 
 impl ReachabilityResult {
+    pub(crate) fn new(
+        error_reachable: bool,
+        states_explored: usize,
+        witness: Option<Vec<Vec<LocationId>>>,
+    ) -> Self {
+        ReachabilityResult {
+            error_reachable,
+            states_explored,
+            witness,
+        }
+    }
+
     /// Whether any error location is reachable.
     pub fn error_reachable(&self) -> bool {
         self.error_reachable
     }
 
-    /// Number of symbolic states that were explored.
+    /// Number of symbolic states that were popped and expanded.
     pub fn states_explored(&self) -> usize {
         self.states_explored
     }
@@ -39,18 +52,12 @@ impl ReachabilityResult {
     }
 }
 
-/// One symbolic state of the zone graph.
-#[derive(Debug, Clone)]
-struct SymbolicState {
-    locations: Vec<LocationId>,
-    zone: Dbm,
-    parent: Option<usize>,
-}
-
-/// Checks whether any error location of the network is reachable.
+/// Checks whether any error location of the network is reachable, using the
+/// allocation-lean [`ZoneGraphExplorer`] engine.
 ///
-/// `state_budget` bounds the number of symbolic states explored; exceeding it
-/// returns [`TaError::StateBudgetExhausted`] rather than an incorrect verdict.
+/// `state_budget` bounds the number of symbolic states explored (popped and
+/// expanded); exceeding it returns [`TaError::StateBudgetExhausted`] rather
+/// than an incorrect verdict.
 ///
 /// # Errors
 ///
@@ -60,146 +67,180 @@ pub fn check_error_reachability(
     network: &Network,
     state_budget: usize,
 ) -> Result<ReachabilityResult, TaError> {
-    let max_constant = network.max_constant();
-    let clocks = network.total_clocks();
-
-    // Initial symbolic state: all clocks zero, constrained by the invariants,
-    // then (if no committed location) allowed to delay within the invariants.
-    let initial_locations = network.initial_locations();
-    let mut initial_zone = Dbm::zero(clocks);
-    apply_invariants_and_delay(network, &initial_locations, &mut initial_zone);
-
-    let mut states: Vec<SymbolicState> = Vec::new();
-    let mut queue: VecDeque<usize> = VecDeque::new();
-    // Visited zones per location vector, used for the inclusion check.
-    let mut visited: HashMap<Vec<LocationId>, Vec<Dbm>> = HashMap::new();
-
-    states.push(SymbolicState {
-        locations: initial_locations.clone(),
-        zone: initial_zone.clone(),
-        parent: None,
-    });
-    queue.push_back(0);
-    visited.insert(initial_locations.clone(), vec![initial_zone]);
-
-    while let Some(index) = queue.pop_front() {
-        if states.len() > state_budget {
-            return Err(TaError::StateBudgetExhausted {
-                budget: state_budget,
-            });
-        }
-        let current_locations = states[index].locations.clone();
-        let current_zone = states[index].zone.clone();
-
-        if network.any_error(&current_locations) {
-            return Ok(ReachabilityResult {
-                error_reachable: true,
-                states_explored: states.len(),
-                witness: Some(reconstruct_trace(&states, index)),
-            });
-        }
-
-        let mut successors: Vec<(Vec<LocationId>, Dbm)> = Vec::new();
-
-        // Non-synchronizing edges.
-        for (automaton_index, edge) in network.local_edges(&current_locations) {
-            let mut zone = current_zone.clone();
-            for constraint in network.global_guard(automaton_index, edge) {
-                zone.constrain(&constraint);
-            }
-            if zone.is_empty() {
-                continue;
-            }
-            for clock in network.global_resets(automaton_index, edge) {
-                zone.reset(clock);
-            }
-            let mut locations = current_locations.clone();
-            locations[automaton_index] = edge.target();
-            apply_invariants_and_delay(network, &locations, &mut zone);
-            if zone.is_empty() {
-                continue;
-            }
-            zone.extrapolate(max_constant);
-            successors.push((locations, zone));
-        }
-
-        // Synchronizing edge pairs.
-        for (send_index, send_edge, recv_index, recv_edge) in network.sync_pairs(&current_locations)
-        {
-            let mut zone = current_zone.clone();
-            for constraint in network.global_guard(send_index, send_edge) {
-                zone.constrain(&constraint);
-            }
-            for constraint in network.global_guard(recv_index, recv_edge) {
-                zone.constrain(&constraint);
-            }
-            if zone.is_empty() {
-                continue;
-            }
-            for clock in network.global_resets(send_index, send_edge) {
-                zone.reset(clock);
-            }
-            for clock in network.global_resets(recv_index, recv_edge) {
-                zone.reset(clock);
-            }
-            let mut locations = current_locations.clone();
-            locations[send_index] = send_edge.target();
-            locations[recv_index] = recv_edge.target();
-            apply_invariants_and_delay(network, &locations, &mut zone);
-            if zone.is_empty() {
-                continue;
-            }
-            zone.extrapolate(max_constant);
-            successors.push((locations, zone));
-        }
-
-        for (locations, zone) in successors {
-            let seen = visited.entry(locations.clone()).or_default();
-            if seen.iter().any(|existing| zone.included_in(existing)) {
-                continue;
-            }
-            seen.push(zone.clone());
-            states.push(SymbolicState {
-                locations,
-                zone,
-                parent: Some(index),
-            });
-            queue.push_back(states.len() - 1);
-        }
-    }
-
-    Ok(ReachabilityResult {
-        error_reachable: false,
-        states_explored: states.len(),
-        witness: None,
-    })
+    ZoneGraphExplorer::new().check(network, state_budget)
 }
 
-/// Conjoins the invariants of the location vector and, unless a committed
-/// location forbids it, lets time pass (bounded again by the invariants).
-fn apply_invariants_and_delay(network: &Network, locations: &[LocationId], zone: &mut Dbm) {
-    for constraint in network.invariants(locations) {
-        zone.constrain(&constraint);
+/// The original breadth-first zone-graph search, kept as the oracle the
+/// engine is validated against.
+pub mod reference {
+    use super::*;
+    use crate::dbm::Dbm;
+
+    /// One symbolic state of the zone graph.
+    #[derive(Debug, Clone)]
+    struct SymbolicState {
+        locations: Vec<LocationId>,
+        zone: Dbm,
+        parent: Option<usize>,
     }
-    if zone.is_empty() {
-        return;
+
+    /// Checks whether any error location of the network is reachable, by
+    /// cloning the location vector and zone on every transition (the naive
+    /// formulation the engine is measured against).
+    ///
+    /// `state_budget` bounds the number of symbolic states explored (popped
+    /// off the frontier), so the error message and
+    /// [`ReachabilityResult::states_explored`] agree on what was counted.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TaError::StateBudgetExhausted`] when the exploration exceeds
+    /// the budget.
+    pub fn check_error_reachability(
+        network: &Network,
+        state_budget: usize,
+    ) -> Result<ReachabilityResult, TaError> {
+        let max_constant = network.max_constant();
+        let clocks = network.total_clocks();
+
+        // Initial symbolic state: all clocks zero, constrained by the
+        // invariants, then (if no committed location) allowed to delay within
+        // the invariants.
+        let initial_locations = network.initial_locations();
+        let mut initial_zone = Dbm::zero(clocks);
+        apply_invariants_and_delay(network, &initial_locations, &mut initial_zone);
+
+        let mut states: Vec<SymbolicState> = Vec::new();
+        let mut queue: VecDeque<usize> = VecDeque::new();
+        // Visited zones per location vector, used for the inclusion check.
+        let mut visited: HashMap<Vec<LocationId>, Vec<Dbm>> = HashMap::new();
+
+        states.push(SymbolicState {
+            locations: initial_locations.clone(),
+            zone: initial_zone.clone(),
+            parent: None,
+        });
+        queue.push_back(0);
+        visited.insert(initial_locations.clone(), vec![initial_zone]);
+
+        let mut explored = 0usize;
+        while let Some(index) = queue.pop_front() {
+            explored += 1;
+            if explored > state_budget {
+                return Err(TaError::StateBudgetExhausted {
+                    budget: state_budget,
+                });
+            }
+            let current_locations = states[index].locations.clone();
+            let current_zone = states[index].zone.clone();
+
+            if network.any_error(&current_locations) {
+                return Ok(ReachabilityResult::new(
+                    true,
+                    explored,
+                    Some(reconstruct_trace(&states, index)),
+                ));
+            }
+
+            let mut successors: Vec<(Vec<LocationId>, Dbm)> = Vec::new();
+
+            // Non-synchronizing edges.
+            for (automaton_index, edge) in network.local_edges(&current_locations) {
+                let mut zone = current_zone.clone();
+                for constraint in network.global_guard(automaton_index, edge) {
+                    zone.constrain(&constraint);
+                }
+                if zone.is_empty() {
+                    continue;
+                }
+                for clock in network.global_resets(automaton_index, edge) {
+                    zone.reset(clock);
+                }
+                let mut locations = current_locations.clone();
+                locations[automaton_index] = edge.target();
+                apply_invariants_and_delay(network, &locations, &mut zone);
+                if zone.is_empty() {
+                    continue;
+                }
+                zone.extrapolate(max_constant);
+                successors.push((locations, zone));
+            }
+
+            // Synchronizing edge pairs.
+            for (send_index, send_edge, recv_index, recv_edge) in
+                network.sync_pairs(&current_locations)
+            {
+                let mut zone = current_zone.clone();
+                for constraint in network.global_guard(send_index, send_edge) {
+                    zone.constrain(&constraint);
+                }
+                for constraint in network.global_guard(recv_index, recv_edge) {
+                    zone.constrain(&constraint);
+                }
+                if zone.is_empty() {
+                    continue;
+                }
+                for clock in network.global_resets(send_index, send_edge) {
+                    zone.reset(clock);
+                }
+                for clock in network.global_resets(recv_index, recv_edge) {
+                    zone.reset(clock);
+                }
+                let mut locations = current_locations.clone();
+                locations[send_index] = send_edge.target();
+                locations[recv_index] = recv_edge.target();
+                apply_invariants_and_delay(network, &locations, &mut zone);
+                if zone.is_empty() {
+                    continue;
+                }
+                zone.extrapolate(max_constant);
+                successors.push((locations, zone));
+            }
+
+            for (locations, zone) in successors {
+                let seen = visited.entry(locations.clone()).or_default();
+                if seen.iter().any(|existing| zone.included_in(existing)) {
+                    continue;
+                }
+                seen.push(zone.clone());
+                states.push(SymbolicState {
+                    locations,
+                    zone,
+                    parent: Some(index),
+                });
+                queue.push_back(states.len() - 1);
+            }
+        }
+
+        Ok(ReachabilityResult::new(false, explored, None))
     }
-    if !network.any_committed(locations) {
-        zone.up();
+
+    /// Conjoins the invariants of the location vector and, unless a committed
+    /// location forbids it, lets time pass (bounded again by the invariants).
+    fn apply_invariants_and_delay(network: &Network, locations: &[LocationId], zone: &mut Dbm) {
         for constraint in network.invariants(locations) {
             zone.constrain(&constraint);
         }
+        if zone.is_empty() {
+            return;
+        }
+        if !network.any_committed(locations) {
+            zone.up();
+            for constraint in network.invariants(locations) {
+                zone.constrain(&constraint);
+            }
+        }
     }
-}
 
-fn reconstruct_trace(states: &[SymbolicState], mut index: usize) -> Vec<Vec<LocationId>> {
-    let mut trace = vec![states[index].locations.clone()];
-    while let Some(parent) = states[index].parent {
-        index = parent;
-        trace.push(states[index].locations.clone());
+    fn reconstruct_trace(states: &[SymbolicState], mut index: usize) -> Vec<Vec<LocationId>> {
+        let mut trace = vec![states[index].locations.clone()];
+        while let Some(parent) = states[index].parent {
+            index = parent;
+            trace.push(states[index].locations.clone());
+        }
+        trace.reverse();
+        trace
     }
-    trace.reverse();
-    trace
 }
 
 #[cfg(test)]
@@ -207,6 +248,27 @@ mod tests {
     use super::*;
     use crate::automaton::{SyncAction, TimedAutomatonBuilder};
     use crate::guard::ClockConstraint;
+
+    /// Runs both the engine and the oracle, asserts verdict agreement and
+    /// witness shape equivalence, and returns the engine's result.
+    fn check_both(network: &Network, budget: usize) -> ReachabilityResult {
+        let engine = check_error_reachability(network, budget).unwrap();
+        let oracle = reference::check_error_reachability(network, budget).unwrap();
+        assert_eq!(
+            engine.error_reachable(),
+            oracle.error_reachable(),
+            "engine and reference disagree on the verdict"
+        );
+        assert_eq!(engine.witness().is_some(), oracle.witness().is_some());
+        if let (Some(e), Some(o)) = (engine.witness(), oracle.witness()) {
+            // Both witnesses start at the initial vector and end in an error
+            // vector; the paths may differ (subsumption reorders the search).
+            assert_eq!(e.first(), o.first());
+            assert!(network.any_error(e.last().unwrap()));
+            assert!(network.any_error(o.last().unwrap()));
+        }
+        engine
+    }
 
     /// A single automaton where the error can only be reached after waiting
     /// longer than the invariant allows — i.e. it is unreachable.
@@ -240,7 +302,7 @@ mod tests {
 
     #[test]
     fn unreachable_error_is_reported_as_safe() {
-        let result = check_error_reachability(&deadline_met(), 10_000).unwrap();
+        let result = check_both(&deadline_met(), 10_000);
         assert!(!result.error_reachable());
         assert!(result.witness().is_none());
         assert!(result.states_explored() >= 1);
@@ -248,7 +310,7 @@ mod tests {
 
     #[test]
     fn reachable_error_produces_a_witness() {
-        let result = check_error_reachability(&deadline_missed(), 10_000).unwrap();
+        let result = check_both(&deadline_missed(), 10_000);
         assert!(result.error_reachable());
         let witness = result.witness().unwrap();
         assert_eq!(witness.first().unwrap(), &vec![0]);
@@ -257,8 +319,49 @@ mod tests {
 
     #[test]
     fn budget_exhaustion_is_an_error_not_a_verdict() {
-        let result = check_error_reachability(&deadline_missed(), 1);
-        assert!(matches!(result, Err(TaError::StateBudgetExhausted { .. })));
+        for run in [
+            check_error_reachability(&deadline_missed(), 1),
+            reference::check_error_reachability(&deadline_missed(), 1),
+        ] {
+            assert!(matches!(run, Err(TaError::StateBudgetExhausted { .. })));
+        }
+    }
+
+    #[test]
+    fn budget_counts_popped_states_not_discovered_ones() {
+        // The initial state fans out into an error state plus two decoys, so
+        // after the second pop the error is found with 2 states *explored*
+        // but 4 states *discovered*. Under the old discovered-count
+        // semantics a budget of 3 would be (wrongly) exhausted before the
+        // error check; counting popped states it must succeed and report
+        // exactly the metered number.
+        let mut b = TimedAutomatonBuilder::new("fanout");
+        let start = b.add_location("start");
+        let err = b.add_error_location("err");
+        let decoy_a = b.add_location("a");
+        let decoy_b = b.add_location("b");
+        b.set_initial(start);
+        for target in [err, decoy_a, decoy_b] {
+            b.add_edge(start, target, vec![], vec![], None).unwrap();
+        }
+        let network = Network::new(vec![b.build().unwrap()]).unwrap();
+        for result in [
+            reference::check_error_reachability(&network, 3).unwrap(),
+            check_error_reachability(&network, 3).unwrap(),
+        ] {
+            assert!(result.error_reachable());
+            assert_eq!(result.states_explored(), 2);
+        }
+        // A budget of 1 is genuinely exhausted by the second pop.
+        for run in [
+            reference::check_error_reachability(&network, 1),
+            check_error_reachability(&network, 1),
+        ] {
+            assert!(matches!(
+                run,
+                Err(TaError::StateBudgetExhausted { budget: 1 })
+            ));
+        }
     }
 
     #[test]
@@ -290,7 +393,7 @@ mod tests {
 
         let network =
             Network::new(vec![sender.build().unwrap(), receiver.build().unwrap()]).unwrap();
-        let result = check_error_reachability(&network, 10_000).unwrap();
+        let result = check_both(&network, 10_000);
         assert!(result.error_reachable());
         // The witness passes through the synchronized transition.
         assert_eq!(result.witness().unwrap().last().unwrap(), &vec![1, 1]);
@@ -313,7 +416,7 @@ mod tests {
         other.set_initial(o0);
 
         let network = Network::new(vec![sender.build().unwrap(), other.build().unwrap()]).unwrap();
-        let result = check_error_reachability(&network, 1_000).unwrap();
+        let result = check_both(&network, 1_000);
         assert!(!result.error_reachable());
     }
 
@@ -329,7 +432,7 @@ mod tests {
         b.add_edge(c, bad, vec![ClockConstraint::ge(x, 1)], vec![], None)
             .unwrap();
         let network = Network::new(vec![b.build().unwrap()]).unwrap();
-        let result = check_error_reachability(&network, 1_000).unwrap();
+        let result = check_both(&network, 1_000);
         assert!(!result.error_reachable());
     }
 
@@ -345,8 +448,20 @@ mod tests {
         b.add_edge(l, l, vec![ClockConstraint::ge(x, 2)], vec![x], None)
             .unwrap();
         let network = Network::new(vec![b.build().unwrap()]).unwrap();
-        let result = check_error_reachability(&network, 1_000).unwrap();
+        let result = check_both(&network, 1_000);
         assert!(!result.error_reachable());
         assert!(result.states_explored() < 10);
+    }
+
+    #[test]
+    fn explorer_is_reusable_across_networks() {
+        let mut explorer = ZoneGraphExplorer::new();
+        let safe = explorer.check(&deadline_met(), 10_000).unwrap();
+        assert!(!safe.error_reachable());
+        let unsafe_ = explorer.check(&deadline_missed(), 10_000).unwrap();
+        assert!(unsafe_.error_reachable());
+        // Back-to-back repeat runs are deterministic.
+        let again = explorer.check(&deadline_met(), 10_000).unwrap();
+        assert_eq!(safe, again);
     }
 }

@@ -1,0 +1,263 @@
+//! Engine-vs-oracle equivalence: the allocation-lean [`ZoneGraphExplorer`]
+//! must agree with the naive [`reachability::reference`] search on verdicts,
+//! and every witness either engine produces must replay symbolically on the
+//! network it came from.
+//!
+//! Networks are drawn pseudo-randomly (via the offline proptest stub's
+//! deterministic RNG) so every run covers the same 64 structurally diverse
+//! cases, plus a grid over the conservative slot-sharing model.
+
+use cps_ta::automaton::{LocationId, SyncAction, TimedAutomatonBuilder};
+use cps_ta::guard::ClockConstraint;
+use cps_ta::model::{blocking_network, BlockingModelParams};
+use cps_ta::network::Network;
+use cps_ta::reachability::{self, ReachabilityResult};
+use cps_ta::{Dbm, TaError, ZoneGraphExplorer};
+use proptest::prelude::*;
+use proptest::TestRng;
+
+const BUDGET: usize = 200_000;
+
+/// Builds a random-but-deterministic network from a seed: 1–3 automata with
+/// up to 2 clocks and 4 locations each, random guards/resets/invariants and
+/// cross-automaton channel synchronization. Constants stay small so the zone
+/// graph is tiny and exploration always terminates well within the budget.
+fn random_network(seed: u64) -> Network {
+    let mut rng = TestRng::new(seed.wrapping_add(1));
+    let automata_count = 1 + rng.next_below(3) as usize;
+    let mut automata = Vec::new();
+    for a in 0..automata_count {
+        let mut b = TimedAutomatonBuilder::new(format!("a{a}"));
+        let clock_count = rng.next_below(3) as usize; // 0..=2 clocks
+        let clocks: Vec<_> = (0..clock_count)
+            .map(|c| b.add_clock(format!("x{c}")))
+            .collect();
+        let location_count = 2 + rng.next_below(3) as usize; // 2..=4
+        let mut locations = Vec::new();
+        for l in 0..location_count {
+            let name = format!("l{l}");
+            let kind = rng.next_below(8);
+            let id = if l > 0 && kind == 0 {
+                b.add_error_location(name)
+            } else if l > 0 && kind == 1 {
+                b.add_committed_location(name)
+            } else {
+                b.add_location(name)
+            };
+            locations.push(id);
+        }
+        b.set_initial(locations[0]);
+        // Invariants: upper bounds only, so they never block a reset edge
+        // forever but do bound the zones.
+        for &l in &locations {
+            if !clocks.is_empty() && rng.next_below(2) == 0 {
+                let clock = clocks[rng.next_below(clocks.len() as u64) as usize];
+                let c = 1 + rng.next_below(8) as i64;
+                b.add_invariant(l, ClockConstraint::le(clock, c)).unwrap();
+            }
+        }
+        let edge_count = 2 + rng.next_below(4) as usize; // 2..=5
+        for _ in 0..edge_count {
+            let source = locations[rng.next_below(location_count as u64) as usize];
+            let target = locations[rng.next_below(location_count as u64) as usize];
+            let mut guard = Vec::new();
+            for _ in 0..rng.next_below(3) {
+                if clocks.is_empty() {
+                    break;
+                }
+                let clock = clocks[rng.next_below(clocks.len() as u64) as usize];
+                let c = rng.next_below(9) as i64;
+                guard.push(match rng.next_below(4) {
+                    0 => ClockConstraint::le(clock, c),
+                    1 => ClockConstraint::lt(clock, c + 1),
+                    2 => ClockConstraint::ge(clock, c),
+                    _ => ClockConstraint::gt(clock, c),
+                });
+            }
+            let resets: Vec<_> = clocks
+                .iter()
+                .copied()
+                .filter(|_| rng.next_below(3) == 0)
+                .collect();
+            let sync = match rng.next_below(6) {
+                0 => Some(SyncAction::Send(rng.next_below(2) as usize)),
+                1 => Some(SyncAction::Receive(rng.next_below(2) as usize)),
+                _ => None,
+            };
+            b.add_edge(source, target, guard, resets, sync).unwrap();
+        }
+        automata.push(b.build().unwrap());
+    }
+    Network::new(automata).unwrap()
+}
+
+/// Applies one transition's zone transformation exactly as the engines do.
+fn transition_zone(
+    network: &Network,
+    zone: &Dbm,
+    guards: &[ClockConstraint],
+    resets: &[usize],
+    target: &[LocationId],
+) -> Option<Dbm> {
+    let mut zone = zone.clone();
+    for g in guards {
+        zone.constrain(g);
+    }
+    if zone.is_empty() {
+        return None;
+    }
+    for &clock in resets {
+        zone.reset(clock);
+    }
+    for c in network.invariants(target) {
+        zone.constrain(&c);
+    }
+    if zone.is_empty() {
+        return None;
+    }
+    if !network.any_committed(target) {
+        zone.up();
+        for c in network.invariants(target) {
+            zone.constrain(&c);
+        }
+    }
+    if zone.is_empty() {
+        return None;
+    }
+    let mut z = zone;
+    z.extrapolate(network.max_constant());
+    Some(z)
+}
+
+/// Symbolically replays a witness: at every step at least one enabled
+/// transition must map the current location vector to the next one with a
+/// non-empty zone. Returns `false` when the trace is not a run of `network`.
+fn witness_replays(network: &Network, witness: &[Vec<LocationId>]) -> bool {
+    if witness.is_empty() || witness[0] != network.initial_locations() {
+        return false;
+    }
+    let mut initial = Dbm::zero(network.total_clocks());
+    for c in network.invariants(&witness[0]) {
+        initial.constrain(&c);
+    }
+    if !network.any_committed(&witness[0]) {
+        initial.up();
+        for c in network.invariants(&witness[0]) {
+            initial.constrain(&c);
+        }
+    }
+    let mut zones = vec![initial];
+    for step in witness.windows(2) {
+        let (from, to) = (&step[0], &step[1]);
+        let mut next_zones = Vec::new();
+        for zone in &zones {
+            // Local edges matching the location change.
+            for (ai, edge) in network.local_edges(from) {
+                let mut expected = from.clone();
+                expected[ai] = edge.target();
+                if &expected != to {
+                    continue;
+                }
+                let guards = network.global_guard(ai, edge);
+                let resets = network.global_resets(ai, edge);
+                if let Some(z) = transition_zone(network, zone, &guards, &resets, to) {
+                    next_zones.push(z);
+                }
+            }
+            // Synchronizing pairs matching the location change.
+            for (si, se, ri, re) in network.sync_pairs(from) {
+                let mut expected = from.clone();
+                expected[si] = se.target();
+                expected[ri] = re.target();
+                if &expected != to {
+                    continue;
+                }
+                let mut guards = network.global_guard(si, se);
+                guards.extend(network.global_guard(ri, re));
+                let mut resets = network.global_resets(si, se);
+                resets.extend(network.global_resets(ri, re));
+                if let Some(z) = transition_zone(network, zone, &guards, &resets, to) {
+                    next_zones.push(z);
+                }
+            }
+        }
+        if next_zones.is_empty() {
+            return false;
+        }
+        // Keep the frontier small; inclusion-deduplicate.
+        let mut kept: Vec<Dbm> = Vec::new();
+        for z in next_zones {
+            if !kept.iter().any(|k| z.included_in(k)) {
+                kept.push(z);
+            }
+        }
+        zones = kept;
+    }
+    let last = witness.last().unwrap();
+    network.any_error(last)
+}
+
+/// Runs both engines and asserts verdict + witness equivalence.
+fn assert_equivalent(network: &Network, explorer: &mut ZoneGraphExplorer) {
+    let engine = explorer.check(network, BUDGET);
+    let oracle = reachability::reference::check_error_reachability(network, BUDGET);
+    match (engine, oracle) {
+        (Ok(e), Ok(o)) => {
+            assert_eq!(
+                e.error_reachable(),
+                o.error_reachable(),
+                "verdict mismatch between engine and reference"
+            );
+            for (label, result) in [("engine", &e), ("oracle", &o)] {
+                if let Some(w) = result.witness() {
+                    assert!(
+                        witness_replays(network, w),
+                        "{label} witness does not replay on the network: {w:?}"
+                    );
+                }
+            }
+            assert_eq!(e.witness().is_some(), e.error_reachable());
+            assert_eq!(o.witness().is_some(), o.error_reachable());
+        }
+        (Err(TaError::StateBudgetExhausted { .. }), _)
+        | (_, Err(TaError::StateBudgetExhausted { .. })) => {
+            panic!("random model unexpectedly exhausted the {BUDGET}-state budget")
+        }
+        (e, o) => panic!("engine/oracle returned unexpected errors: {e:?} / {o:?}"),
+    }
+}
+
+proptest! {
+    #[test]
+    fn engine_matches_reference_on_random_networks(seed in 0u64..1_000_000) {
+        let network = random_network(seed);
+        let mut explorer = ZoneGraphExplorer::new();
+        assert_equivalent(&network, &mut explorer);
+    }
+}
+
+#[test]
+fn engine_matches_reference_on_blocking_model_grid() {
+    let mut explorer = ZoneGraphExplorer::new();
+    for deadline in 0..6 {
+        for blocking in 0..6 {
+            let network = blocking_network(BlockingModelParams {
+                deadline,
+                dwell: 4,
+                min_inter_arrival: 25,
+                blocking,
+            })
+            .unwrap();
+            assert_equivalent(&network, &mut explorer);
+        }
+    }
+}
+
+#[test]
+fn engine_result_shape_matches_public_api() {
+    let network = random_network(42);
+    let via_api: Result<ReachabilityResult, _> =
+        reachability::check_error_reachability(&network, BUDGET);
+    let via_engine = ZoneGraphExplorer::new().check(&network, BUDGET);
+    assert_eq!(via_api.unwrap(), via_engine.unwrap());
+}

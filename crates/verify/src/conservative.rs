@@ -1,0 +1,201 @@
+//! The conservative (prior-work style) cross-check, run on the zone-graph
+//! engine.
+//!
+//! The exact checker in [`crate::checker`] explores the discrete-time
+//! semantics of the paper's model. The analyses the paper compares against
+//! reason much more coarsely: each application sharing the slot must survive
+//! the **worst-case blocking** `B_i = Σ_{j≠i} T_dw^{-*}(j)` — every other
+//! occupant holding the slot for its longest minimum dwell, back to back —
+//! before its deadline `D_i = T_w^*`. This module phrases that check as one
+//! timed-automata reachability query per application
+//! ([`cps_ta::model::blocking_network`]) and answers it with the reusable
+//! [`ZoneGraphExplorer`], so the whole slot mapping is cross-validated by the
+//! same engine `bench_reach` measures.
+//!
+//! The verdict is *conservative*: a mapping it accepts is schedulable under
+//! any work-conserving arbiter, but it may reject mappings the exact,
+//! dwell-table-aware checker proves safe — that gap is precisely the paper's
+//! point, and [`crate::checker::verify`] is the exact reference.
+
+use cps_ta::model::{blocking_network, BlockingModelParams};
+use cps_ta::ZoneGraphExplorer;
+
+use crate::{SlotSharingModel, VerifyError};
+
+/// Per-application verdict of the conservative analysis.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConservativeAppVerdict {
+    name: String,
+    deadline: i64,
+    blocking: i64,
+    safe: bool,
+    states_explored: usize,
+}
+
+impl ConservativeAppVerdict {
+    /// The application's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The deadline `D = T_w^*` used for the check.
+    pub fn deadline(&self) -> i64 {
+        self.deadline
+    }
+
+    /// The worst-case blocking `B = Σ_{j≠i} T_dw^{-*}(j)` used for the check.
+    pub fn blocking(&self) -> i64 {
+        self.blocking
+    }
+
+    /// `true` when the application provably meets its deadline under the
+    /// worst-case blocking.
+    pub fn safe(&self) -> bool {
+        self.safe
+    }
+
+    /// Symbolic states the zone-graph engine explored for this application.
+    pub fn states_explored(&self) -> usize {
+        self.states_explored
+    }
+}
+
+/// The outcome of the conservative slot-mapping analysis.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConservativeOutcome {
+    verdicts: Vec<ConservativeAppVerdict>,
+}
+
+impl ConservativeOutcome {
+    /// `true` when every application survives its worst-case blocking.
+    pub fn schedulable(&self) -> bool {
+        self.verdicts.iter().all(ConservativeAppVerdict::safe)
+    }
+
+    /// The per-application verdicts in mapping order.
+    pub fn verdicts(&self) -> &[ConservativeAppVerdict] {
+        &self.verdicts
+    }
+
+    /// Total symbolic states explored across all applications.
+    pub fn states_explored(&self) -> usize {
+        self.verdicts.iter().map(|v| v.states_explored).sum()
+    }
+}
+
+/// Runs the conservative worst-case-blocking analysis of the slot mapping on
+/// the zone-graph engine, one reachability query per application. The
+/// explorer (and all its buffers) is reused across the queries.
+///
+/// # Errors
+///
+/// Propagates model-construction and exploration errors from `cps-ta`.
+pub fn verify_conservative(model: &SlotSharingModel) -> Result<ConservativeOutcome, VerifyError> {
+    let mut explorer = ZoneGraphExplorer::new();
+    let profiles = model.profiles();
+    let mut verdicts = Vec::with_capacity(profiles.len());
+    for (index, profile) in profiles.iter().enumerate() {
+        let blocking: i64 = profiles
+            .iter()
+            .enumerate()
+            .filter(|(other, _)| *other != index)
+            .map(|(_, p)| p.dwell_table().max_t_dw_min() as i64)
+            .sum();
+        let deadline = profile.max_wait() as i64;
+        let network = blocking_network(BlockingModelParams {
+            deadline,
+            dwell: profile.dwell_table().max_t_dw_min() as i64,
+            min_inter_arrival: profile.min_inter_arrival() as i64,
+            blocking,
+        })?;
+        let result = explorer.check(&network, 1_000_000)?;
+        verdicts.push(ConservativeAppVerdict {
+            name: profile.name().to_string(),
+            deadline,
+            blocking,
+            safe: !result.error_reachable(),
+            states_explored: result.states_explored(),
+        });
+    }
+    Ok(ConservativeOutcome { verdicts })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cps_core::{AppTimingProfile, DwellTimeTable};
+
+    fn profile(name: &str, max_wait: usize, dwell: usize, r: usize) -> AppTimingProfile {
+        let jstar = max_wait + dwell + 1;
+        let table = DwellTimeTable::from_arrays(
+            jstar,
+            vec![dwell; max_wait + 1],
+            vec![dwell; max_wait + 1],
+        )
+        .unwrap();
+        AppTimingProfile::new(name, 1, jstar + 10, jstar, r.max(jstar + 1), table).unwrap()
+    }
+
+    #[test]
+    fn single_application_is_always_conservatively_safe() {
+        // No competitor → zero blocking.
+        let model = SlotSharingModel::new(vec![profile("A", 5, 3, 30)]).unwrap();
+        let outcome = verify_conservative(&model).unwrap();
+        assert!(outcome.schedulable());
+        assert_eq!(outcome.verdicts().len(), 1);
+        assert_eq!(outcome.verdicts()[0].blocking(), 0);
+        assert!(outcome.states_explored() > 0);
+    }
+
+    #[test]
+    fn blocking_beyond_the_deadline_is_rejected() {
+        // B's dwell (9) exceeds A's deadline (5): the conservative analysis
+        // must reject the mapping.
+        let model =
+            SlotSharingModel::new(vec![profile("A", 5, 3, 40), profile("B", 20, 9, 40)]).unwrap();
+        let outcome = verify_conservative(&model).unwrap();
+        assert!(!outcome.schedulable());
+        let a = &outcome.verdicts()[0];
+        assert_eq!(a.name(), "A");
+        assert_eq!(a.deadline(), 5);
+        assert_eq!(a.blocking(), 9);
+        assert!(!a.safe());
+        // B can absorb A's short dwell.
+        assert!(outcome.verdicts()[1].safe());
+    }
+
+    #[test]
+    fn conservative_verdict_matches_the_arithmetic() {
+        // With constant dwell tables the conservative verdict reduces to
+        // `Σ_{j≠i} dwell_j ≤ D_i` for every application.
+        for (wait_a, wait_b, dwell) in [(10, 10, 4), (3, 10, 4), (8, 8, 9)] {
+            let model = SlotSharingModel::new(vec![
+                profile("A", wait_a, dwell, 60),
+                profile("B", wait_b, dwell, 60),
+            ])
+            .unwrap();
+            let outcome = verify_conservative(&model).unwrap();
+            let expected = dwell as i64 <= wait_a as i64 && dwell as i64 <= wait_b as i64;
+            assert_eq!(outcome.schedulable(), expected);
+        }
+    }
+
+    #[test]
+    fn conservative_is_no_more_permissive_than_the_exact_checker() {
+        // Any mapping the conservative analysis accepts must also be accepted
+        // by the exact discrete-time checker.
+        use crate::checker::{verify, VerificationConfig};
+        for (wait_a, wait_b) in [(10, 10), (4, 10), (2, 2)] {
+            let model = SlotSharingModel::new(vec![
+                profile("A", wait_a, 3, 30),
+                profile("B", wait_b, 3, 30),
+            ])
+            .unwrap();
+            let conservative = verify_conservative(&model).unwrap();
+            let exact = verify(&model, &VerificationConfig::default()).unwrap();
+            if conservative.schedulable() {
+                assert!(exact.schedulable());
+            }
+        }
+    }
+}

@@ -2,6 +2,7 @@ use std::error::Error;
 use std::fmt;
 
 use cps_core::CoreError;
+use cps_ta::TaError;
 
 /// Errors produced by the slot-sharing verifier.
 #[derive(Debug, Clone, PartialEq)]
@@ -21,6 +22,8 @@ pub enum VerifyError {
     },
     /// An underlying profile/dwell-table operation failed.
     Core(CoreError),
+    /// An underlying timed-automata analysis failed.
+    Ta(TaError),
 }
 
 impl fmt::Display for VerifyError {
@@ -34,6 +37,7 @@ impl fmt::Display for VerifyError {
                 write!(f, "verification exceeded the state budget of {budget}")
             }
             VerifyError::Core(e) => write!(f, "profile error: {e}"),
+            VerifyError::Ta(e) => write!(f, "timed-automata error: {e}"),
         }
     }
 }
@@ -42,6 +46,7 @@ impl Error for VerifyError {
     fn source(&self) -> Option<&(dyn Error + 'static)> {
         match self {
             VerifyError::Core(e) => Some(e),
+            VerifyError::Ta(e) => Some(e),
             _ => None,
         }
     }
@@ -50,6 +55,12 @@ impl Error for VerifyError {
 impl From<CoreError> for VerifyError {
     fn from(e: CoreError) -> Self {
         VerifyError::Core(e)
+    }
+}
+
+impl From<TaError> for VerifyError {
+    fn from(e: TaError) -> Self {
+        VerifyError::Ta(e)
     }
 }
 

@@ -22,6 +22,10 @@
 //!   a bounded number of disturbance instances per analysis, which collapses
 //!   the post-rejection bookkeeping and speeds verification up by an order of
 //!   magnitude without changing the verdict for the case study.
+//! * [`conservative`] — the prior-work-style worst-case-blocking analysis,
+//!   phrased as one zone-graph reachability query per application and run on
+//!   the allocation-lean `cps-ta` engine; a coarser verdict than [`checker`],
+//!   used for cross-validation.
 //! * [`witness`] — counterexample traces when a deadline can be missed.
 //!
 //! # Example
@@ -44,11 +48,13 @@
 
 pub mod bounded;
 pub mod checker;
+pub mod conservative;
 mod error;
 mod model;
 pub mod witness;
 
 pub use checker::{VerificationConfig, VerificationOutcome};
+pub use conservative::{verify_conservative, ConservativeOutcome};
 pub use error::VerifyError;
 pub use model::SlotSharingModel;
 pub use witness::{TraceEvent, Witness};
