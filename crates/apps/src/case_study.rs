@@ -338,6 +338,14 @@ pub fn c6() -> Result<CaseStudyApp, CoreError> {
     })
 }
 
+/// The published slot-S1 membership of the case study (§5, Fig. 8): the four
+/// applications co-simulated on the first shared TT slot, in the paper's
+/// grant order.
+pub const SLOT1_MEMBERS: [&str; 4] = ["C1", "C5", "C4", "C3"];
+
+/// The published slot-S2 membership of the case study (§5, Fig. 9).
+pub const SLOT2_MEMBERS: [&str; 2] = ["C2", "C6"];
+
 /// All six case-study applications, in the paper's order `C1..C6`.
 ///
 /// # Errors
@@ -397,6 +405,17 @@ mod tests {
             assert_eq!(profile, &app.profile_with(options).unwrap());
             assert_eq!(profile.name(), app.application().name());
         }
+    }
+
+    #[test]
+    fn slot_memberships_cover_all_applications_once() {
+        let mut names: Vec<&str> = SLOT1_MEMBERS
+            .iter()
+            .chain(SLOT2_MEMBERS.iter())
+            .copied()
+            .collect();
+        names.sort_unstable();
+        assert_eq!(names, ["C1", "C2", "C3", "C4", "C5", "C6"]);
     }
 
     #[test]

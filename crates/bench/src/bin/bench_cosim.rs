@@ -1,0 +1,255 @@
+//! Batch co-simulation performance report: the prefix-sharing
+//! [`BatchCosimEngine`] vs. the retained per-scenario oracle
+//! ([`CosimScenario::run`] for staggered families,
+//! [`engine::reference_pattern`] for recurrent ones), on scenario families
+//! over the paper's published slot partitions (Figs. 8–9).
+//!
+//! Every timed scenario is also checked for **bitwise** result equality
+//! between engine and oracle — trajectories, settling times and schedules —
+//! so the report doubles as an end-to-end equivalence run: any mismatch
+//! aborts with a non-zero exit code, which the CI bench-smoke job turns into
+//! a failure. Writes `BENCH_cosim.json` at the repository root.
+//!
+//! Run with `cargo run --release -p cps-bench --bin bench_cosim` (append
+//! `-- --quick` for the reduced CI smoke sizes).
+
+use std::fmt::Write as _;
+use std::path::Path;
+use std::time::Instant;
+
+use cps_apps::case_study::{SLOT1_MEMBERS, SLOT2_MEMBERS};
+use cps_bench::case_study_apps;
+use cps_sched::cosim::{CosimApp, CosimScenario};
+use cps_sched::engine::assert_bitwise_equal;
+use cps_sched::{engine, scenarios, BatchCosimEngine, CosimResult};
+
+/// Builds the co-simulation applications of one published slot from the
+/// paper's Table 1 rows (published profiles — no dwell search).
+fn slot_apps(members: &[&str]) -> Vec<CosimApp> {
+    let apps = case_study_apps();
+    members
+        .iter()
+        .map(|name| {
+            let app = apps
+                .iter()
+                .find(|a| a.application().name() == *name)
+                .expect("case-study application exists");
+            CosimApp {
+                application: app.application().clone(),
+                profile: app
+                    .paper_row()
+                    .to_profile(name)
+                    .expect("published rows are consistent"),
+                disturbance_sample: 0,
+            }
+        })
+        .collect()
+}
+
+fn timed<T>(f: impl FnOnce() -> T) -> (T, f64) {
+    let start = Instant::now();
+    let value = f();
+    (value, start.elapsed().as_secs_f64() * 1e3)
+}
+
+struct FamilyReport {
+    name: String,
+    apps: usize,
+    horizon: usize,
+    scenarios: usize,
+    engine_ms: f64,
+    oracle_ms: f64,
+}
+
+impl FamilyReport {
+    fn speedup(&self) -> f64 {
+        self.oracle_ms / self.engine_ms
+    }
+}
+
+/// Benches one family: the oracle runs every scenario through the retained
+/// naive path, the engine runs the same family through one prefix-sharing
+/// batch; both sides take the better of two passes (single-threaded either
+/// way), and every scenario's results are asserted bitwise equal.
+fn bench_family(
+    name: &str,
+    apps: &[CosimApp],
+    horizon: usize,
+    family: &[Vec<Vec<usize>>],
+) -> FamilyReport {
+    let single_shot = family
+        .iter()
+        .all(|pattern| pattern.iter().all(|times| times.len() == 1));
+
+    // Oracle pass. Scenario objects for the staggered families are prebuilt
+    // outside the timed region so only `run()` is timed; the recurrent
+    // oracle takes the prebuilt app slice directly. Best of two passes.
+    let prebuilt: Vec<CosimScenario> = if single_shot {
+        family
+            .iter()
+            .map(|pattern| {
+                let scenario_apps: Vec<CosimApp> = apps
+                    .iter()
+                    .zip(pattern.iter())
+                    .map(|(app, times)| CosimApp {
+                        disturbance_sample: times[0],
+                        ..app.clone()
+                    })
+                    .collect();
+                CosimScenario::new(scenario_apps, horizon).expect("valid scenario")
+            })
+            .collect()
+    } else {
+        Vec::new()
+    };
+    let oracle_once = || -> Vec<CosimResult> {
+        if single_shot {
+            prebuilt
+                .iter()
+                .map(|s| s.run().expect("oracle runs"))
+                .collect()
+        } else {
+            family
+                .iter()
+                .map(|pattern| {
+                    engine::reference_pattern(apps, horizon, pattern).expect("oracle runs")
+                })
+                .collect()
+        }
+    };
+    let (oracle_results, first_oracle_ms) = timed(oracle_once);
+    let (_, second_oracle_ms) = timed(oracle_once);
+    let oracle_ms = first_oracle_ms.min(second_oracle_ms);
+
+    // Engine pass: a fresh engine per timed pass, so every measurement
+    // starts from empty checkpoints and reflects what one batch run over
+    // the family costs (only within-batch sharing is measured). Best of two
+    // passes, mirroring the oracle treatment; engine construction (buffer
+    // allocation) stays outside the timed region like the oracle's scenario
+    // prebuild.
+    let mut first_engine = BatchCosimEngine::new(apps.to_vec(), horizon).expect("valid engine");
+    let (engine_results, first_ms) = timed(|| first_engine.run_batch(family).expect("engine runs"));
+    let mut second_engine = BatchCosimEngine::new(apps.to_vec(), horizon).expect("valid engine");
+    let (second_results, second_ms) =
+        timed(|| second_engine.run_batch(family).expect("engine runs"));
+    assert_eq!(
+        engine_results, second_results,
+        "{name}: engine re-run is not deterministic"
+    );
+    let engine_ms = first_ms.min(second_ms);
+
+    for (index, (fast, oracle)) in engine_results.iter().zip(oracle_results.iter()).enumerate() {
+        assert_bitwise_equal(&format!("{name}[{index}]"), fast, oracle);
+    }
+
+    let report = FamilyReport {
+        name: name.to_string(),
+        apps: apps.len(),
+        horizon,
+        scenarios: family.len(),
+        engine_ms,
+        oracle_ms,
+    };
+    println!(
+        "{:<26} {:>2} apps  horizon {:>4} | {:>4} scenarios | {:>9.2} ms vs {:>9.2} ms | {:>6.1}x",
+        report.name,
+        report.apps,
+        report.horizon,
+        report.scenarios,
+        report.engine_ms,
+        report.oracle_ms,
+        report.speedup(),
+    );
+    report
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let slot1 = slot_apps(&SLOT1_MEMBERS);
+    let slot2 = slot_apps(&SLOT2_MEMBERS);
+    let mut reports = Vec::new();
+
+    // Contention sweep on slot S1: C1/C5/C4 disturbed together, C3's arrival
+    // swept across the opening burst — every offset reshuffles the tail of
+    // the grant sequence.
+    let horizon = if quick { 120 } else { 420 };
+    let sweep = scenarios::contention_sweep(&[0, 0, 0, 0], 3, 0..if quick { 16 } else { 48 });
+    reports.push(bench_family(
+        "slot1_contention_sweep",
+        &slot1,
+        horizon,
+        &sweep,
+    ));
+
+    // Staggered fleet on slot S1: the whole arrival pattern slides along the
+    // horizon; the schedule merely translates, so the engine serves every
+    // scenario after the first from its checkpoints.
+    let fleet = scenarios::staggered_fleet(slot1.len(), 6, 0..if quick { 20 } else { 60 });
+    reports.push(bench_family(
+        "slot1_staggered_fleet",
+        &slot1,
+        horizon,
+        &fleet,
+    ));
+
+    // Recurrent storm on slot S2: C2 and C6 are re-disturbed at their
+    // fastest admissible rate (r = 100 samples) with a sweeping phase.
+    let storm_horizon = if quick { 260 } else { 800 };
+    let profiles: Vec<_> = slot2.iter().map(|a| a.profile.clone()).collect();
+    let storm =
+        scenarios::recurrent_storm(&profiles, storm_horizon, 0..if quick { 10 } else { 48 });
+    reports.push(bench_family(
+        "slot2_recurrent_storm",
+        &slot2,
+        storm_horizon,
+        &storm,
+    ));
+
+    let json = render_json(quick, &reports);
+    let out_path = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_cosim.json");
+    std::fs::write(&out_path, json).expect("writes BENCH_cosim.json");
+    println!("wrote {}", out_path.display());
+
+    let total_oracle: f64 = reports.iter().map(|r| r.oracle_ms).sum();
+    let total_engine: f64 = reports.iter().map(|r| r.engine_ms).sum();
+    println!(
+        "batch total: {total_engine:.2} ms engine vs {total_oracle:.2} ms oracle ({:.1}x)",
+        total_oracle / total_engine
+    );
+    let worst = reports
+        .iter()
+        .map(FamilyReport::speedup)
+        .fold(f64::INFINITY, f64::min);
+    println!("worst speedup across families: {worst:.1}x");
+}
+
+fn render_json(quick: bool, reports: &[FamilyReport]) -> String {
+    let mut json = String::new();
+    json.push_str("{\n");
+    let _ = writeln!(json, "  \"quick\": {quick},");
+    let total_oracle: f64 = reports.iter().map(|r| r.oracle_ms).sum();
+    let total_engine: f64 = reports.iter().map(|r| r.engine_ms).sum();
+    let _ = writeln!(
+        json,
+        "  \"overall_speedup\": {:.1},",
+        total_oracle / total_engine
+    );
+    json.push_str("  \"families\": [\n");
+    for (i, r) in reports.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "    {{\"name\": \"{}\", \"apps\": {}, \"horizon\": {}, \"scenarios\": {}, \
+             \"engine_ms\": {:.3}, \"oracle_ms\": {:.3}, \"speedup\": {:.1}}}{}",
+            r.name,
+            r.apps,
+            r.horizon,
+            r.scenarios,
+            r.engine_ms,
+            r.oracle_ms,
+            r.speedup(),
+            if i + 1 == reports.len() { "" } else { "," }
+        );
+    }
+    json.push_str("  ]\n}\n");
+    json
+}

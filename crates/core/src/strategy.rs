@@ -173,11 +173,6 @@ impl SwitchedApplication {
         x0: &Vector,
         u_prev0: f64,
     ) -> Result<Trajectory, CoreError> {
-        if modes.is_empty() {
-            return Err(CoreError::InvalidParameter {
-                reason: "mode sequence must contain at least one sample".to_string(),
-            });
-        }
         if x0.len() != self.plant.state_dim() {
             return Err(CoreError::InvalidParameter {
                 reason: format!(
@@ -187,17 +182,49 @@ impl SwitchedApplication {
                 ),
             });
         }
-        // Both modes are a single precomputed matrix on z = [x; u_prev], so
-        // each step is one gemv into the state the trajectory stores anyway —
-        // no concat/from_slice churn.
         let n = self.plant.state_dim();
         let mut z = Vector::zeros(n + 1);
         z.as_mut_slice()[..n].copy_from_slice(x0.as_slice());
         z.as_mut_slice()[n] = u_prev0;
+        self.resume_modes(modes, &z)
+    }
+
+    /// Restarts the switched closed-loop simulation from a checkpointed
+    /// augmented state `z0 = [x; u_prev]` (e.g. a state taken from a previous
+    /// trajectory, or a checkpoint held by a batch engine).
+    ///
+    /// The samples produced are bitwise identical to the corresponding
+    /// suffix of an uncheckpointed run: both paths advance the state with the
+    /// same precomputed [`SwitchedApplication::mode_matrix`] gemv in the same
+    /// order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidParameter`] for an empty mode sequence or a
+    /// checkpoint of the wrong dimension.
+    pub fn resume_modes(&self, modes: &[Mode], z0: &Vector) -> Result<Trajectory, CoreError> {
+        if modes.is_empty() {
+            return Err(CoreError::InvalidParameter {
+                reason: "mode sequence must contain at least one sample".to_string(),
+            });
+        }
+        let n = self.plant.state_dim();
+        if z0.len() != n + 1 {
+            return Err(CoreError::InvalidParameter {
+                reason: format!(
+                    "checkpoint has {} entries, augmented state has {}",
+                    z0.len(),
+                    n + 1
+                ),
+            });
+        }
+        // Both modes are a single precomputed matrix on z = [x; u_prev], so
+        // each step is one gemv into the state the trajectory stores anyway —
+        // no concat/from_slice churn.
         let mut states = Vec::with_capacity(modes.len() + 1);
         let mut outputs = Vec::with_capacity(modes.len() + 1);
-        outputs.push(self.c_aug.dot(&z));
-        states.push(z);
+        outputs.push(self.c_aug.dot(z0));
+        states.push(z0.clone());
         for mode in modes {
             let mut next = Vector::zeros(n + 1);
             self.mode_matrix(*mode)
@@ -206,6 +233,32 @@ impl SwitchedApplication {
             states.push(next);
         }
         Ok(Trajectory::new(states, outputs))
+    }
+
+    /// Advances a checkpointed augmented state one sample in `mode`, in
+    /// place: `z ← A(mode)·z`, using `scratch` as the gemv destination — zero
+    /// heap allocations. This is the batch-engine counterpart of one step of
+    /// [`SwitchedApplication::simulate_modes`]: starting from the same `z`,
+    /// both produce bitwise-identical successors.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidParameter`] when `z` or `scratch` does not
+    /// have the augmented dimension.
+    pub fn advance_augmented(
+        &self,
+        mode: Mode,
+        z: &mut Vector,
+        scratch: &mut Vector,
+    ) -> Result<(), CoreError> {
+        self.mode_matrix(mode).gemv_into(z, scratch)?;
+        std::mem::swap(z, scratch);
+        Ok(())
+    }
+
+    /// The plant output `y = [C 0]·z` of a checkpointed augmented state.
+    pub fn augmented_output(&self, z: &Vector) -> f64 {
+        self.c_aug.dot(z)
     }
 
     /// Advances the switched loop one sample in the given mode.
@@ -628,6 +681,69 @@ mod tests {
                 &Vector::from_slice(&[1.0, 2.0]),
                 0.0
             )
+            .is_err());
+    }
+
+    #[test]
+    fn resume_from_checkpoint_matches_full_run_bitwise() {
+        let app = demo_app();
+        let modes = [
+            Mode::EventTriggered,
+            Mode::TimeTriggered,
+            Mode::TimeTriggered,
+            Mode::EventTriggered,
+            Mode::EventTriggered,
+        ];
+        let full = app.simulate_modes(&modes).unwrap();
+        // Restart from every intermediate checkpoint: the suffix must be
+        // bitwise identical to the corresponding tail of the full run.
+        for split in 1..modes.len() {
+            let resumed = app
+                .resume_modes(&modes[split..], &full.states()[split])
+                .unwrap();
+            for (offset, state) in resumed.states().iter().enumerate() {
+                assert_eq!(
+                    state.as_slice(),
+                    full.states()[split + offset].as_slice(),
+                    "state diverges at split {split}, offset {offset}"
+                );
+            }
+            for (offset, y) in resumed.outputs().iter().enumerate() {
+                assert!(
+                    y.to_bits() == full.outputs()[split + offset].to_bits(),
+                    "output diverges at split {split}, offset {offset}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn advance_augmented_matches_simulate_modes() {
+        let app = demo_app();
+        let modes = [
+            Mode::TimeTriggered,
+            Mode::EventTriggered,
+            Mode::TimeTriggered,
+        ];
+        let trajectory = app.simulate_modes(&modes).unwrap();
+        let mut z = app.initial_augmented_state();
+        let mut scratch = Vector::zeros(z.len());
+        assert_eq!(app.augmented_output(&z), trajectory.outputs()[0]);
+        for (k, mode) in modes.iter().enumerate() {
+            app.advance_augmented(*mode, &mut z, &mut scratch).unwrap();
+            assert_eq!(z.as_slice(), trajectory.states()[k + 1].as_slice());
+            assert_eq!(app.augmented_output(&z), trajectory.outputs()[k + 1]);
+        }
+    }
+
+    #[test]
+    fn resume_validates_checkpoint_dimension() {
+        let app = demo_app();
+        assert!(app
+            .resume_modes(&[Mode::TimeTriggered], &Vector::zeros(3))
+            .is_err());
+        assert!(app
+            .resume_modes(&[], &app.initial_augmented_state())
             .is_err());
     }
 

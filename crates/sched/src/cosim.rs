@@ -32,10 +32,18 @@ pub struct CosimScenario {
 /// The result of a co-simulation.
 #[derive(Debug, Clone, PartialEq)]
 pub struct CosimResult {
-    outputs: Vec<Vec<f64>>,
-    settling_samples: Vec<Option<usize>>,
-    schedule: ScheduleOutcome,
-    sampling_period: f64,
+    pub(crate) outputs: Vec<Vec<f64>>,
+    pub(crate) settling_samples: Vec<Option<usize>>,
+    pub(crate) schedule: ScheduleOutcome,
+    /// Per-application sampling periods: heterogeneous-period scenarios must
+    /// convert each application's settling time with its *own* period (a
+    /// single scenario-wide period silently mis-reported every application
+    /// after the first).
+    pub(crate) sampling_periods: Vec<f64>,
+    /// Per-application settling requirements `J*` in samples, captured from
+    /// the scenario's own profiles so requirement checks can never be fed a
+    /// mismatched profile slice.
+    pub(crate) requirements: Vec<usize>,
 }
 
 impl CosimResult {
@@ -52,11 +60,13 @@ impl CosimResult {
         &self.settling_samples
     }
 
-    /// The settling time of each application in seconds.
+    /// The settling time of each application in seconds, converted with that
+    /// application's own sampling period.
     pub fn settling_seconds(&self) -> Vec<Option<f64>> {
         self.settling_samples
             .iter()
-            .map(|s| s.map(|s| s as f64 * self.sampling_period))
+            .zip(self.sampling_periods.iter())
+            .map(|(s, h)| s.map(|s| s as f64 * h))
             .collect()
     }
 
@@ -65,12 +75,23 @@ impl CosimResult {
         &self.schedule
     }
 
+    /// Per-application settling requirements `J*` in samples, as captured
+    /// from the scenario that produced this result.
+    pub fn requirements(&self) -> &[usize] {
+        &self.requirements
+    }
+
     /// `true` when every application settled within its requirement `J*`.
-    pub fn all_meet_requirements(&self, profiles: &[AppTimingProfile]) -> bool {
+    ///
+    /// The requirements are the scenario's own profiles, captured when the
+    /// result was produced — there is no caller-supplied profile slice to
+    /// get out of sync (the old signature zipped against one and silently
+    /// truncated on length mismatch).
+    pub fn all_meet_requirements(&self) -> bool {
         self.settling_samples
             .iter()
-            .zip(profiles.iter())
-            .all(|(settling, profile)| settling.map(|j| j <= profile.jstar()).unwrap_or(false))
+            .zip(self.requirements.iter())
+            .all(|(settling, jstar)| settling.map(|j| j <= *jstar).unwrap_or(false))
     }
 }
 
@@ -150,12 +171,16 @@ impl CosimScenario {
             outputs.push(absolute);
         }
 
-        let sampling_period = self.apps[0].application.sampling_period();
         Ok(CosimResult {
             outputs,
             settling_samples,
             schedule,
-            sampling_period,
+            sampling_periods: self
+                .apps
+                .iter()
+                .map(|a| a.application.sampling_period())
+                .collect(),
+            requirements: self.apps.iter().map(|a| a.profile.jstar()).collect(),
         })
     }
 }
@@ -168,12 +193,19 @@ mod tests {
     use cps_linalg::Vector;
 
     fn demo_application(name: &str) -> (SwitchedApplication, AppTimingProfile) {
+        demo_application_with_period(name, 0.02)
+    }
+
+    fn demo_application_with_period(
+        name: &str,
+        period: f64,
+    ) -> (SwitchedApplication, AppTimingProfile) {
         let plant = StateSpace::from_slices(&[&[0.95]], &[0.1], &[1.0]).unwrap();
         let app = SwitchedApplication::builder(name)
             .plant(plant)
             .fast_gain(StateFeedback::from_slice(&[8.0]))
             .slow_gain(Vector::from_slice(&[1.0, 0.2]))
-            .sampling_period(0.02)
+            .sampling_period(period)
             .settling_threshold(0.02)
             .disturbance_state(Vector::from_slice(&[1.0]))
             .build()
@@ -212,19 +244,42 @@ mod tests {
     fn single_application_meets_its_requirement() {
         let scenario = scenario(&[0]);
         let result = scenario.run().unwrap();
-        let profiles: Vec<_> = scenario.apps().iter().map(|a| a.profile.clone()).collect();
-        assert!(result.all_meet_requirements(&profiles));
+        assert!(result.all_meet_requirements());
+        assert_eq!(result.requirements(), &[scenario.apps()[0].profile.jstar()]);
         assert_eq!(result.outputs().len(), 1);
         assert_eq!(result.outputs()[0].len(), 121);
         assert!(result.settling_seconds()[0].unwrap() > 0.0);
     }
 
     #[test]
+    fn heterogeneous_periods_convert_each_app_with_its_own_period() {
+        // Same plant and schedule, but the second application samples 5x
+        // slower; its settling seconds must scale with *its* period, not the
+        // first application's.
+        let apps = [0.02, 0.1]
+            .iter()
+            .enumerate()
+            .map(|(i, &h)| {
+                let (application, profile) = demo_application_with_period(&format!("app{i}"), h);
+                CosimApp {
+                    application,
+                    profile,
+                    disturbance_sample: 0,
+                }
+            })
+            .collect();
+        let result = CosimScenario::new(apps, 120).unwrap().run().unwrap();
+        let samples = result.settling_samples();
+        let seconds = result.settling_seconds();
+        assert_eq!(seconds[0].unwrap(), samples[0].unwrap() as f64 * 0.02);
+        assert_eq!(seconds[1].unwrap(), samples[1].unwrap() as f64 * 0.1);
+    }
+
+    #[test]
     fn simultaneous_disturbances_still_meet_requirements() {
         let scenario = scenario(&[0, 0]);
         let result = scenario.run().unwrap();
-        let profiles: Vec<_> = scenario.apps().iter().map(|a| a.profile.clone()).collect();
-        assert!(result.all_meet_requirements(&profiles));
+        assert!(result.all_meet_requirements());
         assert!(result.schedule().all_deadlines_met());
         // The slot is never double-booked: the TT sample sets are disjoint.
         let a = &result.schedule().traces()[0].tt_samples;

@@ -127,11 +127,65 @@ impl SlotScheduler {
             })
             .collect();
         let mut grants: Vec<GrantRecord> = Vec::new();
+        // The slot has at most one occupant; tracking its index avoids an
+        // O(n) scan per step (this loop is the shared hot path of both the
+        // co-simulation oracle and the batch engine).
+        let mut occupant: Option<usize> = None;
+        // Cursor into each application's (sorted, validated) disturbance
+        // list: O(1) arrival sensing per sample.
+        let mut next_disturbance = vec![0usize; n];
+        // Number of non-Idle applications. While it is zero nothing can
+        // happen until the next disturbance, so the loop fast-forwards —
+        // the cost is bounded by the *active* span, not the horizon.
+        let mut active = 0usize;
 
-        for sample in 0..horizon {
-            // 1. Newly sensed disturbances.
+        let mut sample = 0;
+        while sample < horizon {
+            if active == 0 {
+                match disturbances
+                    .iter()
+                    .zip(next_disturbance.iter())
+                    .filter_map(|(times, &cursor)| times.get(cursor))
+                    .min()
+                {
+                    // Idle forever: every remaining sample is a no-op.
+                    None => break,
+                    Some(&next) => sample = next,
+                }
+            }
+            // 1. Newly sensed disturbances. Re-disturbance semantics: a new
+            //    disturbance always supersedes whatever the application was
+            //    doing, because the response window (and hence the laxity
+            //    clock) is measured from the *latest* disturbance.
+            //    * `Using`: the occupation ends here — the occupant leaves
+            //      the slot to wait for a fresh grant, and the open
+            //      occupation is closed and accounted in `grants()` (it was
+            //      previously dropped on the floor, making `grants()`
+            //      disagree with `traces()`).
+            //    * `Waiting`: the pending request is replaced and the wait
+            //      clock restarts at zero.
             for (app, times) in disturbances.iter().enumerate() {
-                if times.contains(&sample) {
+                let cursor = &mut next_disturbance[app];
+                if *cursor < times.len() && times[*cursor] == sample {
+                    *cursor += 1;
+                    match states[app] {
+                        AppState::Using {
+                            waited,
+                            received,
+                            start,
+                        } => {
+                            grants.push(GrantRecord {
+                                app,
+                                start_sample: start,
+                                tt_samples: received,
+                                waited,
+                                preempted: false,
+                            });
+                            occupant = None;
+                        }
+                        AppState::Waiting { .. } => {}
+                        AppState::Idle => active += 1,
+                    }
                     states[app] = AppState::Waiting { waited: 0 };
                 }
             }
@@ -144,22 +198,32 @@ impl SlotScheduler {
                     if *waited > self.profiles[app].max_wait() {
                         traces[app].missed_deadline = true;
                         *state = AppState::Idle;
+                        active -= 1;
                     }
                 }
             }
 
             // 3. Release occupants that reached their maximum useful dwell.
-            if let Some((app, waited, received, start)) = self.occupant(&states) {
-                let t_plus = self.profiles[app].t_dw_plus(waited).unwrap_or(0);
-                if received >= t_plus {
-                    grants.push(GrantRecord {
-                        app,
-                        start_sample: start,
-                        tt_samples: received,
-                        waited,
-                        preempted: false,
-                    });
-                    states[app] = AppState::Idle;
+            if let Some(app) = occupant {
+                if let AppState::Using {
+                    waited,
+                    received,
+                    start,
+                } = states[app]
+                {
+                    let t_plus = self.profiles[app].t_dw_plus(waited).unwrap_or(0);
+                    if received >= t_plus {
+                        grants.push(GrantRecord {
+                            app,
+                            start_sample: start,
+                            tt_samples: received,
+                            waited,
+                            preempted: false,
+                        });
+                        states[app] = AppState::Idle;
+                        occupant = None;
+                        active -= 1;
+                    }
                 }
             }
 
@@ -169,7 +233,7 @@ impl SlotScheduler {
                 _ => None,
             }));
             if let Some(winner) = best {
-                match self.occupant(&states) {
+                match occupant {
                     None => {
                         if let AppState::Waiting { waited } = states[winner] {
                             traces[winner].waits.push(waited);
@@ -178,26 +242,36 @@ impl SlotScheduler {
                                 received: 0,
                                 start: sample,
                             };
+                            occupant = Some(winner);
                         }
                     }
-                    Some((app, waited, received, start)) => {
-                        let t_min = self.profiles[app].t_dw_min(waited).unwrap_or(0);
-                        if received >= t_min {
-                            grants.push(GrantRecord {
-                                app,
-                                start_sample: start,
-                                tt_samples: received,
-                                waited,
-                                preempted: true,
-                            });
-                            states[app] = AppState::Idle;
-                            if let AppState::Waiting { waited } = states[winner] {
-                                traces[winner].waits.push(waited);
-                                states[winner] = AppState::Using {
+                    Some(app) => {
+                        if let AppState::Using {
+                            waited,
+                            received,
+                            start,
+                        } = states[app]
+                        {
+                            let t_min = self.profiles[app].t_dw_min(waited).unwrap_or(0);
+                            if received >= t_min {
+                                grants.push(GrantRecord {
+                                    app,
+                                    start_sample: start,
+                                    tt_samples: received,
                                     waited,
-                                    received: 0,
-                                    start: sample,
-                                };
+                                    preempted: true,
+                                });
+                                states[app] = AppState::Idle;
+                                active -= 1;
+                                if let AppState::Waiting { waited } = states[winner] {
+                                    traces[winner].waits.push(waited);
+                                    states[winner] = AppState::Using {
+                                        waited,
+                                        received: 0,
+                                        start: sample,
+                                    };
+                                    occupant = Some(winner);
+                                }
                             }
                         }
                     }
@@ -215,31 +289,29 @@ impl SlotScheduler {
                     AppState::Idle => {}
                 }
             }
+
+            sample += 1;
         }
 
         // Close the final occupation, if any.
-        if let Some((app, waited, received, start)) = self.occupant(&states) {
-            grants.push(GrantRecord {
-                app,
-                start_sample: start,
-                tt_samples: received,
-                waited,
-                preempted: false,
-            });
-        }
-
-        Ok(ScheduleOutcome { traces, grants })
-    }
-
-    fn occupant(&self, states: &[AppState]) -> Option<(usize, usize, usize, usize)> {
-        states.iter().enumerate().find_map(|(i, s)| match s {
-            AppState::Using {
+        if let Some(app) = occupant {
+            if let AppState::Using {
                 waited,
                 received,
                 start,
-            } => Some((i, *waited, *received, *start)),
-            _ => None,
-        })
+            } = states[app]
+            {
+                grants.push(GrantRecord {
+                    app,
+                    start_sample: start,
+                    tt_samples: received,
+                    waited,
+                    preempted: false,
+                });
+            }
+        }
+
+        Ok(ScheduleOutcome { traces, grants })
     }
 
     fn validate(&self, disturbances: &[Vec<usize>], horizon: usize) -> Result<(), SchedError> {
@@ -378,6 +450,89 @@ mod tests {
             outcome.traces()[0].tt_samples_relative_to(30),
             vec![0, 1, 2, 3, 4]
         );
+    }
+
+    /// A profile with explicit dwell arrays and inter-arrival, for scenarios
+    /// where the standard helper's conservative `r` would forbid overlap.
+    fn tight_profile(
+        name: &str,
+        max_wait: usize,
+        dwell_min: usize,
+        dwell_plus: usize,
+        jstar: usize,
+        r: usize,
+    ) -> AppTimingProfile {
+        let table = DwellTimeTable::from_arrays(
+            jstar,
+            vec![dwell_min; max_wait + 1],
+            vec![dwell_plus; max_wait + 1],
+        )
+        .unwrap();
+        AppTimingProfile::new(name, 1, jstar + 5, jstar, r, table).unwrap()
+    }
+
+    #[test]
+    fn redisturbed_occupant_closes_its_grant() {
+        // A (tight deadline) runs first with a 5-sample dwell; B then holds
+        // the slot with an 8-sample dwell and is re-disturbed mid-occupation
+        // at sample 10. The open occupation must be closed and accounted.
+        let s = SlotScheduler::new(vec![
+            tight_profile("A", 2, 5, 5, 9, 10),
+            tight_profile("B", 8, 8, 8, 9, 10),
+        ])
+        .unwrap();
+        let outcome = s.schedule(&[vec![0], vec![0, 10]], 30).unwrap();
+        assert!(outcome.all_deadlines_met());
+        // Three occupations: A[0..5), B[5..10) cut short by its own
+        // re-disturbance, then B[10..18) for the second response.
+        let grants = outcome.grants();
+        assert_eq!(grants.len(), 3);
+        assert_eq!(
+            (grants[1].app, grants[1].start_sample, grants[1].tt_samples),
+            (1, 5, 5)
+        );
+        assert!(!grants[1].preempted);
+        // Every TT sample handed out appears in exactly one grant.
+        for (app, trace) in outcome.traces().iter().enumerate() {
+            let granted: usize = grants
+                .iter()
+                .filter(|g| g.app == app)
+                .map(|g| g.tt_samples)
+                .sum();
+            assert_eq!(granted, trace.total_tt_samples(), "app {app}");
+        }
+        // The windows split at the second disturbance.
+        assert_eq!(
+            outcome.traces()[1].tt_samples_relative_to(0),
+            vec![5, 6, 7, 8, 9]
+        );
+        assert_eq!(
+            outcome.traces()[1].tt_samples_relative_to(10),
+            vec![0, 1, 2, 3, 4, 5, 6, 7]
+        );
+        assert_eq!(outcome.traces()[1].waits, vec![5, 0]);
+    }
+
+    #[test]
+    fn redisturbed_waiter_restarts_its_wait_clock() {
+        // A holds the slot non-preemptively for 12 samples; B waits from 0
+        // and is re-disturbed at sample 10. The new disturbance supersedes
+        // the pending request, so B is granted 2 samples after its *second*
+        // disturbance — not 12 after its first.
+        let s = SlotScheduler::new(vec![
+            tight_profile("A", 0, 12, 12, 13, 14),
+            tight_profile("B", 20, 3, 3, 9, 10),
+        ])
+        .unwrap();
+        let outcome = s.schedule(&[vec![0], vec![0, 10]], 30).unwrap();
+        assert!(outcome.all_deadlines_met());
+        // One grant for A, one for B: B's first request never produced a
+        // grant because the second disturbance replaced it while waiting.
+        assert_eq!(outcome.traces()[1].waits, vec![2]);
+        let b_grants: Vec<_> = outcome.grants().iter().filter(|g| g.app == 1).collect();
+        assert_eq!(b_grants.len(), 1);
+        assert_eq!(b_grants[0].start_sample, 12);
+        assert_eq!(b_grants[0].waited, 2);
     }
 
     #[test]

@@ -39,11 +39,24 @@ impl AppScheduleTrace {
     }
 
     /// Converts the absolute TT sample indices into indices relative to a
-    /// disturbance sensed at `disturbance_sample` (entries before the
-    /// disturbance are dropped).
+    /// disturbance sensed at `disturbance_sample`.
+    ///
+    /// The window is bounded on both sides: entries before the disturbance
+    /// are dropped, and so are entries at or after the *next* recorded
+    /// disturbance — those TT samples belong to the following response, not
+    /// to this one. For a trace with a single disturbance (or for the last
+    /// disturbance of a recurrent trace) the window extends to the end of the
+    /// schedule.
     pub fn tt_samples_relative_to(&self, disturbance_sample: usize) -> Vec<usize> {
+        let window_end = self
+            .disturbance_samples
+            .iter()
+            .copied()
+            .filter(|&d| d > disturbance_sample)
+            .min();
         self.tt_samples
             .iter()
+            .filter(|&&s| window_end.map(|end| s < end).unwrap_or(true))
             .filter_map(|&s| s.checked_sub(disturbance_sample))
             .collect()
     }
@@ -65,6 +78,21 @@ mod tests {
         assert_eq!(trace.tt_samples_relative_to(5), vec![3, 4, 5]);
         // Samples before the disturbance are dropped.
         assert_eq!(trace.tt_samples_relative_to(9), vec![0, 1]);
+    }
+
+    #[test]
+    fn relative_window_is_bounded_by_the_next_disturbance() {
+        // Two disturbances at 5 and 20; the TT burst at 22–24 answers the
+        // second disturbance and must not leak into the first window.
+        let trace = AppScheduleTrace {
+            disturbance_samples: vec![5, 20],
+            tt_samples: vec![8, 9, 10, 22, 23, 24],
+            waits: vec![3, 2],
+            missed_deadline: false,
+        };
+        assert_eq!(trace.tt_samples_relative_to(5), vec![3, 4, 5]);
+        // The last window runs to the end of the schedule.
+        assert_eq!(trace.tt_samples_relative_to(20), vec![2, 3, 4]);
     }
 
     #[test]

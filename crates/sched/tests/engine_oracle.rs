@@ -1,0 +1,203 @@
+//! Engine-vs-oracle equivalence: [`BatchCosimEngine`] must produce results
+//! **bitwise identical** to the retained [`CosimScenario::run`] oracle on
+//! single-disturbance scenarios, and to the naive windowed reference
+//! ([`engine::reference_pattern`]) on recurrent patterns.
+//!
+//! Scenarios are drawn pseudo-randomly (via the offline proptest stub's
+//! deterministic RNG) so every run covers the same structurally diverse
+//! cases; each random case drives one engine through a whole family of
+//! scenarios so checkpoint sharing across differing prefixes is exercised,
+//! not just cold runs.
+
+use cps_control::{StateFeedback, StateSpace};
+use cps_core::{AppTimingProfile, DwellTimeTable, SwitchedApplication};
+use cps_sched::cosim::{CosimApp, CosimScenario};
+use cps_sched::{engine, scenarios, BatchCosimEngine, CosimResult};
+use proptest::prelude::*;
+use proptest::TestRng;
+
+/// Builds a small stable scalar application with an explicit timing profile
+/// (no dwell search — the profiles only steer the scheduler, so equivalence
+/// holds for any consistent table).
+#[allow(clippy::too_many_arguments)]
+fn make_app(
+    name: &str,
+    pole: f64,
+    fast_gain: f64,
+    period: f64,
+    max_wait: usize,
+    dwell_min: usize,
+    dwell_plus: usize,
+    jstar: usize,
+    r: usize,
+) -> CosimApp {
+    let plant = StateSpace::from_slices(&[&[pole]], &[0.1], &[1.0]).unwrap();
+    let application = SwitchedApplication::builder(name)
+        .plant(plant)
+        .fast_gain(StateFeedback::from_slice(&[fast_gain]))
+        .slow_gain(cps_linalg::Vector::from_slice(&[1.0, 0.2]))
+        .sampling_period(period)
+        .settling_threshold(0.02)
+        .disturbance_state(cps_linalg::Vector::from_slice(&[1.0]))
+        .build()
+        .unwrap();
+    let table = DwellTimeTable::from_arrays(
+        jstar,
+        vec![dwell_min; max_wait + 1],
+        vec![dwell_plus; max_wait + 1],
+    )
+    .unwrap();
+    let profile = AppTimingProfile::new(name, 1, jstar + 10, jstar, r, table).unwrap();
+    CosimApp {
+        application,
+        profile,
+        disturbance_sample: 0,
+    }
+}
+
+fn demo_apps() -> Vec<CosimApp> {
+    vec![
+        make_app("A", 0.95, 8.0, 0.02, 6, 3, 5, 12, 25),
+        make_app("B", 0.90, 7.0, 0.05, 4, 2, 4, 10, 20),
+        make_app("C", 0.85, 6.5, 0.02, 8, 2, 6, 14, 30),
+    ]
+}
+
+use cps_sched::engine::assert_bitwise_equal;
+
+/// Runs the oracle for a staggered scenario (one disturbance per app).
+fn oracle_staggered(apps: &[CosimApp], horizon: usize, t0s: &[usize]) -> CosimResult {
+    let scenario_apps: Vec<CosimApp> = apps
+        .iter()
+        .zip(t0s.iter())
+        .map(|(app, &t0)| CosimApp {
+            disturbance_sample: t0,
+            ..app.clone()
+        })
+        .collect();
+    CosimScenario::new(scenario_apps, horizon)
+        .unwrap()
+        .run()
+        .unwrap()
+}
+
+#[test]
+fn engine_matches_oracle_on_unit_scenarios() {
+    let apps = demo_apps();
+    let horizon = 90;
+    let mut engine = BatchCosimEngine::new(apps.clone(), horizon).unwrap();
+    for t0s in [[0, 0, 0], [0, 10, 25], [5, 5, 40], [0, 0, 1], [30, 20, 10]] {
+        let fast = engine.run_staggered(&t0s).unwrap();
+        let oracle = oracle_staggered(&apps, horizon, &t0s);
+        assert_bitwise_equal(&format!("{t0s:?}"), &fast, &oracle);
+        // Deterministic on the warm cache too.
+        let warm = engine.run_staggered(&t0s).unwrap();
+        assert_bitwise_equal(&format!("{t0s:?} warm"), &warm, &oracle);
+    }
+}
+
+#[test]
+fn engine_matches_oracle_on_generated_families() {
+    let apps = demo_apps();
+    let horizon = 100;
+    let mut engine = BatchCosimEngine::new(apps.clone(), horizon).unwrap();
+    let mut families = scenarios::contention_sweep(&[0, 0, 12], 2, 0..10);
+    families.extend(scenarios::staggered_fleet(3, 7, 0..8));
+    let results = engine.run_batch(&families).unwrap();
+    for (pattern, fast) in families.iter().zip(results.iter()) {
+        let t0s: Vec<usize> = pattern.iter().map(|times| times[0]).collect();
+        let oracle = oracle_staggered(&apps, horizon, &t0s);
+        assert_bitwise_equal(&format!("{t0s:?}"), fast, &oracle);
+    }
+}
+
+#[test]
+fn engine_matches_windowed_reference_on_recurrent_patterns() {
+    let apps = demo_apps();
+    let horizon = 140;
+    let profiles: Vec<AppTimingProfile> = apps.iter().map(|a| a.profile.clone()).collect();
+    let mut engine = BatchCosimEngine::new(apps.clone(), horizon).unwrap();
+    for pattern in scenarios::recurrent_storm(&profiles, horizon, 0..6) {
+        let fast = engine.run(&pattern).unwrap();
+        let oracle = engine::reference_pattern(&apps, horizon, &pattern).unwrap();
+        assert_bitwise_equal(&format!("{pattern:?}"), &fast, &oracle);
+    }
+}
+
+#[test]
+fn windowed_reference_coincides_with_the_scenario_oracle_when_single_shot() {
+    let apps = demo_apps();
+    let horizon = 90;
+    for t0s in [[0, 0, 0], [3, 17, 28]] {
+        let pattern: Vec<Vec<usize>> = t0s.iter().map(|&t| vec![t]).collect();
+        let windowed = engine::reference_pattern(&apps, horizon, &pattern).unwrap();
+        let oracle = oracle_staggered(&apps, horizon, &t0s);
+        assert_bitwise_equal(&format!("{t0s:?}"), &windowed, &oracle);
+    }
+}
+
+#[test]
+fn undisturbed_applications_stay_at_steady_state() {
+    let apps = demo_apps();
+    let horizon = 60;
+    let mut engine = BatchCosimEngine::new(apps.clone(), horizon).unwrap();
+    let pattern = vec![vec![0], vec![], vec![20]];
+    let fast = engine.run(&pattern).unwrap();
+    let oracle = engine::reference_pattern(&apps, horizon, &pattern).unwrap();
+    assert_bitwise_equal("undisturbed", &fast, &oracle);
+    assert!(fast.outputs()[1].iter().all(|y| *y == 0.0));
+    assert_eq!(fast.settling_samples()[1], Some(0));
+}
+
+/// Draws a random application family plus a family of staggered scenarios
+/// from a seed and checks the engine against the oracle on every member.
+fn random_case(seed: u64) {
+    let mut rng = TestRng::new(seed.wrapping_add(17));
+    let horizon = 50 + rng.next_below(60) as usize;
+    let app_count = 1 + rng.next_below(3) as usize;
+    let apps: Vec<CosimApp> = (0..app_count)
+        .map(|i| {
+            let pole = 0.6 + 0.35 * rng.next_f64();
+            let fast_gain = 4.0 + 5.0 * rng.next_f64();
+            let period = if rng.next_below(2) == 0 { 0.02 } else { 0.05 };
+            let max_wait = rng.next_below(8) as usize;
+            let dwell_min = 1 + rng.next_below(4) as usize;
+            let dwell_plus = dwell_min + rng.next_below(4) as usize;
+            let jstar = 5 + rng.next_below(12) as usize;
+            let r = jstar + 1 + rng.next_below(20) as usize;
+            make_app(
+                &format!("r{i}"),
+                pole,
+                fast_gain,
+                period,
+                max_wait,
+                dwell_min,
+                dwell_plus,
+                jstar,
+                r,
+            )
+        })
+        .collect();
+    let mut engine = BatchCosimEngine::new(apps.clone(), horizon).unwrap();
+    // A family of 4 scenarios through one engine: caches carry over between
+    // differing grant prefixes.
+    for scenario in 0..4 {
+        let t0s: Vec<usize> = (0..app_count)
+            .map(|_| rng.next_below(horizon as u64) as usize)
+            .collect();
+        let fast = engine.run_staggered(&t0s).unwrap();
+        let oracle = oracle_staggered(&apps, horizon, &t0s);
+        assert_bitwise_equal(
+            &format!("seed {seed} scenario {scenario} {t0s:?}"),
+            &fast,
+            &oracle,
+        );
+    }
+}
+
+proptest! {
+    #[test]
+    fn engine_matches_oracle_on_random_scenario_families(seed in 0u64..1_000_000) {
+        random_case(seed);
+    }
+}

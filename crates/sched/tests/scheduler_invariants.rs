@@ -1,0 +1,318 @@
+//! Structural invariants of the slot scheduler's accounting, checked on
+//! hand-written scenarios and on randomized multi-disturbance scenarios
+//! (deterministic proptest-stub RNG):
+//!
+//! * slot occupations in `grants()` are chronologically ordered and
+//!   pairwise disjoint (the slot is never double-booked);
+//! * every TT sample handed out in `traces()` is accounted by exactly one
+//!   grant — per application, grant totals equal trace totals (this was
+//!   violated before re-disturbed occupants closed their open grant);
+//! * per-application TT samples are strictly increasing and no sample is
+//!   owned by two applications.
+
+use cps_core::{AppTimingProfile, DwellTimeTable};
+use cps_sched::{select_by_laxity, AppScheduleTrace, GrantRecord, ScheduleOutcome, SlotScheduler};
+use proptest::prelude::*;
+use proptest::TestRng;
+
+/// An independent, deliberately naive re-implementation of the scheduling
+/// loop (linear scans, no occupant tracking, no idle fast-forwarding): the
+/// production scheduler's incremental bookkeeping must produce exactly the
+/// same traces and grants.
+mod naive {
+    use super::*;
+
+    #[derive(Clone, Copy, PartialEq)]
+    enum St {
+        Idle,
+        Waiting {
+            waited: usize,
+        },
+        Using {
+            waited: usize,
+            received: usize,
+            start: usize,
+        },
+    }
+
+    pub fn schedule(
+        profiles: &[AppTimingProfile],
+        disturbances: &[Vec<usize>],
+        horizon: usize,
+    ) -> (Vec<AppScheduleTrace>, Vec<GrantRecord>) {
+        let n = profiles.len();
+        let mut states = vec![St::Idle; n];
+        let mut traces: Vec<AppScheduleTrace> = disturbances
+            .iter()
+            .map(|times| AppScheduleTrace {
+                disturbance_samples: times.clone(),
+                ..Default::default()
+            })
+            .collect();
+        let mut grants = Vec::new();
+        let occupant = |states: &[St]| {
+            states.iter().enumerate().find_map(|(i, s)| match s {
+                St::Using {
+                    waited,
+                    received,
+                    start,
+                } => Some((i, *waited, *received, *start)),
+                _ => None,
+            })
+        };
+        for sample in 0..horizon {
+            for (app, times) in disturbances.iter().enumerate() {
+                if times.contains(&sample) {
+                    if let St::Using {
+                        waited,
+                        received,
+                        start,
+                    } = states[app]
+                    {
+                        grants.push(GrantRecord {
+                            app,
+                            start_sample: start,
+                            tt_samples: received,
+                            waited,
+                            preempted: false,
+                        });
+                    }
+                    states[app] = St::Waiting { waited: 0 };
+                }
+            }
+            for (app, state) in states.iter_mut().enumerate() {
+                if let St::Waiting { waited } = state {
+                    if *waited > profiles[app].max_wait() {
+                        traces[app].missed_deadline = true;
+                        *state = St::Idle;
+                    }
+                }
+            }
+            if let Some((app, waited, received, start)) = occupant(&states) {
+                if received >= profiles[app].t_dw_plus(waited).unwrap_or(0) {
+                    grants.push(GrantRecord {
+                        app,
+                        start_sample: start,
+                        tt_samples: received,
+                        waited,
+                        preempted: false,
+                    });
+                    states[app] = St::Idle;
+                }
+            }
+            let best = select_by_laxity(states.iter().enumerate().filter_map(|(i, s)| match s {
+                St::Waiting { waited } => Some((i, *waited, profiles[i].max_wait())),
+                _ => None,
+            }));
+            if let Some(winner) = best {
+                let grant = |states: &mut [St], traces: &mut [AppScheduleTrace]| {
+                    if let St::Waiting { waited } = states[winner] {
+                        traces[winner].waits.push(waited);
+                        states[winner] = St::Using {
+                            waited,
+                            received: 0,
+                            start: sample,
+                        };
+                    }
+                };
+                match occupant(&states) {
+                    None => grant(&mut states, &mut traces),
+                    Some((app, waited, received, start)) => {
+                        if received >= profiles[app].t_dw_min(waited).unwrap_or(0) {
+                            grants.push(GrantRecord {
+                                app,
+                                start_sample: start,
+                                tt_samples: received,
+                                waited,
+                                preempted: true,
+                            });
+                            states[app] = St::Idle;
+                            grant(&mut states, &mut traces);
+                        }
+                    }
+                }
+            }
+            for (app, state) in states.iter_mut().enumerate() {
+                match state {
+                    St::Using { received, .. } => {
+                        traces[app].tt_samples.push(sample);
+                        *received += 1;
+                    }
+                    St::Waiting { waited } => *waited += 1,
+                    St::Idle => {}
+                }
+            }
+        }
+        if let Some((app, waited, received, start)) = occupant(&states) {
+            grants.push(GrantRecord {
+                app,
+                start_sample: start,
+                tt_samples: received,
+                waited,
+                preempted: false,
+            });
+        }
+        (traces, grants)
+    }
+}
+
+fn profile(
+    name: &str,
+    max_wait: usize,
+    dwell_min: usize,
+    dwell_plus: usize,
+    jstar: usize,
+    r: usize,
+) -> AppTimingProfile {
+    let table = DwellTimeTable::from_arrays(
+        jstar,
+        vec![dwell_min; max_wait + 1],
+        vec![dwell_plus; max_wait + 1],
+    )
+    .unwrap();
+    AppTimingProfile::new(name, 1, jstar + 10, jstar, r, table).unwrap()
+}
+
+fn assert_invariants(outcome: &ScheduleOutcome, horizon: usize) {
+    // Grants: chronological, disjoint, within the horizon.
+    for pair in outcome.grants().windows(2) {
+        assert!(
+            pair[0].start_sample + pair[0].tt_samples <= pair[1].start_sample,
+            "grants overlap or are out of order: {pair:?}"
+        );
+    }
+    for grant in outcome.grants() {
+        assert!(grant.tt_samples >= 1, "empty grant {grant:?}");
+        assert!(
+            grant.start_sample + grant.tt_samples <= horizon,
+            "grant exceeds the horizon: {grant:?}"
+        );
+    }
+    // Accounting: grants' TT totals equal traces' TT totals, per app and
+    // overall, and each grant's samples appear verbatim in the trace.
+    for (app, trace) in outcome.traces().iter().enumerate() {
+        let granted: usize = outcome
+            .grants()
+            .iter()
+            .filter(|g| g.app == app)
+            .map(|g| g.tt_samples)
+            .sum();
+        assert_eq!(
+            granted,
+            trace.total_tt_samples(),
+            "app {app}: grants account for {granted} TT samples, trace holds {}",
+            trace.total_tt_samples()
+        );
+        for pair in trace.tt_samples.windows(2) {
+            assert!(pair[0] < pair[1], "app {app}: TT samples not increasing");
+        }
+        for grant in outcome.grants().iter().filter(|g| g.app == app) {
+            for s in grant.start_sample..grant.start_sample + grant.tt_samples {
+                assert!(
+                    trace.tt_samples.binary_search(&s).is_ok(),
+                    "app {app}: grant sample {s} missing from the trace"
+                );
+            }
+        }
+    }
+    // Exclusivity: no sample is owned by two applications.
+    let mut all: Vec<usize> = outcome
+        .traces()
+        .iter()
+        .flat_map(|t| t.tt_samples.iter().copied())
+        .collect();
+    all.sort_unstable();
+    for pair in all.windows(2) {
+        assert!(pair[0] != pair[1], "sample {} double-booked", pair[0]);
+    }
+}
+
+#[test]
+fn invariants_hold_on_contended_unit_scenarios() {
+    let s = SlotScheduler::new(vec![
+        profile("A", 6, 3, 5, 12, 25),
+        profile("B", 4, 2, 4, 10, 20),
+        profile("C", 8, 2, 6, 14, 30),
+    ])
+    .unwrap();
+    for pattern in [
+        vec![vec![0], vec![0], vec![0]],
+        vec![vec![0], vec![5], vec![9]],
+        vec![vec![0, 30], vec![2], vec![]],
+        vec![vec![10], vec![0, 25, 50], vec![3]],
+    ] {
+        let outcome = s.schedule(&pattern, 70).unwrap();
+        assert_invariants(&outcome, 70);
+    }
+}
+
+#[test]
+fn invariants_hold_when_occupants_are_redisturbed() {
+    // B's second disturbance lands while it occupies the slot (the original
+    // accounting bug): the invariants must still hold.
+    let s = SlotScheduler::new(vec![
+        profile("A", 2, 5, 5, 9, 10),
+        profile("B", 8, 8, 8, 9, 10),
+    ])
+    .unwrap();
+    let outcome = s.schedule(&[vec![0], vec![0, 10, 20]], 40).unwrap();
+    assert_invariants(&outcome, 40);
+}
+
+/// Random scenario: 1–4 applications with random profiles, each disturbed
+/// 0–3 times with gaps respecting its inter-arrival time.
+fn random_invariant_case(seed: u64) {
+    let mut rng = TestRng::new(seed.wrapping_add(41));
+    let horizon = 40 + rng.next_below(80) as usize;
+    let app_count = 1 + rng.next_below(4) as usize;
+    let mut profiles = Vec::new();
+    let mut disturbances = Vec::new();
+    for i in 0..app_count {
+        let max_wait = rng.next_below(10) as usize;
+        let dwell_min = 1 + rng.next_below(5) as usize;
+        let dwell_plus = dwell_min + rng.next_below(5) as usize;
+        let jstar = 4 + rng.next_below(12) as usize;
+        let r = jstar + 1 + rng.next_below(15) as usize;
+        profiles.push(profile(
+            &format!("p{i}"),
+            max_wait,
+            dwell_min,
+            dwell_plus,
+            jstar,
+            r,
+        ));
+        let mut times = Vec::new();
+        let mut t = rng.next_below(horizon as u64) as usize;
+        for _ in 0..rng.next_below(4) {
+            if t >= horizon {
+                break;
+            }
+            times.push(t);
+            t += r + rng.next_below(10) as usize;
+        }
+        disturbances.push(times);
+    }
+    let scheduler = SlotScheduler::new(profiles.clone()).unwrap();
+    let outcome = scheduler.schedule(&disturbances, horizon).unwrap();
+    assert_invariants(&outcome, horizon);
+    // The optimized loop (occupant tracking, disturbance cursors, idle
+    // fast-forwarding) must agree with the naive specification exactly.
+    let (traces, grants) = naive::schedule(&profiles, &disturbances, horizon);
+    assert_eq!(
+        outcome.traces(),
+        &traces[..],
+        "traces diverge from the spec"
+    );
+    assert_eq!(
+        outcome.grants(),
+        &grants[..],
+        "grants diverge from the spec"
+    );
+}
+
+proptest! {
+    #[test]
+    fn invariants_hold_on_random_multi_disturbance_scenarios(seed in 0u64..1_000_000) {
+        random_invariant_case(seed);
+    }
+}
