@@ -1,5 +1,7 @@
 use cps_apps::case_study;
-use cps_verify::{verify_conservative, SlotSharingModel, VerificationConfig};
+use cps_verify::{
+    reference, verify_conservative, SlotSharingModel, SlotVerifyEngine, VerificationConfig,
+};
 use std::time::Instant;
 
 fn profiles(names: &[&str]) -> Vec<cps_core::AppTimingProfile> {
@@ -13,18 +15,31 @@ fn profiles(names: &[&str]) -> Vec<cps_core::AppTimingProfile> {
         .collect()
 }
 
-fn run(names: &[&str], cfg: &VerificationConfig, label: &str) {
+fn run(engine: &mut SlotVerifyEngine, names: &[&str], cfg: &VerificationConfig, label: &str) {
     let model = SlotSharingModel::new(profiles(names)).unwrap();
     let t = Instant::now();
-    match model.verify(cfg) {
-        Ok(o) => println!(
-            "{label} {:?}: schedulable={} states={} time={:.2?}",
-            names,
-            o.schedulable(),
-            o.states_explored(),
-            t.elapsed()
+    let fast = engine.verify(&model, cfg);
+    let engine_time = t.elapsed();
+    let t = Instant::now();
+    let oracle = reference::verify(&model, cfg);
+    let oracle_time = t.elapsed();
+    match (fast, oracle) {
+        (Ok(f), Ok(o)) => {
+            assert_eq!(f.schedulable(), o.schedulable(), "{names:?}: verdict mismatch");
+            println!(
+                "{label} {:?}: schedulable={} | engine {} states {:.2?} | oracle {} states {:.2?}",
+                names,
+                f.schedulable(),
+                f.states_explored(),
+                engine_time,
+                o.states_explored(),
+                oracle_time
+            );
+        }
+        (f, o) => println!(
+            "{label} {:?}: engine {f:?} after {engine_time:.2?}, oracle {o:?} after {oracle_time:.2?}",
+            names
         ),
-        Err(e) => println!("{label} {:?}: error {e} time={:.2?}", names, t.elapsed()),
     }
 }
 
@@ -60,14 +75,16 @@ fn run_conservative(names: &[&str]) {
 
 fn main() {
     let exact = VerificationConfig::unbounded();
-    run(&["C1", "C5"], &exact, "exact");
-    run(&["C1", "C5", "C4"], &exact, "exact");
-    run(&["C1", "C5", "C4", "C6"], &exact, "exact");
-    run(&["C1", "C5", "C4", "C2"], &exact, "exact");
-    run(&["C1", "C5", "C4", "C3"], &exact, "exact");
-    run(&["C6", "C2"], &exact, "exact");
-    run(&["C6"], &exact, "exact");
+    let mut engine = SlotVerifyEngine::new();
+    run(&mut engine, &["C1", "C5"], &exact, "exact");
+    run(&mut engine, &["C1", "C5", "C4"], &exact, "exact");
+    run(&mut engine, &["C1", "C5", "C4", "C6"], &exact, "exact");
+    run(&mut engine, &["C1", "C5", "C4", "C2"], &exact, "exact");
+    run(&mut engine, &["C1", "C5", "C4", "C3"], &exact, "exact");
+    run(&mut engine, &["C6", "C2"], &exact, "exact");
+    run(&mut engine, &["C6"], &exact, "exact");
     run(
+        &mut engine,
         &["C1", "C5", "C4", "C3"],
         &VerificationConfig::bounded(1),
         "bounded1",

@@ -1,8 +1,10 @@
 //! Admission oracles deciding whether a set of applications may share a slot.
 
+use std::sync::Mutex;
+
 use cps_baseline::{is_slot_schedulable, BaselineApp, Strategy};
 use cps_core::AppTimingProfile;
-use cps_verify::{SlotSharingModel, VerificationConfig, VerifyError};
+use cps_verify::{SlotSharingModel, SlotVerifyEngine, VerificationConfig, VerifyError};
 
 /// An admission test for one TT slot.
 ///
@@ -22,10 +24,24 @@ pub trait SlotOracle {
 }
 
 /// The paper's oracle: exact discrete-time model checking of the switching
-/// strategy (`cps-verify`).
-#[derive(Debug, Clone, Default)]
+/// strategy, run on the interned-state `cps-verify` engine.
+///
+/// The oracle owns one [`SlotVerifyEngine`] and reuses it across `admits`
+/// calls, so the repeated first-fit probes amortise the exploration buffers.
+#[derive(Debug, Default)]
 pub struct ModelCheckingOracle {
     config: VerificationConfig,
+    engine: Mutex<SlotVerifyEngine>,
+}
+
+impl Clone for ModelCheckingOracle {
+    fn clone(&self) -> Self {
+        // Exploration buffers are per-run scratch; a clone starts fresh.
+        ModelCheckingOracle {
+            config: self.config,
+            engine: Mutex::new(SlotVerifyEngine::new()),
+        }
+    }
 }
 
 impl ModelCheckingOracle {
@@ -36,14 +52,18 @@ impl ModelCheckingOracle {
 
     /// Creates the oracle with an explicit verification configuration.
     pub fn with_config(config: VerificationConfig) -> Self {
-        ModelCheckingOracle { config }
+        ModelCheckingOracle {
+            config,
+            engine: Mutex::new(SlotVerifyEngine::new()),
+        }
     }
 }
 
 impl SlotOracle for ModelCheckingOracle {
     fn admits(&self, profiles: &[AppTimingProfile]) -> Result<bool, VerifyError> {
         let model = SlotSharingModel::new(profiles.to_vec())?;
-        Ok(model.verify(&self.config)?.schedulable())
+        let mut engine = self.engine.lock().unwrap_or_else(|e| e.into_inner());
+        Ok(engine.verify(&model, &self.config)?.schedulable())
     }
 
     fn name(&self) -> &str {

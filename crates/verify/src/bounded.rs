@@ -12,7 +12,8 @@
 //! [`sufficient_instance_bound`] computes such a bound from the profiles;
 //! [`verify_accelerated`] runs the checker with it.
 
-use crate::checker::{verify, VerificationConfig, VerificationOutcome};
+use crate::checker::{VerificationConfig, VerificationOutcome};
+use crate::engine::SlotVerifyEngine;
 use crate::{SlotSharingModel, VerifyError};
 
 /// Computes a per-application disturbance-instance bound that is sufficient
@@ -50,14 +51,20 @@ pub fn sufficient_instance_bound(model: &SlotSharingModel) -> usize {
 }
 
 /// Verifies the model with the accelerated (bounded-instance) configuration
-/// derived by [`sufficient_instance_bound`].
+/// derived by [`sufficient_instance_bound`], on the interned-state engine.
+///
+/// Note that in this discrete formulation the instance bound is kept for
+/// fidelity to the paper rather than for speed: the counters stop recurrent
+/// disturbances from merging into visited states, so the bounded model is
+/// usually *larger* than the exact one (see
+/// [`VerificationConfig::default`]).
 ///
 /// # Errors
 ///
-/// Propagates checker errors.
+/// Propagates engine errors.
 pub fn verify_accelerated(model: &SlotSharingModel) -> Result<VerificationOutcome, VerifyError> {
     let bound = sufficient_instance_bound(model);
-    verify(model, &VerificationConfig::bounded(bound))
+    SlotVerifyEngine::new().verify(model, &VerificationConfig::bounded(bound))
 }
 
 #[cfg(test)]
@@ -104,7 +111,7 @@ mod tests {
         .unwrap();
         for (model, expected) in [(schedulable, true), (unschedulable, false)] {
             let accelerated = verify_accelerated(&model).unwrap();
-            let exact = verify(&model, &VerificationConfig::unbounded()).unwrap();
+            let exact = crate::checker::verify(&model, &VerificationConfig::unbounded()).unwrap();
             assert_eq!(accelerated.schedulable(), expected);
             assert_eq!(accelerated.schedulable(), exact.schedulable());
         }

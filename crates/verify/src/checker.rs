@@ -27,7 +27,7 @@ pub struct VerificationConfig {
     /// per analysis (the paper's acceleration). `None` explores the full
     /// sporadic model.
     pub max_disturbances_per_app: Option<usize>,
-    /// Maximum number of distinct states to explore before giving up.
+    /// Maximum number of states to pop and expand before giving up.
     pub state_budget: usize,
 }
 
@@ -69,13 +69,22 @@ pub struct VerificationOutcome {
 }
 
 impl VerificationOutcome {
+    pub(crate) fn new(schedulable: bool, states_explored: usize, witness: Option<Witness>) -> Self {
+        VerificationOutcome {
+            schedulable,
+            states_explored,
+            witness,
+        }
+    }
+
     /// `true` when every application meets its deadline in every explored
     /// scenario.
     pub fn schedulable(&self) -> bool {
         self.schedulable
     }
 
-    /// Number of distinct system states that were explored.
+    /// Number of system states that were popped and expanded (matching the
+    /// budget accounting of [`VerificationConfig::state_budget`]).
     pub fn states_explored(&self) -> usize {
         self.states_explored
     }
@@ -92,13 +101,13 @@ enum Cell {
     /// No active disturbance; a new one may arrive at any sample.
     Steady,
     /// Disturbed and waiting for the slot for `waited` samples so far.
-    Waiting { waited: u16 },
+    Waiting { waited: u32 },
     /// Occupying the slot: granted after `wait_at_grant` samples, having
     /// already received `received` TT samples.
-    Using { wait_at_grant: u16, received: u16 },
+    Using { wait_at_grant: u32, received: u32 },
     /// Disturbance handled; `since` samples have elapsed since it was sensed
     /// (a new disturbance becomes possible once `since ≥ r`).
-    Cooldown { since: u16 },
+    Cooldown { since: u32 },
     /// Bounded mode only: the application has used up its disturbance budget
     /// and can no longer interfere.
     Exhausted,
@@ -107,23 +116,23 @@ enum Cell {
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 struct SystemState {
     cells: Vec<Cell>,
-    instances_used: Vec<u8>,
+    instances_used: Vec<u32>,
 }
 
 /// Per-application scheduling parameters extracted from the profiles.
 struct AppParams {
-    max_wait: u16,
-    min_inter_arrival: u16,
-    t_dw_min: Vec<u16>,
-    t_dw_plus: Vec<u16>,
+    max_wait: u32,
+    min_inter_arrival: u32,
+    t_dw_min: Vec<u32>,
+    t_dw_plus: Vec<u32>,
 }
 
 impl AppParams {
-    fn t_dw_min(&self, wait: u16) -> u16 {
+    fn t_dw_min(&self, wait: u32) -> u32 {
         self.t_dw_min[wait as usize]
     }
 
-    fn t_dw_plus(&self, wait: u16) -> u16 {
+    fn t_dw_plus(&self, wait: u32) -> u32 {
         self.t_dw_plus[wait as usize]
     }
 }
@@ -145,13 +154,13 @@ impl Explorer {
             .profiles()
             .iter()
             .map(|p| AppParams {
-                max_wait: p.max_wait() as u16,
-                min_inter_arrival: p.min_inter_arrival() as u16,
+                max_wait: p.max_wait() as u32,
+                min_inter_arrival: p.min_inter_arrival() as u32,
                 t_dw_min: (0..=p.max_wait())
-                    .map(|w| p.t_dw_min(w).expect("wait within range") as u16)
+                    .map(|w| p.t_dw_min(w).expect("wait within range") as u32)
                     .collect(),
                 t_dw_plus: (0..=p.max_wait())
-                    .map(|w| p.t_dw_plus(w).expect("wait within range") as u16)
+                    .map(|w| p.t_dw_plus(w).expect("wait within range") as u32)
                     .collect(),
             })
             .collect();
@@ -327,12 +336,17 @@ fn subsets(items: &[usize]) -> Vec<Vec<usize>> {
 /// Verifies that every application mapped to the slot meets its deadline in
 /// every admissible disturbance scenario.
 ///
+/// `state_budget` bounds the number of states *popped and expanded* (not
+/// merely discovered), matching the accounting of
+/// [`VerificationOutcome::states_explored`] and of the interned-state
+/// [`crate::engine::SlotVerifyEngine`].
+///
 /// # Errors
 ///
 /// * [`VerifyError::InvalidConfig`] for a zero state budget or a zero
 ///   disturbance bound.
-/// * [`VerifyError::StateBudgetExhausted`] when the exploration is cut short
-///   (no verdict is implied in that case).
+/// * [`VerifyError::StateBudgetExhausted`] when the exploration pops more
+///   states than the budget allows (no verdict is implied in that case).
 pub fn verify(
     model: &SlotSharingModel,
     config: &VerificationConfig,
@@ -361,7 +375,17 @@ pub fn verify(
     let mut queue: VecDeque<usize> = VecDeque::new();
     queue.push_back(0);
 
+    // The budget gates (and `states_explored` reports) states that are
+    // actually popped and expanded, not merely discovered and queued —
+    // mirroring the accounting of `cps-ta::reachability::reference`.
+    let mut explored = 0usize;
     while let Some(index) = queue.pop_front() {
+        explored += 1;
+        if explored > config.state_budget {
+            return Err(VerifyError::StateBudgetExhausted {
+                budget: config.state_budget,
+            });
+        }
         let eligible = explorer.eligible(&nodes[index].state);
         let sample = nodes[index].sample;
         for subset in subsets(&eligible) {
@@ -371,18 +395,13 @@ pub fn verify(
                     let witness = build_witness(&nodes, index, &subset, sample, app);
                     return Ok(VerificationOutcome {
                         schedulable: false,
-                        states_explored: nodes.len(),
+                        states_explored: explored,
                         witness: Some(witness),
                     });
                 }
                 StepResult::Ok(next) => {
                     if visited.contains_key(&next) {
                         continue;
-                    }
-                    if nodes.len() >= config.state_budget {
-                        return Err(VerifyError::StateBudgetExhausted {
-                            budget: config.state_budget,
-                        });
                     }
                     visited.insert(next.clone(), nodes.len());
                     nodes.push(Node {
@@ -399,7 +418,7 @@ pub fn verify(
 
     Ok(VerificationOutcome {
         schedulable: true,
-        states_explored: nodes.len(),
+        states_explored: explored,
         witness: None,
     })
 }

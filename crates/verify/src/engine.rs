@@ -1,0 +1,1005 @@
+//! Interned-state exploration engine for the exact slot-sharing checker.
+//!
+//! [`SlotVerifyEngine`] answers the same question as [`crate::checker::verify`]
+//! (retained as the semantic oracle, re-exported as [`crate::reference`]) but
+//! is built for throughput, following the engine/oracle pattern of
+//! `cps-core::engine`, `cps-ta::ZoneGraphExplorer` and
+//! `cps-sched::BatchCosimEngine`:
+//!
+//! * **Packed state encoding** — each application's location (`Steady`,
+//!   `Waiting`, `Using`, `Cooldown`, `Exhausted`, plus the bounded-mode
+//!   instance counter) is packed into one integer code; a system state is a
+//!   fixed-width word vector stored in a flat arena (`u16` words when every
+//!   application's code space fits, `u32` otherwise), instead of the oracle's
+//!   two heap-allocated `Vec`s per state.
+//! * **Hash-index interning** — states are deduplicated through an
+//!   open-addressing index that maps a hash of the word vector to a dense
+//!   `u32` id whose words live in the arena; probing compares contiguous
+//!   arena slices, so neither lookups nor insertions clone a state.
+//! * **Bitmask disturbance enumeration** — the per-sample disturbance choices
+//!   are enumerated as a mixed-radix counter over groups of interchangeable
+//!   applications and recorded as a `u32` position bitmask; the oracle
+//!   materialises a `Vec<Vec<usize>>` of subsets per popped state.
+//! * **In-place stepping** — successors are computed on reusable scratch
+//!   buffers (decode, disturb, schedule, advance, encode); steady-state
+//!   exploration performs no per-successor heap allocation.
+//! * **Compact parent links** — each stored state keeps only a `u32` parent
+//!   id and the disturbance bitmask that produced it; counterexamples are
+//!   reconstructed by replaying that chain.
+//! * **Symmetry reduction** — within every maximal run of *adjacent identical
+//!   profiles* the per-application codes are kept sorted, so states that
+//!   differ only by a permutation of interchangeable applications intern to
+//!   the same id, and disturbance choices pick *how many* applications of an
+//!   interchangeable group to disturb instead of *which*. Contention-heavy
+//!   symmetric fleets — the models the paper's headline verification time is
+//!   about — collapse their permutation orbits to single representatives.
+//!
+//! Restricting the reduction to runs of **adjacent** identical profiles keeps
+//! it sound with respect to the scheduler's lowest-index tie-break: permuting
+//! interchangeable applications inside one contiguous run never changes which
+//! *run* wins a cross-run laxity tie (the tied codes inside a run are equal,
+//! and every index of one run compares the same way against every index of
+//! another), so the quotient transition system is bisimilar to the concrete
+//! one and verdicts are preserved. Witnesses are mapped back to concrete
+//! application indices by replaying the parent chain while tracking the
+//! canonicalisation permutation, and are checked against
+//! [`crate::witness::validate_witness`] in the test suite.
+//!
+//! `states_explored` counts states popped and expanded, with the same budget
+//! semantics as the oracle; on models without adjacent identical profiles the
+//! engine explores the oracle's graph in the oracle's order and reports the
+//! identical count.
+
+use cps_core::AppTimingProfile;
+
+use crate::checker::{VerificationConfig, VerificationOutcome};
+use crate::witness::{TraceEvent, Witness};
+use crate::{SlotSharingModel, VerifyError};
+
+const NO_PARENT: u32 = u32::MAX;
+const EMPTY_SLOT: u32 = u32::MAX;
+const INITIAL_INDEX_CAPACITY: usize = 1 << 10;
+/// Disturbance choices are recorded as `u32` position bitmasks.
+const MAX_APPS: usize = 32;
+
+/// Fixed-width storage for one application's packed cell code.
+trait StateWord: Copy + Eq + Ord + std::fmt::Debug + Default {
+    /// Exclusive upper bound on the code values the word can represent.
+    const LIMIT: u64;
+
+    fn pack(code: u32) -> Self;
+    fn unpack(self) -> u32;
+}
+
+impl StateWord for u16 {
+    const LIMIT: u64 = 1 << 16;
+
+    fn pack(code: u32) -> Self {
+        debug_assert!(u64::from(code) < Self::LIMIT);
+        code as u16
+    }
+
+    fn unpack(self) -> u32 {
+        u32::from(self)
+    }
+}
+
+impl StateWord for u32 {
+    const LIMIT: u64 = 1 << 32;
+
+    fn pack(code: u32) -> Self {
+        code
+    }
+
+    fn unpack(self) -> u32 {
+        self
+    }
+}
+
+/// The per-application location, decoded for stepping. Mirrors the oracle's
+/// `Cell` exactly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Cell {
+    Steady,
+    Waiting { waited: u32 },
+    Using { wait_at_grant: u32, received: u32 },
+    Cooldown { since: u32 },
+    Exhausted,
+}
+
+/// Per-application scheduling parameters, extracted once per model.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct AppParams {
+    max_wait: u32,
+    min_inter_arrival: u32,
+    t_dw_min: Vec<u32>,
+    t_dw_plus: Vec<u32>,
+}
+
+/// The packed-code layout of one application.
+///
+/// Cell codes are laid out contiguously — `0` is `Steady`, then the waiting
+/// counter, the `(wait_at_grant, received)` grid, the cooldown counter and
+/// finally `Exhausted` — and the bounded-mode instance counter multiplies the
+/// whole cell space. Every reachable field value fits its range by the step
+/// semantics (waits are cut off by the deadline check, received by the useful
+/// dwell, cooldowns by the inter-arrival time).
+#[derive(Debug, Clone, Copy)]
+struct Encoding {
+    using_base: u32,
+    cooldown_base: u32,
+    exhausted_code: u32,
+    cell_space: u32,
+    recv_stride: u32,
+}
+
+impl Encoding {
+    fn encode(&self, cell: Cell, used: u32) -> u32 {
+        let cell_code = match cell {
+            Cell::Steady => 0,
+            Cell::Waiting { waited } => 1 + waited,
+            Cell::Using {
+                wait_at_grant,
+                received,
+            } => self.using_base + wait_at_grant * self.recv_stride + received,
+            Cell::Cooldown { since } => self.cooldown_base + since,
+            Cell::Exhausted => self.exhausted_code,
+        };
+        debug_assert!(cell_code < self.cell_space);
+        used * self.cell_space + cell_code
+    }
+
+    fn decode(&self, code: u32) -> (Cell, u32) {
+        let used = code / self.cell_space;
+        let cell_code = code % self.cell_space;
+        let cell = if cell_code == 0 {
+            Cell::Steady
+        } else if cell_code < self.using_base {
+            Cell::Waiting {
+                waited: cell_code - 1,
+            }
+        } else if cell_code < self.cooldown_base {
+            let grid = cell_code - self.using_base;
+            Cell::Using {
+                wait_at_grant: grid / self.recv_stride,
+                received: grid % self.recv_stride,
+            }
+        } else if cell_code < self.exhausted_code {
+            Cell::Cooldown {
+                since: cell_code - self.cooldown_base,
+            }
+        } else {
+            Cell::Exhausted
+        };
+        (cell, used)
+    }
+}
+
+/// Everything the exploration needs about one model + configuration pair.
+struct ModelCtx {
+    params: Vec<AppParams>,
+    enc: Vec<Encoding>,
+    /// Maximal runs of adjacent identical profiles, covering `0..n` in order;
+    /// runs of length ≥ 2 are the symmetry classes the canonicalisation
+    /// sorts within.
+    runs: Vec<(usize, usize)>,
+    bound: Option<u32>,
+    budget: usize,
+    n: usize,
+    /// The widest per-application code space; selects the word width.
+    max_code_space: u64,
+}
+
+impl ModelCtx {
+    fn new(model: &SlotSharingModel, config: &VerificationConfig) -> Result<Self, VerifyError> {
+        let n = model.len();
+        if n > MAX_APPS {
+            return Err(VerifyError::InvalidConfig {
+                reason: format!("the engine encodes disturbance choices as 32-bit masks; {n} applications exceed the supported {MAX_APPS}"),
+            });
+        }
+        let bound = match config.max_disturbances_per_app {
+            None => None,
+            Some(b) => Some(u32::try_from(b).map_err(|_| VerifyError::InvalidConfig {
+                reason: format!("disturbance bound {b} is too large to encode"),
+            })?),
+        };
+
+        let mut params = Vec::with_capacity(n);
+        let mut enc = Vec::with_capacity(n);
+        let mut max_code_space = 0u64;
+        for p in model.profiles() {
+            let max_wait = p.max_wait() as u64;
+            let r = p.min_inter_arrival() as u64;
+            let t_dw_plus: Vec<u32> = (0..=p.max_wait())
+                .map(|w| p.t_dw_plus(w).expect("wait within range") as u32)
+                .collect();
+            let t_dw_min: Vec<u32> = (0..=p.max_wait())
+                .map(|w| p.t_dw_min(w).expect("wait within range") as u32)
+                .collect();
+            let max_plus = u64::from(t_dw_plus.iter().copied().max().unwrap_or(0));
+
+            let using_base = 1 + (max_wait + 2);
+            let recv_stride = max_plus + 1;
+            let cooldown_base = using_base + (max_wait + 1) * recv_stride;
+            let exhausted_code = cooldown_base + r;
+            let cell_space = exhausted_code + 1;
+            // Strictly below the u32 limit: `cell_space` itself is stored as
+            // a u32, so a code space of exactly 2^32 would truncate it.
+            let code_space = cell_space
+                .checked_mul(u64::from(bound.unwrap_or(0)) + 1)
+                .filter(|&s| s < <u32 as StateWord>::LIMIT)
+                .ok_or_else(|| VerifyError::InvalidConfig {
+                    reason: format!("profile '{}' needs more than 2^32 packed codes", p.name()),
+                })?;
+            max_code_space = max_code_space.max(code_space);
+
+            params.push(AppParams {
+                max_wait: max_wait as u32,
+                min_inter_arrival: r as u32,
+                t_dw_min,
+                t_dw_plus,
+            });
+            enc.push(Encoding {
+                using_base: using_base as u32,
+                cooldown_base: cooldown_base as u32,
+                exhausted_code: exhausted_code as u32,
+                cell_space: cell_space as u32,
+                recv_stride: recv_stride as u32,
+            });
+        }
+
+        let mut runs = Vec::new();
+        let mut start = 0usize;
+        let profiles = model.profiles();
+        for i in 1..=n {
+            if i == n || !profiles_interchangeable(&profiles[i], &profiles[start]) {
+                runs.push((start, i));
+                start = i;
+            }
+        }
+        debug_assert!(runs
+            .iter()
+            .all(|&(s, e)| (s..e).all(|i| params[i] == params[s])));
+
+        Ok(ModelCtx {
+            params,
+            enc,
+            runs,
+            bound,
+            budget: config.state_budget,
+            n,
+            max_code_space,
+        })
+    }
+
+    fn eligible(&self, cell: Cell, used: u32) -> bool {
+        matches!(cell, Cell::Steady) && self.bound.is_none_or(|b| used < b)
+    }
+}
+
+/// `true` when the engine treats the two profiles as interchangeable:
+/// identical maximum wait, minimum inter-arrival time and dwell-time arrays
+/// over `0..=max_wait` — exactly the equality the symmetry runs are built
+/// from (the settling columns of the dwell table and the pure-mode settling
+/// times play no role in the scheduling semantics).
+pub fn profiles_interchangeable(a: &AppTimingProfile, b: &AppTimingProfile) -> bool {
+    a.max_wait() == b.max_wait()
+        && a.min_inter_arrival() == b.min_inter_arrival()
+        && (0..=a.max_wait())
+            .all(|w| a.t_dw_min(w) == b.t_dw_min(w) && a.t_dw_plus(w) == b.t_dw_plus(w))
+}
+
+/// `true` when two adjacent applications of the model are interchangeable —
+/// the condition under which [`SlotVerifyEngine`]'s symmetry reduction can
+/// merge states, making its popped-state count a lower bound on the
+/// oracle's instead of an equality.
+pub fn has_interchangeable_neighbors(model: &SlotSharingModel) -> bool {
+    model
+        .profiles()
+        .windows(2)
+        .any(|w| profiles_interchangeable(&w[0], &w[1]))
+}
+
+/// Compact per-state record: parent id and the disturbance bitmask (in the
+/// parent's canonical coordinates) that produced the state.
+#[derive(Debug, Clone, Copy)]
+struct NodeMeta {
+    parent: u32,
+    mask: u32,
+}
+
+enum StepOutcome {
+    Ok,
+    Miss { app: usize },
+}
+
+/// One sample of the deterministic semantics, applied in place *after* the
+/// caller has sensed the chosen disturbances: deadline check, occupant
+/// release, laxity-EDF grant/preemption, time advance. Mirrors the oracle's
+/// `Explorer::step` exactly.
+fn step_in_place(
+    params: &[AppParams],
+    bound: Option<u32>,
+    cells: &mut [Cell],
+    used: &[u32],
+) -> StepOutcome {
+    for (app, cell) in cells.iter().enumerate() {
+        if let Cell::Waiting { waited } = cell {
+            if *waited > params[app].max_wait {
+                return StepOutcome::Miss { app };
+            }
+        }
+    }
+
+    let mut occupant = cells.iter().position(|c| matches!(c, Cell::Using { .. }));
+    if let Some(app) = occupant {
+        if let Cell::Using {
+            wait_at_grant,
+            received,
+        } = cells[app]
+        {
+            if received >= params[app].t_dw_plus[wait_at_grant as usize] {
+                cells[app] = Cell::Cooldown {
+                    since: wait_at_grant + received,
+                };
+                occupant = None;
+            }
+        }
+    }
+
+    let mut best: Option<(u32, usize)> = None;
+    for (i, cell) in cells.iter().enumerate() {
+        if let Cell::Waiting { waited } = *cell {
+            let laxity = params[i].max_wait - waited;
+            if best.is_none_or(|b| (laxity, i) < b) {
+                best = Some((laxity, i));
+            }
+        }
+    }
+    if let Some((_, waiter)) = best {
+        let granted = match occupant {
+            None => true,
+            Some(app) => {
+                if let Cell::Using {
+                    wait_at_grant,
+                    received,
+                } = cells[app]
+                {
+                    if received >= params[app].t_dw_min[wait_at_grant as usize] {
+                        cells[app] = Cell::Cooldown {
+                            since: wait_at_grant + received,
+                        };
+                        true
+                    } else {
+                        false
+                    }
+                } else {
+                    false
+                }
+            }
+        };
+        if granted {
+            if let Cell::Waiting { waited } = cells[waiter] {
+                cells[waiter] = Cell::Using {
+                    wait_at_grant: waited,
+                    received: 0,
+                };
+            }
+        }
+    }
+
+    for (app, cell) in cells.iter_mut().enumerate() {
+        *cell = match *cell {
+            Cell::Steady => Cell::Steady,
+            Cell::Exhausted => Cell::Exhausted,
+            Cell::Waiting { waited } => Cell::Waiting { waited: waited + 1 },
+            Cell::Using {
+                wait_at_grant,
+                received,
+            } => Cell::Using {
+                wait_at_grant,
+                received: received + 1,
+            },
+            Cell::Cooldown { since } => {
+                let since = since + 1;
+                if since >= params[app].min_inter_arrival {
+                    match bound {
+                        Some(b) if used[app] >= b => Cell::Exhausted,
+                        _ => Cell::Steady,
+                    }
+                } else {
+                    Cell::Cooldown { since }
+                }
+            }
+        };
+    }
+
+    StepOutcome::Ok
+}
+
+fn hash_words<W: StateWord>(words: &[W]) -> u64 {
+    let mut h = 0xCBF2_9CE4_8422_2325u64;
+    for &w in words {
+        h = (h ^ u64::from(w.unpack())).wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h ^= h >> 33;
+    h = h.wrapping_mul(0xFF51_AFD7_ED55_8CCD);
+    h ^ (h >> 33)
+}
+
+fn rehash<W: StateWord>(index: &mut Vec<u32>, arena: &[W], n: usize, new_capacity: usize) {
+    index.clear();
+    index.resize(new_capacity, EMPTY_SLOT);
+    let cap_mask = new_capacity - 1;
+    for id in 0..(arena.len() / n.max(1)) {
+        let start = id * n;
+        let mut slot = (hash_words(&arena[start..start + n]) as usize) & cap_mask;
+        while index[slot] != EMPTY_SLOT {
+            slot = (slot + 1) & cap_mask;
+        }
+        index[slot] = id as u32;
+    }
+}
+
+/// Interns `words`: returns `true` (and appends arena + meta) when the state
+/// is new, `false` when an identical state is already stored.
+fn insert_if_new<W: StateWord>(
+    index: &mut Vec<u32>,
+    arena: &mut Vec<W>,
+    meta: &mut Vec<NodeMeta>,
+    words: &[W],
+    parent: u32,
+    mask: u32,
+    n: usize,
+) -> bool {
+    if (meta.len() + 1) * 4 > index.len() * 3 {
+        let doubled = index.len() * 2;
+        rehash(index, arena, n, doubled);
+    }
+    let cap_mask = index.len() - 1;
+    let mut slot = (hash_words(words) as usize) & cap_mask;
+    loop {
+        let entry = index[slot];
+        if entry == EMPTY_SLOT {
+            let id = meta.len() as u32;
+            index[slot] = id;
+            arena.extend_from_slice(words);
+            meta.push(NodeMeta { parent, mask });
+            return true;
+        }
+        let start = entry as usize * n;
+        if &arena[start..start + n] == words {
+            return false;
+        }
+        slot = (slot + 1) & cap_mask;
+    }
+}
+
+/// Sorts the packed codes of every symmetry run, mapping a state to its
+/// orbit representative.
+fn canonicalize<W: StateWord>(runs: &[(usize, usize)], words: &mut [W]) {
+    for &(start, end) in runs {
+        if end - start >= 2 {
+            words[start..end].sort_unstable();
+        }
+    }
+}
+
+/// Monomorphised exploration core; all buffers survive across runs.
+#[derive(Debug, Default)]
+struct Core<W> {
+    /// All interned states, back to back; state `id` occupies
+    /// `arena[id * n .. (id + 1) * n]`.
+    arena: Vec<W>,
+    /// Parent links and disturbance masks, indexed by state id. Discovery
+    /// order is BFS order, so `meta` doubles as the work queue (the cursor
+    /// walks it front to back).
+    meta: Vec<NodeMeta>,
+    /// Open-addressing hash index from state words to dense ids.
+    index: Vec<u32>,
+    scratch: Vec<W>,
+    cur_cells: Vec<Cell>,
+    cur_used: Vec<u32>,
+    succ_cells: Vec<Cell>,
+    succ_used: Vec<u32>,
+    /// Groups of interchangeable eligible positions: `(start, len)`.
+    groups: Vec<(u32, u32)>,
+    /// Mixed-radix disturbance counter, one digit per group.
+    counts: Vec<u32>,
+}
+
+impl<W: StateWord> Core<W> {
+    fn run(&mut self, ctx: &ModelCtx) -> Result<VerificationOutcome, VerifyError> {
+        let n = ctx.n;
+        let Core {
+            arena,
+            meta,
+            index,
+            scratch,
+            cur_cells,
+            cur_used,
+            succ_cells,
+            succ_used,
+            groups,
+            counts,
+        } = self;
+        arena.clear();
+        meta.clear();
+        index.clear();
+        index.resize(INITIAL_INDEX_CAPACITY, EMPTY_SLOT);
+
+        // The initial state — every application steady — encodes to all-zero
+        // words under every layout and is its own canonical representative.
+        scratch.clear();
+        scratch.resize(n, W::pack(0));
+        insert_if_new(index, arena, meta, scratch, NO_PARENT, 0, n);
+
+        let mut head = 0usize;
+        let mut explored = 0usize;
+        while head < meta.len() {
+            let id = head as u32;
+            head += 1;
+            explored += 1;
+            if explored > ctx.budget {
+                return Err(VerifyError::StateBudgetExhausted { budget: ctx.budget });
+            }
+
+            cur_cells.clear();
+            cur_used.clear();
+            let base = id as usize * n;
+            for (i, w) in arena[base..base + n].iter().enumerate() {
+                let (cell, used) = ctx.enc[i].decode(w.unpack());
+                cur_cells.push(cell);
+                cur_used.push(used);
+            }
+
+            // Interchangeable-group structure of the eligible positions:
+            // within a symmetry run the canonical state keeps equal codes
+            // adjacent, so one scan suffices. Positions outside any run of
+            // length ≥ 2 always form singleton groups.
+            groups.clear();
+            for &(run_start, run_end) in &ctx.runs {
+                let mut i = run_start;
+                while i < run_end {
+                    if !ctx.eligible(cur_cells[i], cur_used[i]) {
+                        i += 1;
+                        continue;
+                    }
+                    let code = arena[base + i];
+                    let mut j = i + 1;
+                    while j < run_end && arena[base + j] == code {
+                        j += 1;
+                    }
+                    groups.push((i as u32, (j - i) as u32));
+                    i = j;
+                }
+            }
+            counts.clear();
+            counts.resize(groups.len(), 0);
+
+            // Mixed-radix enumeration of disturbance choices (how many
+            // applications of each interchangeable group are disturbed),
+            // least significant group first — on all-singleton groups this
+            // is exactly the oracle's subset-mask order.
+            let mut more = true;
+            while more {
+                succ_cells.clear();
+                succ_cells.extend_from_slice(cur_cells);
+                succ_used.clear();
+                succ_used.extend_from_slice(cur_used);
+                let mut mask = 0u32;
+                for (g, &(group_start, _)) in groups.iter().enumerate() {
+                    for k in 0..counts[g] {
+                        let pos = (group_start + k) as usize;
+                        succ_cells[pos] = Cell::Waiting { waited: 0 };
+                        if ctx.bound.is_some() {
+                            succ_used[pos] = succ_used[pos].saturating_add(1);
+                        }
+                        mask |= 1 << pos;
+                    }
+                }
+
+                match step_in_place(&ctx.params, ctx.bound, succ_cells, succ_used) {
+                    StepOutcome::Miss { .. } => {
+                        let witness = build_witness(ctx, arena, meta, id, mask);
+                        return Ok(VerificationOutcome::new(false, explored, Some(witness)));
+                    }
+                    StepOutcome::Ok => {
+                        scratch.clear();
+                        for i in 0..n {
+                            scratch.push(W::pack(ctx.enc[i].encode(succ_cells[i], succ_used[i])));
+                        }
+                        canonicalize(&ctx.runs, scratch);
+                        insert_if_new(index, arena, meta, scratch, id, mask, n);
+                    }
+                }
+
+                more = false;
+                for g in 0..groups.len() {
+                    counts[g] += 1;
+                    if counts[g] <= groups[g].1 {
+                        more = true;
+                        break;
+                    }
+                    counts[g] = 0;
+                }
+            }
+        }
+
+        Ok(VerificationOutcome::new(true, explored, None))
+    }
+}
+
+/// Reconstructs a concrete counterexample from the canonical parent chain.
+///
+/// The recorded masks are expressed in canonical coordinates, so the chain is
+/// replayed from the initial state while tracking the permutation between
+/// concrete application indices and canonical positions: each step's mask is
+/// routed through the permutation, the concrete state is stepped with the
+/// reference semantics, and the permutation is refreshed by stably sorting
+/// each symmetry run's concrete codes.
+fn build_witness<W: StateWord>(
+    ctx: &ModelCtx,
+    arena: &[W],
+    meta: &[NodeMeta],
+    failing_parent: u32,
+    final_mask: u32,
+) -> Witness {
+    let n = ctx.n;
+    let mut path = Vec::new();
+    let mut cursor = failing_parent;
+    loop {
+        path.push(cursor);
+        let parent = meta[cursor as usize].parent;
+        if parent == NO_PARENT {
+            break;
+        }
+        cursor = parent;
+    }
+    path.reverse();
+    // masks[k] is applied when stepping away from depth k (= sample k).
+    let masks: Vec<u32> = path[1..]
+        .iter()
+        .map(|&node| meta[node as usize].mask)
+        .chain(std::iter::once(final_mask))
+        .collect();
+
+    let mut cells = vec![Cell::Steady; n];
+    let mut used = vec![0u32; n];
+    // perm[canonical position] = concrete application index.
+    let mut perm: Vec<usize> = (0..n).collect();
+    let mut order: Vec<(u32, usize)> = Vec::with_capacity(n);
+    let mut events = Vec::new();
+
+    for (sample, &mask) in masks.iter().enumerate() {
+        let last = sample + 1 == masks.len();
+        for (bit, &app) in perm.iter().enumerate() {
+            if mask & (1 << bit) != 0 {
+                debug_assert!(matches!(cells[app], Cell::Steady));
+                cells[app] = Cell::Waiting { waited: 0 };
+                if ctx.bound.is_some() {
+                    used[app] = used[app].saturating_add(1);
+                }
+                events.push(TraceEvent::Disturbance { app, sample });
+            }
+        }
+        match step_in_place(&ctx.params, ctx.bound, &mut cells, &used) {
+            StepOutcome::Miss { app } => {
+                assert!(
+                    last,
+                    "engine witness: premature deadline miss while replaying the parent chain"
+                );
+                events.push(TraceEvent::DeadlineMissed { app, sample });
+                return Witness::new(events, app, sample);
+            }
+            StepOutcome::Ok => {
+                assert!(
+                    !last,
+                    "engine witness: the failing step replayed without a deadline miss"
+                );
+            }
+        }
+        for &(start, end) in &ctx.runs {
+            if end - start < 2 {
+                continue;
+            }
+            order.clear();
+            order.extend((start..end).map(|app| (ctx.enc[app].encode(cells[app], used[app]), app)));
+            order.sort_unstable();
+            for (offset, &(_, app)) in order.iter().enumerate() {
+                perm[start + offset] = app;
+            }
+        }
+        // The permuted concrete state must reproduce the stored canonical
+        // successor — the soundness invariant of the symmetry reduction.
+        debug_assert!({
+            let node = path[sample + 1] as usize;
+            let words = &arena[node * n..(node + 1) * n];
+            (0..n).all(|j| {
+                words[j].unpack() == ctx.enc[perm[j]].encode(cells[perm[j]], used[perm[j]])
+            })
+        });
+    }
+    unreachable!("the final mask always replays to the recorded deadline miss")
+}
+
+/// Reusable interned-state verification engine.
+///
+/// Construction is cheap; all exploration buffers (state arena, hash index,
+/// scratch vectors — in both word widths) survive across
+/// [`SlotVerifyEngine::verify`] calls, so verifying a batch of models (as the
+/// first-fit mapping heuristic does) amortises every allocation.
+///
+/// # Example
+///
+/// ```
+/// use cps_core::{AppTimingProfile, DwellTimeTable};
+/// use cps_verify::{SlotSharingModel, SlotVerifyEngine, VerificationConfig};
+///
+/// # fn main() -> Result<(), cps_verify::VerifyError> {
+/// let table = DwellTimeTable::from_arrays(18, vec![3; 12], vec![5; 12])?;
+/// let a = AppTimingProfile::new("A", 9, 35, 18, 25, table.clone())?;
+/// let b = AppTimingProfile::new("B", 9, 35, 18, 25, table)?;
+/// let model = SlotSharingModel::new(vec![a, b])?;
+/// let mut engine = SlotVerifyEngine::new();
+/// let outcome = engine.verify(&model, &VerificationConfig::default())?;
+/// assert!(outcome.schedulable());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Default)]
+pub struct SlotVerifyEngine {
+    narrow: Core<u16>,
+    wide: Core<u32>,
+}
+
+impl SlotVerifyEngine {
+    /// Creates an engine with empty buffers.
+    pub fn new() -> Self {
+        SlotVerifyEngine::default()
+    }
+
+    /// Verifies that every application of the model meets its deadline in
+    /// every admissible disturbance scenario.
+    ///
+    /// Verdict and witness validity match [`crate::checker::verify`] (the
+    /// retained oracle); `states_explored` counts popped states under the
+    /// same budget semantics, and is at most the oracle's count (strictly
+    /// smaller whenever the symmetry reduction collapses permutation
+    /// orbits).
+    ///
+    /// # Errors
+    ///
+    /// * [`VerifyError::InvalidConfig`] for a zero state budget, a zero
+    ///   disturbance bound, more than 32 applications, or a profile whose
+    ///   packed code space exceeds 32 bits.
+    /// * [`VerifyError::StateBudgetExhausted`] when the exploration pops
+    ///   more states than the budget allows.
+    pub fn verify(
+        &mut self,
+        model: &SlotSharingModel,
+        config: &VerificationConfig,
+    ) -> Result<VerificationOutcome, VerifyError> {
+        if config.state_budget == 0 {
+            return Err(VerifyError::InvalidConfig {
+                reason: "state budget must be positive".to_string(),
+            });
+        }
+        if config.max_disturbances_per_app == Some(0) {
+            return Err(VerifyError::InvalidConfig {
+                reason: "the disturbance bound must allow at least one instance".to_string(),
+            });
+        }
+        let ctx = ModelCtx::new(model, config)?;
+        if ctx.max_code_space <= <u16 as StateWord>::LIMIT {
+            self.narrow.run(&ctx)
+        } else {
+            self.wide.run(&ctx)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::checker::{self, VerificationConfig};
+    use crate::witness::validate_witness;
+    use cps_core::{AppTimingProfile, DwellTimeTable};
+
+    fn profile(
+        name: &str,
+        max_wait: usize,
+        dwell_min: usize,
+        dwell_plus: usize,
+        r: usize,
+    ) -> AppTimingProfile {
+        let len = max_wait + 1;
+        let jstar = max_wait + dwell_plus + 1;
+        let table = DwellTimeTable::from_arrays(jstar, vec![dwell_min; len], vec![dwell_plus; len])
+            .unwrap();
+        AppTimingProfile::new(name, 1, jstar + 10, jstar, r.max(jstar + 1), table).unwrap()
+    }
+
+    /// Engine and oracle on the same model: verdicts agree, the engine never
+    /// explores more states, every witness replays, and on models without
+    /// adjacent identical profiles the popped-state counts are identical.
+    fn assert_equivalent(model: &SlotSharingModel, config: &VerificationConfig) {
+        let oracle = checker::verify(model, config).expect("oracle verifies");
+        let mut engine = SlotVerifyEngine::new();
+        let fast = engine.verify(model, config).expect("engine verifies");
+        assert_eq!(fast.schedulable(), oracle.schedulable());
+        assert!(
+            fast.states_explored() <= oracle.states_explored(),
+            "engine explored {} states, oracle {}",
+            fast.states_explored(),
+            oracle.states_explored()
+        );
+        if !has_interchangeable_neighbors(model) {
+            assert_eq!(fast.states_explored(), oracle.states_explored());
+        }
+        if let Some(w) = fast.witness() {
+            validate_witness(model, w).expect("engine witness replays");
+        }
+        if let Some(w) = oracle.witness() {
+            validate_witness(model, w).expect("oracle witness replays");
+        }
+        assert_eq!(fast.witness().is_some(), oracle.witness().is_some());
+    }
+
+    #[test]
+    fn matches_oracle_on_the_checker_unit_models() {
+        let models = [
+            vec![profile("A", 10, 3, 5, 25)],
+            vec![profile("A", 10, 3, 5, 30), profile("B", 10, 3, 5, 30)],
+            vec![profile("A", 0, 5, 5, 30), profile("B", 0, 5, 5, 30)],
+            vec![
+                profile("A", 7, 6, 6, 40),
+                profile("B", 7, 6, 6, 40),
+                profile("C", 7, 6, 6, 40),
+            ],
+            vec![profile("A", 10, 3, 8, 40), profile("B", 4, 3, 8, 40)],
+        ];
+        for profiles in models {
+            let model = SlotSharingModel::new(profiles).unwrap();
+            assert_equivalent(&model, &VerificationConfig::unbounded());
+            assert_equivalent(&model, &VerificationConfig::bounded(2));
+        }
+    }
+
+    #[test]
+    fn matches_oracle_on_asymmetric_models_with_identical_counts() {
+        let model = SlotSharingModel::new(vec![
+            profile("A", 9, 2, 4, 30),
+            profile("B", 6, 3, 5, 35),
+            profile("C", 4, 1, 3, 28),
+        ])
+        .unwrap();
+        assert_equivalent(&model, &VerificationConfig::unbounded());
+        assert_equivalent(&model, &VerificationConfig::bounded(2));
+    }
+
+    #[test]
+    fn symmetric_fleets_collapse_permutation_orbits() {
+        let fleet: Vec<_> = (0..4)
+            .map(|i| profile(&format!("S{i}"), 8, 2, 3, 30))
+            .collect();
+        let model = SlotSharingModel::new(fleet).unwrap();
+        let oracle = checker::verify(&model, &VerificationConfig::unbounded()).unwrap();
+        let mut engine = SlotVerifyEngine::new();
+        let fast = engine
+            .verify(&model, &VerificationConfig::unbounded())
+            .unwrap();
+        assert_eq!(fast.schedulable(), oracle.schedulable());
+        assert!(
+            fast.states_explored() * 2 < oracle.states_explored(),
+            "symmetry reduction should collapse the fleet: engine {}, oracle {}",
+            fast.states_explored(),
+            oracle.states_explored()
+        );
+    }
+
+    #[test]
+    fn interleaved_identical_profiles_stay_sound() {
+        // A run of identical profiles separated by a different one: only the
+        // adjacent pair forms a symmetry class; the verdict still matches.
+        let model = SlotSharingModel::new(vec![
+            profile("A1", 6, 2, 3, 30),
+            profile("B", 4, 3, 4, 30),
+            profile("A2", 6, 2, 3, 30),
+            profile("A3", 6, 2, 3, 30),
+        ])
+        .unwrap();
+        assert_equivalent(&model, &VerificationConfig::unbounded());
+    }
+
+    #[test]
+    fn wide_words_handle_large_code_spaces() {
+        // A minimum inter-arrival beyond 2^16 forces the u32 core; the state
+        // space is a long cooldown chain, identical for engine and oracle.
+        let model = SlotSharingModel::new(vec![profile("A", 3, 2, 3, 70_000)]).unwrap();
+        assert_equivalent(&model, &VerificationConfig::unbounded());
+    }
+
+    #[test]
+    fn engine_witnesses_mark_the_replayed_miss() {
+        let model =
+            SlotSharingModel::new(vec![profile("A", 0, 5, 5, 30), profile("B", 0, 5, 5, 30)])
+                .unwrap();
+        let mut engine = SlotVerifyEngine::new();
+        let outcome = engine
+            .verify(&model, &VerificationConfig::default())
+            .unwrap();
+        assert!(!outcome.schedulable());
+        let witness = outcome.witness().unwrap();
+        validate_witness(&model, witness).unwrap();
+        assert!(witness
+            .events()
+            .iter()
+            .any(|e| matches!(e, TraceEvent::DeadlineMissed { .. })));
+    }
+
+    #[test]
+    fn budget_counts_popped_states() {
+        let model =
+            SlotSharingModel::new(vec![profile("A", 10, 3, 5, 60), profile("B", 10, 3, 5, 60)])
+                .unwrap();
+        let mut engine = SlotVerifyEngine::new();
+        let result = engine.verify(
+            &model,
+            &VerificationConfig {
+                max_disturbances_per_app: None,
+                state_budget: 5,
+            },
+        );
+        assert!(matches!(
+            result,
+            Err(VerifyError::StateBudgetExhausted { budget: 5 })
+        ));
+    }
+
+    #[test]
+    fn configuration_validation_matches_the_oracle() {
+        let model = SlotSharingModel::new(vec![profile("A", 5, 2, 3, 20)]).unwrap();
+        let mut engine = SlotVerifyEngine::new();
+        assert!(engine
+            .verify(
+                &model,
+                &VerificationConfig {
+                    max_disturbances_per_app: Some(0),
+                    state_budget: 100,
+                }
+            )
+            .is_err());
+        assert!(engine
+            .verify(
+                &model,
+                &VerificationConfig {
+                    max_disturbances_per_app: Some(1),
+                    state_budget: 0,
+                }
+            )
+            .is_err());
+    }
+
+    #[test]
+    fn buffers_are_reusable_across_models() {
+        let mut engine = SlotVerifyEngine::new();
+        let first =
+            SlotSharingModel::new(vec![profile("A", 10, 3, 5, 30), profile("B", 10, 3, 5, 30)])
+                .unwrap();
+        let second =
+            SlotSharingModel::new(vec![profile("A", 0, 5, 5, 30), profile("B", 0, 5, 5, 30)])
+                .unwrap();
+        for _ in 0..2 {
+            assert!(engine
+                .verify(&first, &VerificationConfig::default())
+                .unwrap()
+                .schedulable());
+            assert!(!engine
+                .verify(&second, &VerificationConfig::default())
+                .unwrap()
+                .schedulable());
+        }
+    }
+}

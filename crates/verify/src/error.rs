@@ -20,6 +20,11 @@ pub enum VerifyError {
         /// The number of states that was allowed.
         budget: usize,
     },
+    /// A counterexample witness failed its replay validation.
+    InvalidWitness {
+        /// Human readable description of the disagreement.
+        reason: String,
+    },
     /// An underlying profile/dwell-table operation failed.
     Core(CoreError),
     /// An underlying timed-automata analysis failed.
@@ -35,6 +40,9 @@ impl fmt::Display for VerifyError {
             VerifyError::InvalidConfig { reason } => write!(f, "invalid configuration: {reason}"),
             VerifyError::StateBudgetExhausted { budget } => {
                 write!(f, "verification exceeded the state budget of {budget}")
+            }
+            VerifyError::InvalidWitness { reason } => {
+                write!(f, "witness failed replay validation: {reason}")
             }
             VerifyError::Core(e) => write!(f, "profile error: {e}"),
             VerifyError::Ta(e) => write!(f, "timed-automata error: {e}"),

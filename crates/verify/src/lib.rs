@@ -15,9 +15,18 @@
 //!
 //! * [`SlotSharingModel`] — the applications mapped to one slot, described by
 //!   their [`cps_core::AppTimingProfile`]s.
-//! * [`checker`] — breadth-first exploration over all sporadic disturbance
-//!   patterns (the only source of nondeterminism), with the scheduler and the
-//!   dwell-time strategy applied deterministically in every state.
+//! * [`engine`] — the interned-state exploration engine
+//!   ([`SlotVerifyEngine`]): packed state words in a flat arena, hash-index
+//!   deduplication, bitmask disturbance enumeration and a symmetry reduction
+//!   over interchangeable applications. This is the production path, used by
+//!   [`SlotSharingModel::verify`] and the mapping oracle of `cps-map`.
+//! * [`checker`] — the naive breadth-first exploration over all sporadic
+//!   disturbance patterns (the only source of nondeterminism), with the
+//!   scheduler and the dwell-time strategy applied deterministically in
+//!   every state. Retained as the semantic oracle (re-exported as
+//!   [`reference`]); engine and oracle verdicts, budget semantics and
+//!   witness validity are asserted equivalent in tests and on every
+//!   `bench_verify` run.
 //! * [`bounded`] — the paper's acceleration: restricting each application to
 //!   a bounded number of disturbance instances per analysis, which collapses
 //!   the post-rejection bookkeeping and speeds verification up by an order of
@@ -26,7 +35,9 @@
 //!   phrased as one zone-graph reachability query per application and run on
 //!   the allocation-lean `cps-ta` engine; a coarser verdict than [`checker`],
 //!   used for cross-validation.
-//! * [`witness`] — counterexample traces when a deadline can be missed.
+//! * [`witness`] — counterexample traces when a deadline can be missed, and
+//!   the replay validator ([`witness::validate_witness`]) that re-runs the
+//!   scheduler under a witness's disturbance schedule.
 //!
 //! # Example
 //!
@@ -49,15 +60,20 @@
 pub mod bounded;
 pub mod checker;
 pub mod conservative;
+pub mod engine;
 mod error;
 mod model;
 pub mod witness;
 
+/// The retained naive checker — the semantic oracle the engine is pinned to.
+pub use checker as reference;
+
 pub use checker::{VerificationConfig, VerificationOutcome};
 pub use conservative::{verify_conservative, ConservativeOutcome};
+pub use engine::{has_interchangeable_neighbors, profiles_interchangeable, SlotVerifyEngine};
 pub use error::VerifyError;
 pub use model::SlotSharingModel;
-pub use witness::{TraceEvent, Witness};
+pub use witness::{replay_first_miss, validate_witness, TraceEvent, Witness};
 
 #[cfg(test)]
 mod tests {

@@ -46,13 +46,31 @@ impl SlotSharingModel {
         self.profiles.is_empty()
     }
 
-    /// Verifies the model with the given configuration. Convenience wrapper
-    /// around [`crate::checker::verify`].
+    /// Verifies the model with the given configuration on the interned-state
+    /// [`crate::engine::SlotVerifyEngine`] (the production path).
+    ///
+    /// Callers that verify many models in a row should hold their own engine
+    /// and call [`crate::engine::SlotVerifyEngine::verify`] to amortise the
+    /// exploration buffers.
+    ///
+    /// # Errors
+    ///
+    /// Propagates engine errors (invalid configuration or exhausted budget).
+    pub fn verify(
+        &self,
+        config: &crate::VerificationConfig,
+    ) -> Result<crate::VerificationOutcome, VerifyError> {
+        crate::engine::SlotVerifyEngine::new().verify(self, config)
+    }
+
+    /// Verifies the model with the retained naive reference checker
+    /// ([`crate::checker::verify`]) — the semantic oracle [`Self::verify`]
+    /// is pinned to.
     ///
     /// # Errors
     ///
     /// Propagates checker errors (invalid configuration or exhausted budget).
-    pub fn verify(
+    pub fn verify_reference(
         &self,
         config: &crate::VerificationConfig,
     ) -> Result<crate::VerificationOutcome, VerifyError> {

@@ -1,6 +1,9 @@
-//! Counterexample witnesses for failed verifications.
+//! Counterexample witnesses for failed verifications, and the replay
+//! validator that checks them against the deterministic scheduler semantics.
 
 use std::fmt;
+
+use crate::{SlotSharingModel, VerifyError};
 
 /// One event along a counterexample trace.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -87,6 +90,246 @@ impl Witness {
     }
 }
 
+/// Per-application location of the replay simulation. Mirrors the discrete
+/// transition semantics of [`crate::checker`] (and of the interned-state
+/// engine), re-implemented independently so the validator is a third voice
+/// rather than a re-export of either exploration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ReplayCell {
+    Steady,
+    Waiting {
+        waited: usize,
+    },
+    Using {
+        wait_at_grant: usize,
+        received: usize,
+    },
+    Cooldown {
+        since: usize,
+    },
+}
+
+/// Deterministically re-runs the laxity scheduler under a concrete
+/// disturbance schedule (`disturbances[i]` lists the samples at which
+/// application `i` is disturbed) and returns the first deadline miss as
+/// `(missing applications, sample)`, or `None` when every application is
+/// granted the slot in time.
+///
+/// The simulation follows the checker's sample semantics exactly: at every
+/// sample the scheduled disturbances are sensed first, then any application
+/// that has waited beyond its maximum wait `T_w^*` misses, then the scheduler
+/// releases/preempts/grants, then one sample of time passes.
+///
+/// # Errors
+///
+/// Returns [`VerifyError::InvalidWitness`] when the schedule disturbs an
+/// application that is not in its steady state (i.e. the schedule violates
+/// the minimum inter-arrival time or re-disturbs a waiting application).
+pub fn replay_first_miss(
+    model: &SlotSharingModel,
+    disturbances: &[Vec<usize>],
+) -> Result<Option<(Vec<usize>, usize)>, VerifyError> {
+    let profiles = model.profiles();
+    let apps = profiles.len();
+    if disturbances.len() != apps {
+        return Err(VerifyError::InvalidWitness {
+            reason: format!(
+                "schedule covers {} applications, model has {apps}",
+                disturbances.len()
+            ),
+        });
+    }
+    let mut events: Vec<(usize, usize)> = disturbances
+        .iter()
+        .enumerate()
+        .flat_map(|(app, times)| times.iter().map(move |&sample| (sample, app)))
+        .collect();
+    events.sort_unstable();
+    let last_event = events.last().map(|&(sample, _)| sample).unwrap_or(0);
+    // After the last disturbance, every outcome is decided within one wait
+    // plus one occupation of every application; pad by the longest cooldown
+    // so the quiescence check below is conservative.
+    let horizon = last_event
+        + profiles
+            .iter()
+            .map(|p| p.max_wait() + p.dwell_table().max_t_dw_plus() + p.min_inter_arrival())
+            .max()
+            .unwrap_or(0)
+        + 2;
+
+    let mut cells = vec![ReplayCell::Steady; apps];
+    let mut cursor = 0usize;
+    for sample in 0..horizon {
+        // 1. Disturbances scheduled for this sample are sensed.
+        while cursor < events.len() && events[cursor].0 == sample {
+            let app = events[cursor].1;
+            cursor += 1;
+            if cells[app] != ReplayCell::Steady {
+                return Err(VerifyError::InvalidWitness {
+                    reason: format!(
+                        "application {app} is disturbed at sample {sample} while not steady"
+                    ),
+                });
+            }
+            cells[app] = ReplayCell::Waiting { waited: 0 };
+        }
+
+        // 2. Deadline check.
+        let missing: Vec<usize> = cells
+            .iter()
+            .enumerate()
+            .filter_map(|(app, cell)| match cell {
+                ReplayCell::Waiting { waited } if *waited > profiles[app].max_wait() => Some(app),
+                _ => None,
+            })
+            .collect();
+        if !missing.is_empty() {
+            return Ok(Some((missing, sample)));
+        }
+
+        // 3. Scheduler decision: release an occupant past its useful dwell,
+        //    then grant the waiting application with the smallest laxity
+        //    (ties to the lowest index), preempting an occupant that has
+        //    served its minimum dwell.
+        let mut occupant = cells
+            .iter()
+            .position(|c| matches!(c, ReplayCell::Using { .. }));
+        if let Some(app) = occupant {
+            if let ReplayCell::Using {
+                wait_at_grant,
+                received,
+            } = cells[app]
+            {
+                if received
+                    >= profiles[app]
+                        .t_dw_plus(wait_at_grant)
+                        .expect("wait in range")
+                {
+                    cells[app] = ReplayCell::Cooldown {
+                        since: wait_at_grant + received,
+                    };
+                    occupant = None;
+                }
+            }
+        }
+        let best_waiter = cells
+            .iter()
+            .enumerate()
+            .filter_map(|(i, c)| match c {
+                ReplayCell::Waiting { waited } => Some((profiles[i].max_wait() - waited, i)),
+                _ => None,
+            })
+            .min();
+        if let Some((_, waiter)) = best_waiter {
+            let granted = match occupant {
+                None => true,
+                Some(app) => {
+                    if let ReplayCell::Using {
+                        wait_at_grant,
+                        received,
+                    } = cells[app]
+                    {
+                        if received
+                            >= profiles[app]
+                                .t_dw_min(wait_at_grant)
+                                .expect("wait in range")
+                        {
+                            cells[app] = ReplayCell::Cooldown {
+                                since: wait_at_grant + received,
+                            };
+                            true
+                        } else {
+                            false
+                        }
+                    } else {
+                        false
+                    }
+                }
+            };
+            if granted {
+                if let ReplayCell::Waiting { waited } = cells[waiter] {
+                    cells[waiter] = ReplayCell::Using {
+                        wait_at_grant: waited,
+                        received: 0,
+                    };
+                }
+            }
+        }
+
+        // 4. One sample of time passes.
+        for (app, cell) in cells.iter_mut().enumerate() {
+            *cell = match *cell {
+                ReplayCell::Steady => ReplayCell::Steady,
+                ReplayCell::Waiting { waited } => ReplayCell::Waiting { waited: waited + 1 },
+                ReplayCell::Using {
+                    wait_at_grant,
+                    received,
+                } => ReplayCell::Using {
+                    wait_at_grant,
+                    received: received + 1,
+                },
+                ReplayCell::Cooldown { since } => {
+                    if since + 1 >= profiles[app].min_inter_arrival() {
+                        ReplayCell::Steady
+                    } else {
+                        ReplayCell::Cooldown { since: since + 1 }
+                    }
+                }
+            };
+        }
+
+        // Quiescence: no pending disturbances and every application steady
+        // means no miss can occur any more.
+        if cursor == events.len() && cells.iter().all(|c| *c == ReplayCell::Steady) {
+            return Ok(None);
+        }
+    }
+    Ok(None)
+}
+
+/// Validates a witness against the model it was produced for: the witness's
+/// disturbance schedule is replayed through the deterministic scheduler and
+/// the claimed application must miss its deadline at the claimed sample.
+///
+/// # Errors
+///
+/// Returns [`VerifyError::InvalidWitness`] when the replay disagrees with the
+/// witness — no miss at all, a miss at a different sample, or a miss of
+/// different applications.
+pub fn validate_witness(model: &SlotSharingModel, witness: &Witness) -> Result<(), VerifyError> {
+    let disturbances = witness.disturbance_times(model.len());
+    match replay_first_miss(model, &disturbances)? {
+        None => Err(VerifyError::InvalidWitness {
+            reason: format!(
+                "replaying the witness schedule produces no deadline miss \
+                 (claimed: application {} at sample {})",
+                witness.failing_app(),
+                witness.missed_at_sample()
+            ),
+        }),
+        Some((missing, sample)) => {
+            if sample != witness.missed_at_sample() {
+                return Err(VerifyError::InvalidWitness {
+                    reason: format!(
+                        "replay misses at sample {sample}, witness claims sample {}",
+                        witness.missed_at_sample()
+                    ),
+                });
+            }
+            if !missing.contains(&witness.failing_app()) {
+                return Err(VerifyError::InvalidWitness {
+                    reason: format!(
+                        "replay misses applications {missing:?} at sample {sample}, \
+                         witness claims application {}",
+                        witness.failing_app()
+                    ),
+                });
+            }
+            Ok(())
+        }
+    }
+}
+
 impl fmt::Display for Witness {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(
@@ -142,5 +385,81 @@ mod tests {
         let text = sample_witness().to_string();
         assert!(text.contains("application 1 misses"));
         assert!(text.contains("sample 0: disturbance at application 0"));
+    }
+
+    mod replay {
+        use super::super::*;
+        use crate::checker::{verify, VerificationConfig};
+        use cps_core::{AppTimingProfile, DwellTimeTable};
+
+        fn profile(name: &str, max_wait: usize, dwell: usize, r: usize) -> AppTimingProfile {
+            let len = max_wait + 1;
+            let jstar = max_wait + dwell + 1;
+            let table =
+                DwellTimeTable::from_arrays(jstar, vec![dwell; len], vec![dwell; len]).unwrap();
+            AppTimingProfile::new(name, 1, jstar + 10, jstar, r.max(jstar + 1), table).unwrap()
+        }
+
+        #[test]
+        fn oracle_witnesses_replay_to_the_claimed_miss() {
+            let model = SlotSharingModel::new(vec![profile("A", 0, 5, 30), profile("B", 0, 5, 30)])
+                .unwrap();
+            let outcome = verify(&model, &VerificationConfig::default()).unwrap();
+            let witness = outcome.witness().expect("unschedulable model");
+            validate_witness(&model, witness).expect("oracle witness replays");
+        }
+
+        #[test]
+        fn missless_schedules_replay_to_none() {
+            let model =
+                SlotSharingModel::new(vec![profile("A", 10, 3, 30), profile("B", 10, 3, 30)])
+                    .unwrap();
+            // Simultaneous disturbance of both: the second waits ~3 samples,
+            // well within its 10-sample tolerance.
+            let miss = replay_first_miss(&model, &[vec![0], vec![0]]).unwrap();
+            assert_eq!(miss, None);
+            // A fabricated witness over that schedule must fail validation.
+            let fake = Witness::new(
+                vec![
+                    TraceEvent::Disturbance { app: 0, sample: 0 },
+                    TraceEvent::Disturbance { app: 1, sample: 0 },
+                    TraceEvent::DeadlineMissed { app: 1, sample: 4 },
+                ],
+                1,
+                4,
+            );
+            assert!(matches!(
+                validate_witness(&model, &fake),
+                Err(VerifyError::InvalidWitness { .. })
+            ));
+        }
+
+        #[test]
+        fn wrong_sample_or_application_is_rejected() {
+            let model = SlotSharingModel::new(vec![profile("A", 0, 5, 30), profile("B", 0, 5, 30)])
+                .unwrap();
+            let outcome = verify(&model, &VerificationConfig::default()).unwrap();
+            let witness = outcome.witness().unwrap();
+            let shifted = Witness::new(
+                witness.events().to_vec(),
+                witness.failing_app(),
+                witness.missed_at_sample() + 1,
+            );
+            assert!(matches!(
+                validate_witness(&model, &shifted),
+                Err(VerifyError::InvalidWitness { .. })
+            ));
+        }
+
+        #[test]
+        fn non_steady_disturbances_are_rejected() {
+            let model = SlotSharingModel::new(vec![profile("A", 5, 3, 30)]).unwrap();
+            // Re-disturbing A one sample after its first arrival violates the
+            // sporadic model (it is still waiting or using the slot).
+            assert!(matches!(
+                replay_first_miss(&model, &[vec![0, 1]]),
+                Err(VerifyError::InvalidWitness { .. })
+            ));
+        }
     }
 }
