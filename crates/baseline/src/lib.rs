@@ -30,7 +30,7 @@ pub mod mapping;
 pub mod masrur;
 
 pub use mapping::first_fit_baseline;
-pub use masrur::{is_slot_schedulable, BaselineApp, Strategy};
+pub use masrur::{is_slot_schedulable, slot_schedulable_profiles, BaselineApp, Strategy};
 
 #[cfg(test)]
 mod tests {

@@ -79,24 +79,60 @@ impl BaselineApp {
 /// and the slot is schedulable when every application's worst-case wait is at
 /// most its deadline.
 pub fn is_slot_schedulable(apps: &[BaselineApp], strategy: Strategy) -> bool {
-    if apps.is_empty() {
+    slot_schedulable_inner(apps.len(), |i| apps[i].deadline, |i| apps[i].hold, strategy)
+}
+
+/// Index-based variant of [`is_slot_schedulable`]: checks whether the
+/// applications selected by `members` (indices into `profiles`) can share one
+/// slot, reading the deadline (`T_w^*`) and hold time (`J_T`) straight from
+/// the timing profiles.
+///
+/// Avoids materialising [`BaselineApp`]s (name string + struct per
+/// application) per probe — the cheap admission path used by the first-fit
+/// heuristic and the mapping cascade of `cps-map`.
+///
+/// # Panics
+///
+/// Panics if a member index is out of bounds for `profiles`.
+pub fn slot_schedulable_profiles(
+    profiles: &[AppTimingProfile],
+    members: &[usize],
+    strategy: Strategy,
+) -> bool {
+    slot_schedulable_inner(
+        members.len(),
+        |i| profiles[members[i]].max_wait(),
+        |i| profiles[members[i]].jt(),
+        strategy,
+    )
+}
+
+/// The blocking analysis over `n` applications given by accessor closures
+/// (position `i` is the list-order tie-break, as for [`is_slot_schedulable`]).
+fn slot_schedulable_inner(
+    n: usize,
+    deadline: impl Fn(usize) -> usize,
+    hold: impl Fn(usize) -> usize,
+    strategy: Strategy,
+) -> bool {
+    if n == 0 {
         return true;
     }
     // Deadline-monotonic priority order (stable to preserve list order ties).
-    let mut order: Vec<usize> = (0..apps.len()).collect();
-    order.sort_by_key(|&i| apps[i].deadline);
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by_key(|&i| deadline(i));
 
     for (rank, &i) in order.iter().enumerate() {
-        let higher_priority_interference: usize = order[..rank].iter().map(|&j| apps[j].hold).sum();
+        let higher_priority_interference: usize = order[..rank].iter().map(|&j| hold(j)).sum();
         let blocking = match strategy {
             Strategy::NonPreemptiveDeadlineMonotonic => order[rank + 1..]
                 .iter()
-                .map(|&j| apps[j].hold.saturating_sub(1))
+                .map(|&j| hold(j).saturating_sub(1))
                 .max()
                 .unwrap_or(0),
             Strategy::DelayedRequests => 0,
         };
-        if blocking + higher_priority_interference > apps[i].deadline {
+        if blocking + higher_priority_interference > deadline(i) {
             return false;
         }
     }
@@ -168,6 +204,54 @@ mod tests {
             Strategy::NonPreemptiveDeadlineMonotonic
         ));
         let _ = c4;
+    }
+
+    #[test]
+    fn profile_indices_path_matches_the_baseline_app_path() {
+        let table = |max_wait: usize, dwell: usize, jstar: usize| {
+            cps_core::DwellTimeTable::from_arrays(
+                jstar,
+                vec![dwell; max_wait + 1],
+                vec![dwell; max_wait + 1],
+            )
+            .unwrap()
+        };
+        let profile = |name: &str, jt: usize, max_wait: usize, dwell: usize| {
+            let jstar = max_wait + dwell + 1;
+            cps_core::AppTimingProfile::new(
+                name,
+                jt.min(jstar),
+                jstar + 5,
+                jstar,
+                jstar + 10,
+                table(max_wait, dwell, jstar),
+            )
+            .unwrap()
+        };
+        let fleet = [
+            profile("A", 9, 11, 3),
+            profile("B", 10, 12, 3),
+            profile("C", 2, 3, 2),
+            profile("D", 10, 12, 3),
+        ];
+        let selections: &[&[usize]] = &[&[0], &[0, 1], &[2, 1, 0], &[3, 2], &[0, 1, 2, 3]];
+        for strategy in [
+            Strategy::NonPreemptiveDeadlineMonotonic,
+            Strategy::DelayedRequests,
+        ] {
+            for members in selections {
+                let apps: Vec<BaselineApp> = members
+                    .iter()
+                    .map(|&i| BaselineApp::from_profile(&fleet[i]))
+                    .collect();
+                assert_eq!(
+                    slot_schedulable_profiles(&fleet, members, strategy),
+                    is_slot_schedulable(&apps, strategy),
+                    "{members:?} under {strategy:?}"
+                );
+            }
+        }
+        assert!(slot_schedulable_profiles(&fleet, &[], Strategy::default()));
     }
 
     #[test]

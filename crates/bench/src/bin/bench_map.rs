@@ -1,0 +1,513 @@
+//! Mapping-exploration performance report: the tiered-cascade
+//! [`MapExplorerEngine`] vs. the plain first-fit driver over
+//! [`ModelCheckingOracle`], and the branch-and-bound slot minimizer vs. the
+//! retained naive partition search ([`cps_map::reference`]), across three
+//! mapping families — repeated sweeps over the paper's case study, symmetric
+//! fleets, and heterogeneous random fleets.
+//!
+//! Every timed model is also checked for engine/oracle equivalence: the
+//! cascade's first-fit partition must be **bit-identical** to the plain
+//! oracle's (the case study must reproduce the published
+//! `{C1,C5,C4,C3} {C6,C2}` partition exactly), and the minimizer's slot
+//! count must equal the naive reference search's, with every multi-member
+//! slot re-validated by the exact oracle. Any mismatch aborts with a
+//! non-zero exit code, which the CI bench-smoke job turns into a failure.
+//! Writes `BENCH_map.json` at the repository root.
+//!
+//! Run with `cargo run --release -p cps-bench --bin bench_map` (append
+//! `-- --quick` for the reduced CI smoke sizes).
+
+use std::fmt::Write as _;
+use std::path::Path;
+use std::time::Instant;
+
+use cps_bench::published_profiles;
+use cps_core::{AppTimingProfile, DwellTimeTable};
+use cps_map::{first_fit, reference, MapExplorerEngine, ModelCheckingOracle, SlotOracle};
+
+/// A fleet plus the label it is reported under.
+struct FleetCase {
+    label: String,
+    fleet: Vec<AppTimingProfile>,
+}
+
+/// A constant-dwell synthetic profile whose hold time `J_T` equals the dwell
+/// (so the baseline gate can open) — the symmetric-fleet building block.
+fn fleet_profile(name: &str, max_wait: usize, dwell: usize, r: usize) -> AppTimingProfile {
+    let jstar = max_wait + dwell + 1;
+    let table =
+        DwellTimeTable::from_arrays(jstar, vec![dwell; max_wait + 1], vec![dwell; max_wait + 1])
+            .expect("consistent dwell table");
+    AppTimingProfile::new(name, dwell, jstar + 10, jstar, r.max(jstar + 1), table)
+        .expect("consistent profile")
+}
+
+/// Deterministic xorshift64* draw in `[0, bound)`.
+fn next_below(state: &mut u64, bound: u64) -> u64 {
+    let mut x = *state;
+    x ^= x >> 12;
+    x ^= x << 25;
+    x ^= x >> 27;
+    *state = x;
+    x.wrapping_mul(0x2545_F491_4F6C_DD1D) % bound
+}
+
+/// A deterministic pseudo-random small profile, mirroring the
+/// state-footprint of the property-test models.
+fn random_profile(state: &mut u64, tag: usize) -> AppTimingProfile {
+    let mut next = |bound: u64| next_below(state, bound);
+    // Waits comfortably above the dwells, so pairs and triples often share a
+    // slot and the cascade's accept tiers (not only the screen) are
+    // exercised; inter-arrival stays small to keep the exact models cheap.
+    let max_wait = 3 + next(4) as usize;
+    let len = max_wait + 1;
+    let base = 1 + next(2) as usize;
+    let t_dw_min: Vec<usize> = (0..len).map(|_| base + next(2) as usize).collect();
+    let t_dw_plus: Vec<usize> = t_dw_min.iter().map(|&m| m + next(2) as usize).collect();
+    let max_plus = t_dw_plus.iter().copied().max().unwrap();
+    let jstar = max_wait + max_plus + 1;
+    let jt = if next(2) == 0 { max_plus } else { 1 };
+    let r = jstar + 1 + next(8) as usize;
+    let table = DwellTimeTable::from_arrays(jstar, t_dw_min, t_dw_plus).expect("consistent table");
+    AppTimingProfile::new(format!("R{tag}"), jt, jstar + 10, jstar, r, table)
+        .expect("consistent profile")
+}
+
+fn timed<T>(f: impl FnOnce() -> T) -> (T, f64) {
+    let start = Instant::now();
+    let value = f();
+    (value, start.elapsed().as_secs_f64() * 1e3)
+}
+
+struct FirstFitReport {
+    name: String,
+    models: usize,
+    cascade_ms: f64,
+    plain_ms: f64,
+    cascade_exact_calls: usize,
+    plain_exact_calls: usize,
+}
+
+impl FirstFitReport {
+    fn speedup(&self) -> f64 {
+        self.plain_ms / self.cascade_ms
+    }
+
+    fn exact_call_ratio(&self) -> f64 {
+        self.plain_exact_calls as f64 / (self.cascade_exact_calls.max(1)) as f64
+    }
+}
+
+/// Benches one first-fit family: the plain side maps every fleet through
+/// `first_fit` over one `ModelCheckingOracle` (today's production path), the
+/// cascade side maps the same fleets through one `MapExplorerEngine` (fresh
+/// per timed pass, so the measurement starts from cold memo tables); both
+/// take the better of two passes and every fleet's partitions are asserted
+/// bit-identical.
+fn bench_first_fit_family(name: &str, cases: &[FleetCase]) -> FirstFitReport {
+    let plain_once = || -> (Vec<Vec<Vec<usize>>>, usize) {
+        let oracle = ModelCheckingOracle::new();
+        let mut exact_calls = 0usize;
+        let partitions = cases
+            .iter()
+            .map(|c| {
+                let report = first_fit(&c.fleet, &oracle).expect("plain first-fit runs");
+                exact_calls += report.oracle_calls();
+                report.slots().to_vec()
+            })
+            .collect();
+        (partitions, exact_calls)
+    };
+    let ((plain_partitions, plain_exact_calls), first_plain_ms) = timed(plain_once);
+    let (_, second_plain_ms) = timed(plain_once);
+    let plain_ms = first_plain_ms.min(second_plain_ms);
+
+    let cascade_once = || -> (Vec<Vec<Vec<usize>>>, usize) {
+        let mut engine = MapExplorerEngine::new();
+        let mut exact_calls = 0usize;
+        let partitions = cases
+            .iter()
+            .map(|c| {
+                let report = engine.first_fit(&c.fleet).expect("cascade first-fit runs");
+                exact_calls += report.tier_stats().expect("cascade stats").exact_verifies;
+                report.slots().to_vec()
+            })
+            .collect();
+        (partitions, exact_calls)
+    };
+    let ((cascade_partitions, cascade_exact_calls), first_cascade_ms) = timed(cascade_once);
+    let ((second_partitions, _), second_cascade_ms) = timed(cascade_once);
+    let cascade_ms = first_cascade_ms.min(second_cascade_ms);
+
+    assert_eq!(
+        cascade_partitions, second_partitions,
+        "{name}: cascade re-run is not deterministic"
+    );
+    for (case, (cascade, plain)) in cases
+        .iter()
+        .zip(cascade_partitions.iter().zip(plain_partitions.iter()))
+    {
+        assert_eq!(
+            cascade, plain,
+            "{name}/{}: cascade partition diverges from plain first-fit",
+            case.label
+        );
+        println!(
+            "  {:<26} {} slots | partition {:?}",
+            case.label,
+            cascade.len(),
+            cascade
+        );
+    }
+
+    let report = FirstFitReport {
+        name: name.to_string(),
+        models: cases.len(),
+        cascade_ms,
+        plain_ms,
+        cascade_exact_calls,
+        plain_exact_calls,
+    };
+    println!(
+        "{:<22} {:>2} fleets | {:>8.2} ms vs {:>8.2} ms | {:>4} vs {:>4} exact calls | {:>5.1}x wall, {:>5.1}x calls",
+        report.name,
+        report.models,
+        report.cascade_ms,
+        report.plain_ms,
+        report.cascade_exact_calls,
+        report.plain_exact_calls,
+        report.speedup(),
+        report.exact_call_ratio(),
+    );
+    report
+}
+
+struct MinimizeReportRow {
+    name: String,
+    models: usize,
+    engine_ms: f64,
+    reference_ms: f64,
+}
+
+impl MinimizeReportRow {
+    fn speedup(&self) -> f64 {
+        self.reference_ms / self.engine_ms
+    }
+}
+
+/// Benches one minimizer family: the reference side runs the naive
+/// exhaustive partition search over a plain `ModelCheckingOracle`, the
+/// engine side runs `minimize_slots` on one fresh `MapExplorerEngine` per
+/// pass; slot counts are asserted equal and the engine's partition is
+/// re-validated slot by slot through the exact oracle.
+fn bench_minimize_family(name: &str, cases: &[FleetCase]) -> MinimizeReportRow {
+    let reference_once = || -> Vec<Vec<Vec<usize>>> {
+        let oracle = ModelCheckingOracle::new();
+        cases
+            .iter()
+            .map(|c| reference::minimize_slots(&c.fleet, &oracle).expect("reference search runs"))
+            .collect()
+    };
+    let (reference_partitions, first_reference_ms) = timed(reference_once);
+    let (_, second_reference_ms) = timed(reference_once);
+    let reference_ms = first_reference_ms.min(second_reference_ms);
+
+    let engine_once = || -> Vec<(usize, Vec<Vec<usize>>)> {
+        let mut engine = MapExplorerEngine::new();
+        cases
+            .iter()
+            .map(|c| {
+                let report = engine.minimize_slots(&c.fleet).expect("minimizer runs");
+                (report.first_fit_slots(), report.slots().to_vec())
+            })
+            .collect()
+    };
+    let (engine_results, first_engine_ms) = timed(engine_once);
+    let (_, second_engine_ms) = timed(engine_once);
+    let engine_ms = first_engine_ms.min(second_engine_ms);
+
+    let oracle = ModelCheckingOracle::new();
+    let mut scratch = Vec::new();
+    for (case, ((first_fit_slots, engine_partition), reference_partition)) in cases
+        .iter()
+        .zip(engine_results.iter().zip(reference_partitions.iter()))
+    {
+        assert_eq!(
+            engine_partition.len(),
+            reference_partition.len(),
+            "{name}/{}: minimizer slot count diverges from the reference search",
+            case.label
+        );
+        for slot in engine_partition {
+            if slot.len() > 1 {
+                assert!(
+                    oracle
+                        .admits_indices(&case.fleet, slot, &mut scratch)
+                        .expect("validation verifies"),
+                    "{name}/{}: engine emitted an inadmissible slot {slot:?}",
+                    case.label
+                );
+            }
+        }
+        println!(
+            "  {:<26} optimal {} slots (first-fit {first_fit_slots}) | {:?}",
+            case.label,
+            engine_partition.len(),
+            engine_partition
+        );
+    }
+
+    let report = MinimizeReportRow {
+        name: name.to_string(),
+        models: cases.len(),
+        engine_ms,
+        reference_ms,
+    };
+    println!(
+        "{:<22} {:>2} fleets | {:>8.2} ms vs {:>8.2} ms | {:>5.1}x",
+        report.name,
+        report.models,
+        report.engine_ms,
+        report.reference_ms,
+        report.speedup(),
+    );
+    report
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+
+    // Repeated sweep over the paper's case study: identical and
+    // order-permuted copies of the published fleet — the shape of a
+    // design-space sweep, where the plain driver re-verifies every probe and
+    // the cascade answers repeats from the memo. Each repetition must
+    // reproduce the published partition {C1,C5,C4,C3} {C6,C2} bit-identically.
+    let base = published_profiles();
+    let reps = if quick { 3 } else { 6 };
+    let case_study_cases: Vec<FleetCase> = (0..reps)
+        .map(|rep| {
+            let mut fleet = base.clone();
+            // Rotate the fleet order: first-fit sorts internally, so the
+            // probes — and the partition, up to the index relabeling being
+            // undone here — stay invariant, and the memo must carry over.
+            let shift = rep % fleet.len();
+            fleet.rotate_left(shift);
+            FleetCase {
+                label: format!("case_study_rot{rep}"),
+                fleet,
+            }
+        })
+        .collect();
+    let case_study_report = bench_first_fit_family("case_study_sweep", &case_study_cases);
+
+    // The unrotated case study must reproduce the published partition
+    // exactly: slot members in placement order, C1,C5,C4,C3 then C6,C2.
+    {
+        let mut engine = MapExplorerEngine::new();
+        let mapping = engine.first_fit(&base).expect("case-study mapping runs");
+        let names: Vec<&str> = base.iter().map(|p| p.name()).collect();
+        let expected: &[Vec<usize>] = &[vec![0, 4, 3, 2], vec![5, 1]];
+        assert_eq!(
+            mapping.slots(),
+            expected,
+            "case study must reproduce the published partition bit-identically"
+        );
+        println!(
+            "case-study partition: {}  [{}]",
+            mapping.format_with_names(&names),
+            mapping.tier_stats().expect("cascade stats"),
+        );
+    }
+
+    // Symmetric fleets: n interchangeable applications, dimensioned so that
+    // exactly `cap` share a slot. The plain driver verifies every probe of
+    // every slot; the cascade answers all but one multiset per size from the
+    // screen, the gated baseline or the memo.
+    let symmetric_sizes: &[(usize, usize)] = if quick {
+        &[(6, 2), (9, 3)]
+    } else {
+        &[(8, 2), (12, 3), (16, 4)]
+    };
+    let dwell = 3usize;
+    let symmetric_cases: Vec<FleetCase> = symmetric_sizes
+        .iter()
+        .map(|&(n, cap)| {
+            let fleet: Vec<AppTimingProfile> = (0..n)
+                .map(|i| fleet_profile(&format!("S{i}"), dwell * (cap - 1), dwell, 60))
+                .collect();
+            FleetCase {
+                label: format!("fleet_{n}_cap{cap}"),
+                fleet,
+            }
+        })
+        .collect();
+    let symmetric_report = bench_first_fit_family("symmetric_fleet", &symmetric_cases);
+
+    // Heterogeneous random fleets drawn from small per-fleet pools:
+    // duplicated profiles appear in every adjacency pattern, asymmetric ones
+    // keep the exact tier honest.
+    let (fleets, size) = if quick { (2, 7) } else { (4, 9) };
+    let mut state = 0x9E37_79B9_7F4A_7C15u64;
+    let hetero_cases: Vec<FleetCase> = (0..fleets)
+        .map(|f| {
+            let pool: Vec<AppTimingProfile> = (0..3)
+                .map(|i| random_profile(&mut state, f * 3 + i))
+                .collect();
+            let fleet: Vec<AppTimingProfile> = (0..size)
+                .map(|k| {
+                    let p = &pool[next_below(&mut state, 3) as usize];
+                    // Distinct names per position; fingerprints ignore them.
+                    AppTimingProfile::new(
+                        format!("H{f}_{k}"),
+                        p.jt(),
+                        p.je(),
+                        p.jstar(),
+                        p.min_inter_arrival(),
+                        p.dwell_table().clone(),
+                    )
+                    .expect("renamed profile stays consistent")
+                })
+                .collect();
+            FleetCase {
+                label: format!("random_{f}_n{size}"),
+                fleet,
+            }
+        })
+        .collect();
+    let hetero_report = bench_first_fit_family("heterogeneous_random", &hetero_cases);
+
+    // Minimizer: branch-and-bound vs. the naive exhaustive partition search
+    // on small fleets (the reference enumerates every partition, so fleet
+    // sizes stay in Bell-number territory).
+    let minimize_cases: Vec<FleetCase> = {
+        // Small inter-arrival keeps every exact model tiny: the comparison
+        // isolates the search redundancy (the reference re-verifies every
+        // block of every enumerated partition), not verifier size.
+        let p = |name: &str, max_wait: usize, dwell: usize| {
+            let jstar = max_wait + dwell + 1;
+            fleet_profile(name, max_wait, dwell, jstar + 8)
+        };
+        let mut cases = vec![
+            FleetCase {
+                label: "pairs_5".to_string(),
+                fleet: vec![
+                    p("A", 2, 2),
+                    p("B", 2, 2),
+                    p("C", 2, 2),
+                    p("D", 2, 2),
+                    p("E", 2, 2),
+                ],
+            },
+            FleetCase {
+                label: "mixed_5".to_string(),
+                fleet: vec![
+                    p("A", 0, 3),
+                    p("B", 6, 2),
+                    p("C", 6, 2),
+                    p("D", 3, 1),
+                    p("E", 3, 1),
+                ],
+            },
+        ];
+        if !quick {
+            cases.push(FleetCase {
+                label: "dup_6".to_string(),
+                fleet: vec![
+                    p("A", 4, 2),
+                    p("B", 4, 2),
+                    p("C", 4, 2),
+                    p("D", 1, 1),
+                    p("E", 1, 1),
+                    p("F", 4, 2),
+                ],
+            });
+            cases.push(FleetCase {
+                label: "mixed_7".to_string(),
+                fleet: vec![
+                    p("A", 4, 2),
+                    p("B", 4, 2),
+                    p("C", 6, 2),
+                    p("D", 6, 2),
+                    p("E", 2, 1),
+                    p("F", 2, 1),
+                    p("G", 4, 2),
+                ],
+            });
+        }
+        cases
+    };
+    let minimize_report = bench_minimize_family("minimize_small", &minimize_cases);
+
+    let first_fit_reports = [case_study_report, symmetric_report, hetero_report];
+    let json = render_json(quick, &first_fit_reports, &minimize_report);
+    let out_path = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_map.json");
+    std::fs::write(&out_path, json).expect("writes BENCH_map.json");
+    println!("wrote {}", out_path.display());
+
+    let total_plain: f64 = first_fit_reports.iter().map(|r| r.plain_ms).sum();
+    let total_cascade: f64 = first_fit_reports.iter().map(|r| r.cascade_ms).sum();
+    println!(
+        "first-fit total: {total_cascade:.2} ms cascade vs {total_plain:.2} ms plain ({:.1}x); \
+         minimizer: {:.2} ms engine vs {:.2} ms reference ({:.1}x)",
+        total_plain / total_cascade,
+        minimize_report.engine_ms,
+        minimize_report.reference_ms,
+        minimize_report.speedup(),
+    );
+}
+
+fn render_json(
+    quick: bool,
+    first_fit_reports: &[FirstFitReport],
+    minimize_report: &MinimizeReportRow,
+) -> String {
+    let mut json = String::new();
+    json.push_str("{\n");
+    let _ = writeln!(json, "  \"quick\": {quick},");
+    let total_plain: f64 = first_fit_reports.iter().map(|r| r.plain_ms).sum();
+    let total_cascade: f64 = first_fit_reports.iter().map(|r| r.cascade_ms).sum();
+    let _ = writeln!(
+        json,
+        "  \"overall_first_fit_speedup\": {:.1},",
+        total_plain / total_cascade
+    );
+    json.push_str("  \"first_fit_families\": [\n");
+    for (i, r) in first_fit_reports.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "    {{\"name\": \"{}\", \"fleets\": {}, \"cascade_ms\": {:.3}, \
+             \"plain_ms\": {:.3}, \"cascade_exact_calls\": {}, \"plain_exact_calls\": {}, \
+             \"speedup\": {:.1}, \"exact_call_ratio\": {:.1}}}{}",
+            r.name,
+            r.models,
+            r.cascade_ms,
+            r.plain_ms,
+            r.cascade_exact_calls,
+            r.plain_exact_calls,
+            r.speedup(),
+            r.exact_call_ratio(),
+            if i + 1 == first_fit_reports.len() {
+                ""
+            } else {
+                ","
+            }
+        );
+    }
+    json.push_str("  ],\n");
+    let _ = writeln!(
+        json,
+        "  \"minimize\": {{\"name\": \"{}\", \"fleets\": {}, \"engine_ms\": {:.3}, \
+         \"reference_ms\": {:.3}, \"speedup\": {:.1}}},",
+        minimize_report.name,
+        minimize_report.models,
+        minimize_report.engine_ms,
+        minimize_report.reference_ms,
+        minimize_report.speedup(),
+    );
+    let _ = writeln!(
+        json,
+        "  \"case_study_partition\": \"{{C1, C5, C4, C3}}  {{C6, C2}}\""
+    );
+    json.push_str("}\n");
+    json
+}

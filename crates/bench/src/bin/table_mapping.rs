@@ -4,13 +4,22 @@
 
 use cps_baseline::Strategy;
 use cps_bench::published_profiles;
-use cps_map::{first_fit, BaselineOracle, ModelCheckingOracle};
+use cps_map::{first_fit, BaselineOracle, MapExplorerEngine, ModelCheckingOracle};
 
 fn main() {
     let profiles = published_profiles();
     let names: Vec<&str> = profiles.iter().map(|p| p.name()).collect();
 
-    let proposed = first_fit(&profiles, &ModelCheckingOracle::new()).expect("verification runs");
+    // The cascade engine drives the production mapping; the plain oracle
+    // cross-checks that the partition is bit-identical.
+    let mut engine = MapExplorerEngine::new();
+    let proposed = engine.first_fit(&profiles).expect("verification runs");
+    let plain = first_fit(&profiles, &ModelCheckingOracle::new()).expect("verification runs");
+    assert_eq!(
+        proposed.slots(),
+        plain.slots(),
+        "cascade partition must match plain first-fit"
+    );
     let baseline_dm = first_fit(
         &profiles,
         &BaselineOracle::with_strategy(Strategy::NonPreemptiveDeadlineMonotonic),
@@ -45,4 +54,7 @@ fn main() {
     println!(
         "  paper's partitions: proposed {{C1,C5,C4,C3}} {{C6,C2}}, baseline {{C1,C5}} {{C4,C3}} {{C6}} {{C2}}"
     );
+    if let Some(stats) = proposed.tier_stats() {
+        println!("  admission cascade           : {stats}");
+    }
 }

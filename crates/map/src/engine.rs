@@ -1,0 +1,785 @@
+//! The mapping design-space exploration engine: a tiered admission cascade
+//! with canonical memoization in front of the exact verifier, and an optimal
+//! branch-and-bound slot minimizer on top of it.
+//!
+//! [`MapExplorerEngine`] answers the same admission question as
+//! [`crate::ModelCheckingOracle`] — "may these applications share one TT
+//! slot?" — but is built for *many* queries: first-fit probes, parameter
+//! sweeps and partition-lattice searches ask about thousands of overlapping
+//! candidate sets, and the naive driver re-runs the exact verifier from
+//! scratch for each. The engine pushes every query through a cascade of
+//! tiers, cheapest first; each tier either decides the query or passes it
+//! down, and only the residue reaches the interned-state
+//! [`SlotVerifyEngine`]:
+//!
+//! 1. **Singleton accept** — one application per slot is admissible by
+//!    construction (its dwell table guarantees the requirement with a
+//!    dedicated slot; pinned by a property test), so singleton queries never
+//!    touch any analysis.
+//! 2. **Canonical memo table** — candidate sets are keyed by the sequence of
+//!    interned profile *fingerprints* (`T_w^*`, `r`, both dwell arrays —
+//!    exactly the fields of the checker semantics, mirroring
+//!    [`cps_verify::profiles_interchangeable`]). Keys are name-insensitive
+//!    and invariant under permutations of identical profiles — PR 4's
+//!    symmetry reduction at the mapping layer — so probes over renamed,
+//!    permuted or re-generated fleets hit the cache instead of the verifier.
+//!    Keys deliberately remain *sequences* across distinct fingerprints: the
+//!    scheduler breaks laxity ties by application index, so the exact verdict
+//!    is only invariant under permutations of interchangeable applications
+//!    (see the arrangement tests of `cps-verify`); a full multiset key could
+//!    return the verdict of a differently ordered — semantically different —
+//!    model. First-fit probes are always sorted by the first-fit key, so this
+//!    loses no hits in practice.
+//! 3. **Quick necessary-condition screen** — two sound rejections: the
+//!    all-disturbed-at-once scenario (every application hit at sample zero,
+//!    no further disturbances) is replayed through the deterministic
+//!    scheduler semantics in `O(Σ T_dw^+)` — if it misses a deadline the
+//!    exact verifier is guaranteed to reject, since that scenario is one of
+//!    the branches it explores; and, in the unbounded sporadic model, a
+//!    minimum-demand utilisation bound (`Σ max(1, min_w T_dw^-) / r > 1`
+//!    means backlog grows without bound, so some deadline is eventually
+//!    missed).
+//! 4. **Anti-monotone index** — admission is anti-monotone: a candidate set
+//!    into which a known-inadmissible set embeds (same fingerprints, order
+//!    preserved) is inadmissible, because the witness scenario extends with
+//!    the extra applications never disturbed (validated against the exact
+//!    oracle by property test; only this direction is used for pruning).
+//! 5. **Baseline accept** — the conservative blocking analysis
+//!    ([`cps_baseline`]) accepts early, *gated* to the regime where it is
+//!    provably sound w.r.t. the exact semantics: pairs whose hold time `J_T`
+//!    bounds every useful dwell (`J_T ≥ max_w T_dw^+(w)`, so the analysis
+//!    never under-charges an occupation) and whose inter-arrival times rule
+//!    out a second interference per wait window
+//!    (`r_j > T_w^*_i + T_w^*_j + J_T_j`). Outside the gate the analysis can
+//!    over-admit (e.g. profiles with `J_T < T_dw^+`), so it is skipped; the
+//!    gated accept is pinned against the exact oracle by property test.
+//! 6. **Exact verification** — the residue runs on one persistent
+//!    [`SlotVerifyEngine`] through its index-based
+//!    [`SlotVerifyEngine::verify_selected`] hook: no profile clones, no
+//!    model construction, exploration buffers shared across every query the
+//!    engine ever makes. Verdicts are memoized; inadmissible sets feed the
+//!    anti-monotone index.
+//!
+//! Every tier is exact — sound rejections above, sound accepts below — so
+//! cascade-equipped first-fit produces *bit-identical* partitions to plain
+//! first-fit over [`crate::ModelCheckingOracle`] (asserted by property tests
+//! and on every `bench_map` run).
+//!
+//! On top of the cascade, [`MapExplorerEngine::minimize_slots`] searches the
+//! partition lattice exhaustively with branch and bound — first-fit as the
+//! incumbent upper bound, memoized admission, and identical-profile symmetry
+//! breaking — yielding *provably minimal* slot counts where first-fit is
+//! only a heuristic. The naive exhaustive partition search is retained as
+//! the semantic oracle ([`crate::reference`]) and slot-count equivalence is
+//! asserted on every test and bench run.
+
+use std::collections::HashMap;
+use std::time::Instant;
+
+use cps_baseline::{slot_schedulable_profiles, Strategy};
+use cps_core::AppTimingProfile;
+use cps_verify::{replay_first_miss_selected, SlotVerifyEngine, VerificationConfig, VerifyError};
+
+use crate::first_fit::sort_for_first_fit;
+use crate::report::{MappingReport, MinimizeReport, TierStats};
+
+/// Everything the exact checker semantics reads from a profile — the
+/// canonical, name-insensitive identity of an application for memoization
+/// (mirrors [`cps_verify::profiles_interchangeable`]). Interned once per
+/// distinct profile; lookups compare borrowed dwell arrays, so warm calls
+/// allocate nothing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Fingerprint {
+    t_dw_min: Vec<usize>,
+    t_dw_plus: Vec<usize>,
+}
+
+/// `true` when `needle` embeds into `hay` preserving order (greedy matching
+/// of fingerprint ids). The order-preserving embedding is what keeps the
+/// anti-monotonicity argument sound: the extra applications never change an
+/// index tie-break between embedded ones.
+fn is_subsequence(needle: &[u32], hay: &[u32]) -> bool {
+    if needle.len() > hay.len() {
+        return false;
+    }
+    let mut it = hay.iter();
+    needle.iter().all(|n| it.by_ref().any(|h| h == n))
+}
+
+/// The mapping design-space exploration engine: tiered admission cascade,
+/// canonical memoization, and an optimal branch-and-bound slot minimizer.
+///
+/// Construction is cheap. All state — the fingerprint intern table, the memo
+/// table, the anti-monotone index and the exact verifier's exploration
+/// buffers — persists across every query, [`MapExplorerEngine::first_fit`]
+/// run and [`MapExplorerEngine::minimize_slots`] search the engine ever
+/// performs, so sweeps over many fleets amortise all of it.
+///
+/// # Example
+///
+/// ```
+/// use cps_core::{AppTimingProfile, DwellTimeTable};
+/// use cps_map::MapExplorerEngine;
+///
+/// # fn main() -> Result<(), cps_verify::VerifyError> {
+/// let profile = |name: &str| -> AppTimingProfile {
+///     let table = DwellTimeTable::from_arrays(18, vec![3; 12], vec![5; 12]).unwrap();
+///     AppTimingProfile::new(name, 9, 35, 18, 25, table).unwrap()
+/// };
+/// let fleet = vec![profile("A"), profile("B"), profile("C")];
+/// let mut engine = MapExplorerEngine::new();
+/// let mapping = engine.first_fit(&fleet)?;
+/// let optimal = engine.minimize_slots(&fleet)?;
+/// assert!(optimal.slot_count() <= mapping.slot_count());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Default)]
+pub struct MapExplorerEngine {
+    config: VerificationConfig,
+    baseline_strategy: Strategy,
+    verifier: SlotVerifyEngine,
+    /// Interned profile fingerprints; ids are dense and engine-global, so
+    /// memo entries are shared across fleets and sweeps. The index buckets
+    /// ids by `(T_w^*, r)`; the dwell arrays live once in the store.
+    fingerprint_store: Vec<Fingerprint>,
+    fingerprint_index: HashMap<(usize, usize), Vec<u32>>,
+    /// Decided verdicts keyed by the canonical fingerprint sequence.
+    memo: HashMap<Vec<u32>, bool>,
+    /// Known-inadmissible fingerprint sequences (kept free of mutual
+    /// embeddings) backing the anti-monotone tier.
+    inadmissible: Vec<Vec<u32>>,
+    stats: TierStats,
+    // Reused scratch buffers.
+    key_scratch: Vec<u32>,
+    /// All-disturbed-at-once schedule for the screen: `[0]` per position,
+    /// grown on demand, never shrunk.
+    screen_schedule: Vec<Vec<usize>>,
+    /// Fleet-sized fingerprint map reused by [`MapExplorerEngine::admits`].
+    fleet_ids_scratch: Vec<u32>,
+}
+
+impl MapExplorerEngine {
+    /// Creates the engine with the default (exact, unbounded) verification
+    /// configuration and the non-preemptive deadline-monotonic baseline.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates the engine with an explicit verification configuration for
+    /// the exact tier (the screen's utilisation bound only fires for
+    /// unbounded configurations, where its unbounded-demand argument holds).
+    pub fn with_config(config: VerificationConfig) -> Self {
+        MapExplorerEngine {
+            config,
+            ..Self::default()
+        }
+    }
+
+    /// The verification configuration of the exact tier.
+    pub fn config(&self) -> &VerificationConfig {
+        &self.config
+    }
+
+    /// Cumulative per-tier statistics over the engine's whole lifetime.
+    pub fn stats(&self) -> &TierStats {
+        &self.stats
+    }
+
+    /// Decides whether the applications selected by `members` (indices into
+    /// `profiles`, in that order) may share one TT slot, running the
+    /// admission cascade.
+    ///
+    /// The verdict is identical to
+    /// [`crate::ModelCheckingOracle`]`::admits_indices` on the same
+    /// selection; an empty selection is trivially admissible.
+    ///
+    /// # Errors
+    ///
+    /// Propagates exact-verifier failures (invalid configuration, exhausted
+    /// state budget).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a member index is out of bounds for `profiles`.
+    pub fn admits(
+        &mut self,
+        profiles: &[AppTimingProfile],
+        members: &[usize],
+    ) -> Result<bool, VerifyError> {
+        // Only the selected profiles need fingerprints; the rest of the
+        // fleet is never touched by a single query, and the fleet-sized map
+        // is a reused scratch.
+        let mut fleet_ids = std::mem::take(&mut self.fleet_ids_scratch);
+        fleet_ids.clear();
+        fleet_ids.resize(profiles.len(), 0);
+        for &m in members {
+            fleet_ids[m] = self.intern_profile(&profiles[m]);
+        }
+        let verdict = self.admit_query(profiles, &fleet_ids, members);
+        self.fleet_ids_scratch = fleet_ids;
+        verdict
+    }
+
+    /// Runs the paper's first-fit heuristic with the admission cascade:
+    /// identical iteration order and probes as [`crate::first_fit`] over
+    /// [`crate::ModelCheckingOracle`], identical resulting partition, but
+    /// with most probes decided without touching the exact verifier.
+    ///
+    /// The returned report carries the per-tier statistics of this run.
+    ///
+    /// # Errors
+    ///
+    /// Propagates exact-verifier failures.
+    pub fn first_fit(
+        &mut self,
+        profiles: &[AppTimingProfile],
+    ) -> Result<MappingReport, VerifyError> {
+        let fleet_ids = self.intern_fleet(profiles);
+        self.first_fit_inner(profiles, &fleet_ids)
+    }
+
+    /// Finds a partition with the *provably minimal* number of TT slots by
+    /// branch and bound over the partition lattice: applications are placed
+    /// in first-fit order, the first-fit partition is the incumbent upper
+    /// bound, every placement probe runs through the memoized cascade, and
+    /// identical profiles (equal fingerprints) only open slots in
+    /// non-decreasing order — the symmetry breaking that collapses permuted
+    /// placements of interchangeable applications.
+    ///
+    /// Slot members and slot order follow the same canonical (first-fit)
+    /// order as [`MapExplorerEngine::first_fit`] and [`crate::reference`],
+    /// so engine and reference verdicts are directly comparable; slot-count
+    /// equivalence against [`crate::reference::minimize_slots`] is asserted
+    /// in tests and on every `bench_map` run.
+    ///
+    /// # Errors
+    ///
+    /// Propagates exact-verifier failures.
+    pub fn minimize_slots(
+        &mut self,
+        profiles: &[AppTimingProfile],
+    ) -> Result<MinimizeReport, VerifyError> {
+        let before = self.stats;
+        let fleet_ids = self.intern_fleet(profiles);
+        let incumbent = self.first_fit_inner(profiles, &fleet_ids)?;
+        let first_fit_slots = incumbent.slot_count();
+        let order = sort_for_first_fit(profiles);
+        let mut best: Vec<Vec<usize>> = incumbent.slots().to_vec();
+        let mut slots: Vec<Vec<usize>> = Vec::new();
+        let mut nodes = 0usize;
+        self.search(
+            profiles, &fleet_ids, &order, 0, &mut slots, &mut best, &mut nodes,
+        )?;
+        Ok(MinimizeReport::new(
+            best,
+            nodes,
+            first_fit_slots,
+            self.stats.since(&before),
+        ))
+    }
+
+    /// Interns every profile of the fleet, returning one fingerprint id per
+    /// profile index.
+    fn intern_fleet(&mut self, profiles: &[AppTimingProfile]) -> Vec<u32> {
+        profiles.iter().map(|p| self.intern_profile(p)).collect()
+    }
+
+    /// Interns one profile. Known contents are matched by borrowed
+    /// comparison — the dwell arrays are cloned only the first time a
+    /// profile content is ever seen.
+    fn intern_profile(&mut self, p: &AppTimingProfile) -> u32 {
+        let bucket = self
+            .fingerprint_index
+            .entry((p.max_wait(), p.min_inter_arrival()))
+            .or_default();
+        let t_dw_min = p.dwell_table().t_dw_min_array();
+        let t_dw_plus = p.dwell_table().t_dw_plus_array();
+        if let Some(&id) = bucket.iter().find(|&&id| {
+            let f = &self.fingerprint_store[id as usize];
+            f.t_dw_min == t_dw_min && f.t_dw_plus == t_dw_plus
+        }) {
+            return id;
+        }
+        let id = self.fingerprint_store.len() as u32;
+        self.fingerprint_store.push(Fingerprint {
+            t_dw_min: t_dw_min.to_vec(),
+            t_dw_plus: t_dw_plus.to_vec(),
+        });
+        bucket.push(id);
+        id
+    }
+
+    fn first_fit_inner(
+        &mut self,
+        profiles: &[AppTimingProfile],
+        fleet_ids: &[u32],
+    ) -> Result<MappingReport, VerifyError> {
+        let before = self.stats;
+        let order = sort_for_first_fit(profiles);
+        let mut slots: Vec<Vec<usize>> = Vec::new();
+        let mut probe: Vec<usize> = Vec::new();
+        for &app in &order {
+            let mut placed = false;
+            for slot in &mut slots {
+                probe.clear();
+                probe.extend_from_slice(slot);
+                probe.push(app);
+                if self.admit_query(profiles, fleet_ids, &probe)? {
+                    slot.push(app);
+                    placed = true;
+                    break;
+                }
+            }
+            if !placed {
+                slots.push(vec![app]);
+            }
+        }
+        let delta = self.stats.since(&before);
+        Ok(MappingReport::with_tier_stats(
+            "map-explorer-cascade".to_string(),
+            slots,
+            delta.queries,
+            delta,
+        ))
+    }
+
+    /// Branch-and-bound node: place `order[pos..]` into `slots`, improving
+    /// `best` (strictly fewer slots) whenever a full feasible placement is
+    /// found.
+    #[allow(clippy::too_many_arguments)]
+    fn search(
+        &mut self,
+        profiles: &[AppTimingProfile],
+        fleet_ids: &[u32],
+        order: &[usize],
+        pos: usize,
+        slots: &mut Vec<Vec<usize>>,
+        best: &mut Vec<Vec<usize>>,
+        nodes: &mut usize,
+    ) -> Result<(), VerifyError> {
+        // Bound: completing needs at least `slots.len()` slots, and only a
+        // strict improvement over the incumbent is worth finding.
+        if slots.len() >= best.len() {
+            return Ok(());
+        }
+        if pos == order.len() {
+            *best = slots.clone();
+            return Ok(());
+        }
+        *nodes += 1;
+        let app = order[pos];
+        // Symmetry breaking: an application interchangeable with its
+        // predecessor (equal fingerprint) never goes into an earlier slot
+        // than that predecessor — permuted placements of identical
+        // applications describe the same partition.
+        let min_slot = if pos > 0 && fleet_ids[app] == fleet_ids[order[pos - 1]] {
+            slots
+                .iter()
+                .position(|slot| slot.contains(&order[pos - 1]))
+                .unwrap_or(0)
+        } else {
+            0
+        };
+        for s in min_slot..slots.len() {
+            slots[s].push(app);
+            let admitted = {
+                let members = &slots[s];
+                self.admit_query(profiles, fleet_ids, members)?
+            };
+            if admitted {
+                self.search(profiles, fleet_ids, order, pos + 1, slots, best, nodes)?;
+            }
+            slots[s].pop();
+        }
+        // Open a new slot: a singleton is admissible by construction.
+        slots.push(vec![app]);
+        self.search(profiles, fleet_ids, order, pos + 1, slots, best, nodes)?;
+        slots.pop();
+        Ok(())
+    }
+
+    /// One admission query through the cascade. `members` index `profiles`;
+    /// the verdict applies to that arrangement (probes generated by this
+    /// engine are always in canonical first-fit order).
+    fn admit_query(
+        &mut self,
+        profiles: &[AppTimingProfile],
+        fleet_ids: &[u32],
+        members: &[usize],
+    ) -> Result<bool, VerifyError> {
+        // Reject invalid configurations up front, before any tier can decide
+        // the query — the cascade must error exactly where the plain oracle
+        // does (same validation, shared with the verifier), and the screen's
+        // scenario replay assumes the disturbance bound (if any) allows at
+        // least one instance.
+        SlotVerifyEngine::validate_config(&self.config)?;
+        self.stats.queries += 1;
+        // Tier 1: singletons (and the trivial empty set) are admissible by
+        // construction — the dwell table guarantees the requirement with a
+        // dedicated slot.
+        if members.len() <= 1 {
+            self.stats.singleton_accepts += 1;
+            return Ok(true);
+        }
+
+        // Tier 2: canonical memo table.
+        self.key_scratch.clear();
+        self.key_scratch
+            .extend(members.iter().map(|&i| fleet_ids[i]));
+        if let Some(&verdict) = self.memo.get(self.key_scratch.as_slice()) {
+            self.stats.memo_hits += 1;
+            return Ok(verdict);
+        }
+
+        // Tier 3: quick necessary-condition screen (sound reject).
+        if self.screen_schedule.len() < members.len() {
+            self.screen_schedule.resize_with(members.len(), || vec![0]);
+        }
+        if !Self::screen_admits(
+            profiles,
+            members,
+            self.config.max_disturbances_per_app.is_none(),
+            &self.screen_schedule[..members.len()],
+        ) {
+            self.stats.quick_rejects += 1;
+            self.record_inadmissible(true);
+            return Ok(false);
+        }
+
+        // Tier 4: anti-monotone index (sound reject): a candidate into which
+        // a known-inadmissible set embeds is inadmissible.
+        if self
+            .inadmissible
+            .iter()
+            .any(|s| is_subsequence(s, &self.key_scratch))
+        {
+            self.stats.anti_monotone_rejects += 1;
+            self.memo.insert(self.key_scratch.clone(), false);
+            return Ok(false);
+        }
+
+        // Tier 5: gated baseline accept (sound accept).
+        if Self::baseline_gate(profiles, members)
+            && slot_schedulable_profiles(profiles, members, self.baseline_strategy)
+        {
+            self.stats.baseline_accepts += 1;
+            self.memo.insert(self.key_scratch.clone(), true);
+            return Ok(true);
+        }
+
+        // Tier 6: the exact verifier.
+        let start = Instant::now();
+        let outcome = self
+            .verifier
+            .verify_selected(profiles, members, &self.config)?;
+        self.stats.exact_verify_time += start.elapsed();
+        self.stats.exact_verifies += 1;
+        let verdict = outcome.schedulable();
+        if verdict {
+            self.memo.insert(self.key_scratch.clone(), true);
+        } else {
+            // Tier 4 already proved no stored set embeds into this key, and
+            // nothing has touched the index since — skip the re-scan.
+            self.record_inadmissible(false);
+        }
+        Ok(verdict)
+    }
+
+    /// Memoizes the current key as inadmissible and adds it to the
+    /// anti-monotone index, evicting stored supersets the new key embeds
+    /// into (they decide nothing the new entry doesn't). `check_embedding`
+    /// re-scans the index for an already-stored set embedding into the key
+    /// (needed on the quick-reject path, which runs before tier 4); callers
+    /// past tier 4 pass `false`.
+    fn record_inadmissible(&mut self, check_embedding: bool) {
+        self.memo.insert(self.key_scratch.clone(), false);
+        if !check_embedding
+            || !self
+                .inadmissible
+                .iter()
+                .any(|s| is_subsequence(s, &self.key_scratch))
+        {
+            let key = &self.key_scratch;
+            self.inadmissible.retain(|s| !is_subsequence(key, s));
+            self.inadmissible.push(key.clone());
+        }
+    }
+
+    /// The gate under which the conservative blocking analysis is provably
+    /// sound w.r.t. the exact semantics (see the module docs): pairs whose
+    /// hold time bounds every dwell and whose inter-arrival times exclude a
+    /// second interference per wait window.
+    fn baseline_gate(profiles: &[AppTimingProfile], members: &[usize]) -> bool {
+        if members.len() != 2 {
+            return false;
+        }
+        members.iter().all(|&m| {
+            let p = &profiles[m];
+            p.jt() >= p.dwell_table().max_t_dw_plus()
+        }) && members.iter().all(|&i| {
+            members.iter().all(|&j| {
+                i == j
+                    || profiles[j].min_inter_arrival()
+                        > profiles[i].max_wait() + profiles[j].max_wait() + profiles[j].jt()
+            })
+        })
+    }
+
+    /// Sound necessary-condition screen: `false` only when the candidate is
+    /// certainly inadmissible. `schedule` must be the all-disturbed-at-once
+    /// schedule (`[0]` per member), prepared by the caller's scratch.
+    fn screen_admits(
+        profiles: &[AppTimingProfile],
+        members: &[usize],
+        unbounded: bool,
+        schedule: &[Vec<usize>],
+    ) -> bool {
+        // Minimum-demand utilisation: every disturbance occupies the slot for
+        // at least `max(1, min_w T_dw^-(w))` samples and recurs as often as
+        // every `r` samples; demand above capacity means unbounded backlog
+        // and an eventual miss. Only valid for the unbounded sporadic model.
+        if unbounded {
+            let utilisation: f64 = members
+                .iter()
+                .map(|&m| {
+                    let p = &profiles[m];
+                    let min_hold = p
+                        .dwell_table()
+                        .t_dw_min_array()
+                        .iter()
+                        .copied()
+                        .min()
+                        .unwrap_or(0)
+                        .max(1);
+                    min_hold as f64 / p.min_inter_arrival() as f64
+                })
+                .sum();
+            if utilisation > 1.0 + 1e-9 {
+                return false;
+            }
+        }
+
+        // All-disturbed-at-once replay: every application is hit at sample
+        // zero and never again — one concrete branch of the exact
+        // exploration (admissible for any validated disturbance bound),
+        // replayed through the deterministic scheduler semantics shared with
+        // the witness validator. A miss is a sound rejection.
+        replay_first_miss_selected(profiles, members, schedule)
+            .expect("the all-disturbed-at-once schedule is always valid")
+            .is_none()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::oracle::{ModelCheckingOracle, SlotOracle};
+    use crate::{first_fit, reference};
+    use cps_core::DwellTimeTable;
+
+    fn profile(
+        name: &str,
+        max_wait: usize,
+        dwell_min: usize,
+        dwell_plus: usize,
+        r: usize,
+    ) -> AppTimingProfile {
+        let len = max_wait + 1;
+        let jstar = max_wait + dwell_plus + 1;
+        let table = DwellTimeTable::from_arrays(jstar, vec![dwell_min; len], vec![dwell_plus; len])
+            .unwrap();
+        AppTimingProfile::new(name, 1, jstar + 10, jstar, r.max(jstar + 1), table).unwrap()
+    }
+
+    /// A profile whose hold time `J_T` dominates the dwell arrays, so the
+    /// baseline gate can open.
+    fn holdy_profile(name: &str, max_wait: usize, dwell: usize, r: usize) -> AppTimingProfile {
+        let len = max_wait + 1;
+        let jstar = max_wait + dwell + 1;
+        let table = DwellTimeTable::from_arrays(jstar, vec![dwell; len], vec![dwell; len]).unwrap();
+        AppTimingProfile::new(name, dwell, jstar + 10, jstar, r, table).unwrap()
+    }
+
+    #[test]
+    fn cascade_first_fit_matches_plain_first_fit() {
+        let fleet = vec![
+            profile("A", 10, 3, 5, 30),
+            profile("B", 10, 3, 5, 30),
+            profile("C", 0, 5, 5, 30),
+            profile("D", 4, 2, 3, 20),
+            profile("E", 10, 3, 5, 30),
+        ];
+        let plain = first_fit(&fleet, &ModelCheckingOracle::new()).unwrap();
+        let mut engine = MapExplorerEngine::new();
+        let cascade = engine.first_fit(&fleet).unwrap();
+        assert_eq!(cascade.slots(), plain.slots());
+        let stats = cascade.tier_stats().expect("cascade carries stats");
+        assert_eq!(stats.queries, plain.oracle_calls());
+        assert!(stats.exact_verifies <= stats.queries);
+    }
+
+    #[test]
+    fn repeated_runs_hit_the_memo() {
+        let fleet = vec![
+            profile("A", 10, 3, 5, 30),
+            profile("B", 10, 3, 5, 30),
+            profile("C", 0, 5, 5, 30),
+        ];
+        let mut engine = MapExplorerEngine::new();
+        let first = engine.first_fit(&fleet).unwrap();
+        let second = engine.first_fit(&fleet).unwrap();
+        assert_eq!(first.slots(), second.slots());
+        let stats = second.tier_stats().unwrap();
+        assert_eq!(stats.exact_verifies, 0, "second run must be fully memoized");
+        assert_eq!(stats.memo_hits + stats.singleton_accepts, stats.queries);
+        // Renaming the applications must not disturb the memo (fingerprints
+        // are name-insensitive).
+        let renamed = vec![
+            profile("X", 10, 3, 5, 30),
+            profile("Y", 10, 3, 5, 30),
+            profile("Z", 0, 5, 5, 30),
+        ];
+        let third = engine.first_fit(&renamed).unwrap();
+        assert_eq!(third.slots(), first.slots());
+        assert_eq!(third.tier_stats().unwrap().exact_verifies, 0);
+    }
+
+    #[test]
+    fn screen_rejects_are_sound_and_fire() {
+        // Two zero-wait applications cannot share: the screen alone decides.
+        let fleet = vec![profile("A", 0, 5, 5, 30), profile("B", 0, 5, 5, 30)];
+        let mut engine = MapExplorerEngine::new();
+        assert!(!engine.admits(&fleet, &[0, 1]).unwrap());
+        assert_eq!(engine.stats().quick_rejects, 1);
+        assert_eq!(engine.stats().exact_verifies, 0);
+        // And the exact oracle agrees.
+        assert!(!ModelCheckingOracle::new().admits(&fleet).unwrap());
+    }
+
+    #[test]
+    fn baseline_gate_accepts_pairs_without_exact_verification() {
+        // Constant dwell equal to J_T, huge inter-arrival: the gate opens
+        // and the blocking analysis decides the pair.
+        let fleet = vec![
+            holdy_profile("A", 10, 3, 100),
+            holdy_profile("B", 12, 3, 100),
+        ];
+        let mut engine = MapExplorerEngine::new();
+        assert!(engine.admits(&fleet, &[0, 1]).unwrap());
+        assert_eq!(engine.stats().baseline_accepts, 1);
+        assert_eq!(engine.stats().exact_verifies, 0);
+        assert!(ModelCheckingOracle::new().admits(&fleet).unwrap());
+    }
+
+    #[test]
+    fn anti_monotone_index_rejects_supersets() {
+        // {A, B} passes the all-disturbed-at-once screen (B has the smaller
+        // laxity and is served first) but a staggered scenario kills it: A
+        // disturbed alone is granted and cannot be preempted before
+        // T_dw^- = 5 samples, more than B can wait. The exact verifier finds
+        // that, records the pair in the anti-monotone index, and the
+        // screen-passing superset {A, C, B} is then rejected by embedding.
+        let fleet = vec![
+            profile("A", 10, 5, 5, 40),
+            profile("B", 3, 2, 2, 40),
+            profile("C", 10, 5, 5, 40),
+        ];
+        let mut engine = MapExplorerEngine::new();
+        assert!(!engine.admits(&fleet, &[0, 1]).unwrap());
+        assert_eq!(
+            engine.stats().exact_verifies,
+            1,
+            "screen must pass the pair"
+        );
+        // The superset {A, C, B} embeds {A, B} in order.
+        assert!(!engine.admits(&fleet, &[0, 2, 1]).unwrap());
+        assert_eq!(engine.stats().anti_monotone_rejects, 1);
+        assert_eq!(engine.stats().exact_verifies, 1);
+        // The exact oracle agrees on the superset.
+        let mut scratch = Vec::new();
+        assert!(!ModelCheckingOracle::new()
+            .admits_indices(&fleet, &[0, 2, 1], &mut scratch)
+            .unwrap());
+    }
+
+    #[test]
+    fn minimize_slots_matches_reference_and_first_fit_bound() {
+        let fleets = vec![
+            vec![
+                profile("A", 10, 3, 5, 30),
+                profile("B", 10, 3, 5, 30),
+                profile("C", 0, 5, 5, 30),
+            ],
+            vec![
+                profile("A", 4, 2, 3, 20),
+                profile("B", 10, 3, 5, 30),
+                profile("C", 4, 2, 3, 20),
+                profile("D", 10, 3, 5, 30),
+            ],
+            vec![profile("A", 0, 5, 5, 30), profile("B", 0, 5, 5, 30)],
+        ];
+        let mut engine = MapExplorerEngine::new();
+        for fleet in &fleets {
+            let optimal = engine.minimize_slots(fleet).unwrap();
+            let oracle = ModelCheckingOracle::new();
+            let expected = reference::minimize_slots(fleet, &oracle).unwrap();
+            assert_eq!(optimal.slot_count(), expected.len(), "fleet {fleet:?}");
+            assert!(optimal.slot_count() <= optimal.first_fit_slots());
+            // The engine's partition is feasible slot by slot.
+            let mut scratch = Vec::new();
+            for slot in optimal.slots() {
+                if slot.len() > 1 {
+                    assert!(oracle.admits_indices(fleet, slot, &mut scratch).unwrap());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn minimize_beats_first_fit_when_the_heuristic_is_suboptimal() {
+        // First-fit is a heuristic: the minimizer must never be worse, and
+        // the empty fleet degrades gracefully.
+        let mut engine = MapExplorerEngine::new();
+        let empty = engine.minimize_slots(&[]).unwrap();
+        assert_eq!(empty.slot_count(), 0);
+        let single = engine.minimize_slots(&[profile("A", 5, 2, 3, 20)]).unwrap();
+        assert_eq!(single.slot_count(), 1);
+        assert_eq!(single.slots(), &[vec![0]]);
+    }
+
+    #[test]
+    fn invalid_configs_error_before_any_tier_decides() {
+        // The cascade must error exactly where the plain oracle does — even
+        // on queries a cheap tier could otherwise answer (singletons, memo
+        // hits, screen rejects).
+        let fleet = vec![profile("A", 10, 3, 5, 30), profile("B", 10, 3, 5, 30)];
+        for config in [
+            VerificationConfig {
+                state_budget: 0,
+                ..VerificationConfig::default()
+            },
+            VerificationConfig::bounded(0),
+        ] {
+            let mut engine = MapExplorerEngine::with_config(config);
+            assert!(matches!(
+                engine.admits(&fleet, &[0]),
+                Err(VerifyError::InvalidConfig { .. })
+            ));
+            assert!(matches!(
+                engine.admits(&fleet, &[0, 1]),
+                Err(VerifyError::InvalidConfig { .. })
+            ));
+        }
+    }
+
+    #[test]
+    fn subsequence_matching() {
+        assert!(is_subsequence(&[], &[]));
+        assert!(is_subsequence(&[1], &[0, 1, 2]));
+        assert!(is_subsequence(&[1, 1], &[1, 0, 1]));
+        assert!(!is_subsequence(&[1, 1], &[1, 0, 2]));
+        assert!(!is_subsequence(&[2, 1], &[1, 2]));
+        assert!(!is_subsequence(&[1, 2, 3], &[1, 2]));
+    }
+}

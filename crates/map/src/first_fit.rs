@@ -32,15 +32,19 @@ pub fn first_fit(
     let order = sort_for_first_fit(profiles);
     let mut slots: Vec<Vec<usize>> = Vec::new();
     let mut oracle_calls = 0usize;
+    // Probe buffers reused across all oracle calls: the candidate index list
+    // and the profile scratch for oracles that still use the cloning shim.
+    let mut probe: Vec<usize> = Vec::new();
+    let mut scratch: Vec<AppTimingProfile> = Vec::new();
 
     for &app in &order {
         let mut placed = false;
         for slot in &mut slots {
-            let mut candidate: Vec<AppTimingProfile> =
-                slot.iter().map(|&i| profiles[i].clone()).collect();
-            candidate.push(profiles[app].clone());
+            probe.clear();
+            probe.extend_from_slice(slot);
+            probe.push(app);
             oracle_calls += 1;
-            if oracle.admits(&candidate)? {
+            if oracle.admits_indices(profiles, &probe, &mut scratch)? {
                 slot.push(app);
                 placed = true;
                 break;

@@ -17,14 +17,26 @@
 //! two-slot partition `{C1,C5,C4,C3}` + `{C6,C2}`, while the conservative
 //! oracle needs three to four slots — the tighter dimensioning the paper's
 //! title refers to.
+//!
+//! For design-space exploration — sweeps, large fleets, optimal (not just
+//! first-fit) dimensioning — the [`engine`] module provides
+//! [`MapExplorerEngine`]: a tiered admission cascade (necessary-condition
+//! screen, canonical memo table, anti-monotone pruning, gated baseline
+//! accept) in front of one persistent exact verifier, plus a
+//! branch-and-bound [`MapExplorerEngine::minimize_slots`] whose minimal slot
+//! counts are pinned to the naive exhaustive partition search retained in
+//! [`reference`].
 
+pub mod engine;
 pub mod first_fit;
 pub mod oracle;
+pub mod reference;
 pub mod report;
 
+pub use engine::MapExplorerEngine;
 pub use first_fit::{first_fit, sort_for_first_fit};
 pub use oracle::{BaselineOracle, ModelCheckingOracle, SlotOracle};
-pub use report::MappingReport;
+pub use report::{MappingReport, MinimizeReport, TierStats};
 
 #[cfg(test)]
 mod tests {
@@ -36,5 +48,8 @@ mod tests {
         assert_send_sync::<ModelCheckingOracle>();
         assert_send_sync::<BaselineOracle>();
         assert_send_sync::<MappingReport>();
+        assert_send_sync::<MapExplorerEngine>();
+        assert_send_sync::<MinimizeReport>();
+        assert_send_sync::<TierStats>();
     }
 }

@@ -2,7 +2,7 @@
 
 use std::sync::Mutex;
 
-use cps_baseline::{is_slot_schedulable, BaselineApp, Strategy};
+use cps_baseline::{is_slot_schedulable, slot_schedulable_profiles, BaselineApp, Strategy};
 use cps_core::AppTimingProfile;
 use cps_verify::{SlotSharingModel, SlotVerifyEngine, VerificationConfig, VerifyError};
 
@@ -18,6 +18,36 @@ pub trait SlotOracle {
     /// Implementations may fail (e.g. a model checker running out of budget);
     /// the mapping heuristic treats a failure as an error, not as a rejection.
     fn admits(&self, profiles: &[AppTimingProfile]) -> Result<bool, VerifyError>;
+
+    /// Index-based probe path: decides admission for the applications
+    /// selected by `members` (indices into `profiles`), in that order.
+    ///
+    /// The first-fit heuristic probes through this method so candidate sets
+    /// are described by indices instead of a freshly cloned
+    /// `Vec<AppTimingProfile>` per oracle call. The default implementation is
+    /// a shim that clones the selection into the caller-provided `scratch`
+    /// buffer (reused across probes) and forwards to
+    /// [`SlotOracle::admits`], so existing external implementations keep
+    /// working unchanged; the built-in oracles override it with clone-free
+    /// paths.
+    ///
+    /// # Errors
+    ///
+    /// As for [`SlotOracle::admits`].
+    ///
+    /// # Panics
+    ///
+    /// May panic if a member index is out of bounds for `profiles`.
+    fn admits_indices(
+        &self,
+        profiles: &[AppTimingProfile],
+        members: &[usize],
+        scratch: &mut Vec<AppTimingProfile>,
+    ) -> Result<bool, VerifyError> {
+        scratch.clear();
+        scratch.extend(members.iter().map(|&i| profiles[i].clone()));
+        self.admits(scratch)
+    }
 
     /// A short human-readable name for reports.
     fn name(&self) -> &str;
@@ -66,6 +96,20 @@ impl SlotOracle for ModelCheckingOracle {
         Ok(engine.verify(&model, &self.config)?.schedulable())
     }
 
+    fn admits_indices(
+        &self,
+        profiles: &[AppTimingProfile],
+        members: &[usize],
+        _scratch: &mut Vec<AppTimingProfile>,
+    ) -> Result<bool, VerifyError> {
+        // Borrow the selected profiles straight through the engine's
+        // index-based hook — no clone, no model construction.
+        let mut engine = self.engine.lock().unwrap_or_else(|e| e.into_inner());
+        Ok(engine
+            .verify_selected(profiles, members, &self.config)?
+            .schedulable())
+    }
+
     fn name(&self) -> &str {
         "model-checking"
     }
@@ -94,6 +138,15 @@ impl SlotOracle for BaselineOracle {
     fn admits(&self, profiles: &[AppTimingProfile]) -> Result<bool, VerifyError> {
         let apps: Vec<BaselineApp> = profiles.iter().map(BaselineApp::from_profile).collect();
         Ok(is_slot_schedulable(&apps, self.strategy))
+    }
+
+    fn admits_indices(
+        &self,
+        profiles: &[AppTimingProfile],
+        members: &[usize],
+        _scratch: &mut Vec<AppTimingProfile>,
+    ) -> Result<bool, VerifyError> {
+        Ok(slot_schedulable_profiles(profiles, members, self.strategy))
     }
 
     fn name(&self) -> &str {
@@ -139,6 +192,29 @@ mod tests {
             exact || !conservative,
             "baseline must never accept more than the exact oracle"
         );
+    }
+
+    #[test]
+    fn index_path_agrees_with_the_cloning_path_for_both_oracles() {
+        let fleet = [profile("A", 10, 3), profile("B", 0, 5), profile("C", 10, 3)];
+        let selections: &[&[usize]] = &[&[0], &[0, 2], &[1, 2], &[2, 1, 0]];
+        let mc = ModelCheckingOracle::new();
+        let bl = BaselineOracle::new();
+        let mut scratch = Vec::new();
+        for oracle in [&mc as &dyn SlotOracle, &bl as &dyn SlotOracle] {
+            for members in selections {
+                let cloned: Vec<AppTimingProfile> =
+                    members.iter().map(|&i| fleet[i].clone()).collect();
+                assert_eq!(
+                    oracle
+                        .admits_indices(&fleet, members, &mut scratch)
+                        .unwrap(),
+                    oracle.admits(&cloned).unwrap(),
+                    "{} on {members:?}",
+                    oracle.name()
+                );
+            }
+        }
     }
 
     #[test]

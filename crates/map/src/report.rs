@@ -1,6 +1,92 @@
 //! Mapping results.
 
 use std::fmt;
+use std::time::Duration;
+
+/// Per-tier accounting of the admission cascade
+/// ([`crate::MapExplorerEngine`]): how many admission queries each tier
+/// decided, and how much time the residue spent in the exact verifier.
+///
+/// The tiers are listed in query order: singletons are admissible by
+/// construction, the memo table answers repeated (canonically keyed)
+/// queries, the necessary-condition screen rejects early, the
+/// anti-monotonicity index rejects supersets of known-inadmissible sets, the
+/// conservative blocking analysis accepts early, and only the residue
+/// reaches the exact interned-state verifier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TierStats {
+    /// Total admission queries answered.
+    pub queries: usize,
+    /// Queries for a single application (admissible by construction).
+    pub singleton_accepts: usize,
+    /// Queries answered by the canonical memo table.
+    pub memo_hits: usize,
+    /// Queries rejected by the cheap necessary-condition screen.
+    pub quick_rejects: usize,
+    /// Queries rejected because a known-inadmissible set embeds into them.
+    pub anti_monotone_rejects: usize,
+    /// Queries accepted by the conservative blocking analysis.
+    pub baseline_accepts: usize,
+    /// Queries that reached the exact model-checking verifier.
+    pub exact_verifies: usize,
+    /// Wall-clock time spent inside the exact verifier.
+    pub exact_verify_time: Duration,
+}
+
+impl TierStats {
+    /// Queries decided without running the exact verifier.
+    pub fn decided_cheaply(&self) -> usize {
+        self.queries - self.exact_verifies
+    }
+
+    /// Per-query difference `self − earlier`: the statistics of the queries
+    /// made between two snapshots of a long-lived engine.
+    pub fn since(&self, earlier: &TierStats) -> TierStats {
+        TierStats {
+            queries: self.queries - earlier.queries,
+            singleton_accepts: self.singleton_accepts - earlier.singleton_accepts,
+            memo_hits: self.memo_hits - earlier.memo_hits,
+            quick_rejects: self.quick_rejects - earlier.quick_rejects,
+            anti_monotone_rejects: self.anti_monotone_rejects - earlier.anti_monotone_rejects,
+            baseline_accepts: self.baseline_accepts - earlier.baseline_accepts,
+            exact_verifies: self.exact_verifies - earlier.exact_verifies,
+            exact_verify_time: self.exact_verify_time - earlier.exact_verify_time,
+        }
+    }
+}
+
+impl fmt::Display for TierStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} queries: {} singleton, {} memo-hit, {} quick-reject, \
+             {} anti-monotone, {} baseline-accept, {} exact-verify ({:.2} ms)",
+            self.queries,
+            self.singleton_accepts,
+            self.memo_hits,
+            self.quick_rejects,
+            self.anti_monotone_rejects,
+            self.baseline_accepts,
+            self.exact_verifies,
+            self.exact_verify_time.as_secs_f64() * 1e3,
+        )
+    }
+}
+
+/// Renders a slot partition with application names substituted in.
+pub(crate) fn format_partition(slots: &[Vec<usize>], names: &[&str]) -> String {
+    let slots: Vec<String> = slots
+        .iter()
+        .map(|slot| {
+            let members: Vec<&str> = slot
+                .iter()
+                .map(|&i| names.get(i).copied().unwrap_or("?"))
+                .collect();
+            format!("{{{}}}", members.join(", "))
+        })
+        .collect();
+    slots.join("  ")
+}
 
 /// The result of a first-fit mapping run: which applications share which TT
 /// slot, and how much work the admission oracle did.
@@ -9,15 +95,32 @@ pub struct MappingReport {
     oracle: String,
     slots: Vec<Vec<usize>>,
     oracle_calls: usize,
+    tier_stats: Option<TierStats>,
 }
 
 impl MappingReport {
-    /// Creates a report.
+    /// Creates a report (no cascade statistics — a plain oracle run).
     pub fn new(oracle: String, slots: Vec<Vec<usize>>, oracle_calls: usize) -> Self {
         MappingReport {
             oracle,
             slots,
             oracle_calls,
+            tier_stats: None,
+        }
+    }
+
+    /// Creates a report carrying the admission cascade's per-tier statistics.
+    pub fn with_tier_stats(
+        oracle: String,
+        slots: Vec<Vec<usize>>,
+        oracle_calls: usize,
+        tier_stats: TierStats,
+    ) -> Self {
+        MappingReport {
+            oracle,
+            slots,
+            oracle_calls,
+            tier_stats: Some(tier_stats),
         }
     }
 
@@ -41,6 +144,12 @@ impl MappingReport {
         self.oracle_calls
     }
 
+    /// Per-tier cascade statistics, when the mapping ran through
+    /// [`crate::MapExplorerEngine`] (plain oracle runs carry none).
+    pub fn tier_stats(&self) -> Option<&TierStats> {
+        self.tier_stats.as_ref()
+    }
+
     /// The slot index an application was mapped to, if any.
     pub fn slot_of(&self, app: usize) -> Option<usize> {
         self.slots.iter().position(|slot| slot.contains(&app))
@@ -58,18 +167,7 @@ impl MappingReport {
 
     /// Renders the partition with application names substituted in.
     pub fn format_with_names(&self, names: &[&str]) -> String {
-        let slots: Vec<String> = self
-            .slots
-            .iter()
-            .map(|slot| {
-                let members: Vec<&str> = slot
-                    .iter()
-                    .map(|&i| names.get(i).copied().unwrap_or("?"))
-                    .collect();
-                format!("{{{}}}", members.join(", "))
-            })
-            .collect();
-        slots.join("  ")
+        format_partition(&self.slots, names)
     }
 }
 
@@ -82,6 +180,83 @@ impl fmt::Display for MappingReport {
             self.slot_count(),
             self.oracle_calls,
             self.slots
+        )?;
+        if let Some(stats) = &self.tier_stats {
+            write!(f, " [{stats}]")?;
+        }
+        Ok(())
+    }
+}
+
+/// The result of an optimal slot minimisation
+/// ([`crate::MapExplorerEngine::minimize_slots`]): a partition with the
+/// provably minimal number of slots, plus how much search it took.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MinimizeReport {
+    slots: Vec<Vec<usize>>,
+    nodes_explored: usize,
+    first_fit_slots: usize,
+    tier_stats: TierStats,
+}
+
+impl MinimizeReport {
+    pub(crate) fn new(
+        slots: Vec<Vec<usize>>,
+        nodes_explored: usize,
+        first_fit_slots: usize,
+        tier_stats: TierStats,
+    ) -> Self {
+        MinimizeReport {
+            slots,
+            nodes_explored,
+            first_fit_slots,
+            tier_stats,
+        }
+    }
+
+    /// The optimal slot partition: each inner vector lists application
+    /// indices (members in canonical first-fit order, slots by first member).
+    pub fn slots(&self) -> &[Vec<usize>] {
+        &self.slots
+    }
+
+    /// The provably minimal number of TT slots.
+    pub fn slot_count(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Branch-and-bound nodes expanded during the lattice search.
+    pub fn nodes_explored(&self) -> usize {
+        self.nodes_explored
+    }
+
+    /// Slot count of the first-fit incumbent the search started from.
+    pub fn first_fit_slots(&self) -> usize {
+        self.first_fit_slots
+    }
+
+    /// Admission-cascade statistics for the queries made by this search
+    /// (including the first-fit incumbent).
+    pub fn tier_stats(&self) -> &TierStats {
+        &self.tier_stats
+    }
+
+    /// Renders the partition with application names substituted in.
+    pub fn format_with_names(&self, names: &[&str]) -> String {
+        format_partition(&self.slots, names)
+    }
+}
+
+impl fmt::Display for MinimizeReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "minimal partition: {} slots (first-fit incumbent {}) after {} search nodes: {:?} [{}]",
+            self.slot_count(),
+            self.first_fit_slots,
+            self.nodes_explored,
+            self.slots,
+            self.tier_stats,
         )
     }
 }
@@ -103,6 +278,7 @@ mod tests {
         assert_eq!(r.slot_of(2), Some(0));
         assert_eq!(r.slot_of(1), Some(1));
         assert_eq!(r.slot_of(9), None);
+        assert!(r.tier_stats().is_none());
     }
 
     #[test]
@@ -121,5 +297,56 @@ mod tests {
         assert!(r.to_string().contains("2 slots"));
         // Unknown indices degrade gracefully.
         assert_eq!(r.format_with_names(&["C1"]), "{C1, ?}  {?}");
+    }
+
+    #[test]
+    fn tier_stats_accounting_and_rendering() {
+        let stats = TierStats {
+            queries: 10,
+            singleton_accepts: 1,
+            memo_hits: 3,
+            quick_rejects: 2,
+            anti_monotone_rejects: 1,
+            baseline_accepts: 1,
+            exact_verifies: 2,
+            exact_verify_time: Duration::from_millis(8),
+        };
+        assert_eq!(stats.decided_cheaply(), 8);
+        let earlier = TierStats {
+            queries: 4,
+            singleton_accepts: 1,
+            memo_hits: 1,
+            quick_rejects: 1,
+            anti_monotone_rejects: 0,
+            baseline_accepts: 0,
+            exact_verifies: 1,
+            exact_verify_time: Duration::from_millis(3),
+        };
+        let delta = stats.since(&earlier);
+        assert_eq!(delta.queries, 6);
+        assert_eq!(delta.memo_hits, 2);
+        assert_eq!(delta.exact_verify_time, Duration::from_millis(5));
+
+        let r = MappingReport::with_tier_stats(
+            "map-explorer".to_string(),
+            vec![vec![0], vec![1]],
+            4,
+            stats,
+        );
+        assert_eq!(r.tier_stats(), Some(&stats));
+        let rendered = r.to_string();
+        assert!(rendered.contains("memo-hit"), "{rendered}");
+        assert!(rendered.contains("exact-verify"), "{rendered}");
+    }
+
+    #[test]
+    fn minimize_report_accessors() {
+        let stats = TierStats::default();
+        let m = MinimizeReport::new(vec![vec![0, 1], vec![2]], 7, 3, stats);
+        assert_eq!(m.slot_count(), 2);
+        assert_eq!(m.nodes_explored(), 7);
+        assert_eq!(m.first_fit_slots(), 3);
+        assert_eq!(m.format_with_names(&["A", "B", "C"]), "{A, B}  {C}");
+        assert!(m.to_string().contains("first-fit incumbent 3"));
     }
 }

@@ -192,7 +192,17 @@ struct ModelCtx {
 
 impl ModelCtx {
     fn new(model: &SlotSharingModel, config: &VerificationConfig) -> Result<Self, VerifyError> {
-        let n = model.len();
+        Self::from_profiles(model.profiles().iter(), config)
+    }
+
+    /// Builds the context straight from borrowed profiles — the hook behind
+    /// [`SlotVerifyEngine::verify_selected`], which lets callers (the mapping
+    /// cascade) probe sub-models without cloning any [`AppTimingProfile`].
+    fn from_profiles<'a>(
+        profiles: impl ExactSizeIterator<Item = &'a AppTimingProfile>,
+        config: &VerificationConfig,
+    ) -> Result<Self, VerifyError> {
+        let n = profiles.len();
         if n > MAX_APPS {
             return Err(VerifyError::InvalidConfig {
                 reason: format!("the engine encodes disturbance choices as 32-bit masks; {n} applications exceed the supported {MAX_APPS}"),
@@ -208,7 +218,7 @@ impl ModelCtx {
         let mut params = Vec::with_capacity(n);
         let mut enc = Vec::with_capacity(n);
         let mut max_code_space = 0u64;
-        for p in model.profiles() {
+        for p in profiles {
             let max_wait = p.max_wait() as u64;
             let r = p.min_inter_arrival() as u64;
             let t_dw_plus: Vec<u32> = (0..=p.max_wait())
@@ -249,18 +259,17 @@ impl ModelCtx {
             });
         }
 
+        // `AppParams` holds exactly the fields `profiles_interchangeable`
+        // compares, so run detection on the extracted parameters matches the
+        // profile-level predicate.
         let mut runs = Vec::new();
         let mut start = 0usize;
-        let profiles = model.profiles();
         for i in 1..=n {
-            if i == n || !profiles_interchangeable(&profiles[i], &profiles[start]) {
+            if i == n || params[i] != params[start] {
                 runs.push((start, i));
                 start = i;
             }
         }
-        debug_assert!(runs
-            .iter()
-            .all(|&(s, e)| (s..e).all(|i| params[i] == params[s])));
 
         Ok(ModelCtx {
             params,
@@ -781,6 +790,52 @@ impl SlotVerifyEngine {
         model: &SlotSharingModel,
         config: &VerificationConfig,
     ) -> Result<VerificationOutcome, VerifyError> {
+        Self::validate_config(config)?;
+        let ctx = ModelCtx::new(model, config)?;
+        self.run(&ctx)
+    }
+
+    /// Verifies the sub-model selecting `members` (indices into `profiles`)
+    /// as the applications sharing the slot, in the given order, without
+    /// cloning any profile — the reuse hook for callers that probe many
+    /// candidate subsets of one fleet (the `cps-map` admission cascade).
+    ///
+    /// Equivalent to building a [`SlotSharingModel`] from clones of the
+    /// selected profiles and calling [`SlotVerifyEngine::verify`]; witness
+    /// trace events refer to positions within `members`.
+    ///
+    /// # Errors
+    ///
+    /// As for [`SlotVerifyEngine::verify`], plus [`VerifyError::EmptyModel`]
+    /// when `members` is empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a member index is out of bounds for `profiles`.
+    pub fn verify_selected(
+        &mut self,
+        profiles: &[AppTimingProfile],
+        members: &[usize],
+        config: &VerificationConfig,
+    ) -> Result<VerificationOutcome, VerifyError> {
+        if members.is_empty() {
+            return Err(VerifyError::EmptyModel);
+        }
+        Self::validate_config(config)?;
+        let ctx = ModelCtx::from_profiles(members.iter().map(|&i| &profiles[i]), config)?;
+        self.run(&ctx)
+    }
+
+    /// Checks a configuration the way every engine entry point does: the
+    /// state budget must be positive and a disturbance bound, if any, must
+    /// allow at least one instance. Exposed so cascaded front-ends (the
+    /// `cps-map` explorer) can fail on exactly the configurations the
+    /// verifier would reject, before any of their cheap tiers answers.
+    ///
+    /// # Errors
+    ///
+    /// [`VerifyError::InvalidConfig`] describing the violated rule.
+    pub fn validate_config(config: &VerificationConfig) -> Result<(), VerifyError> {
         if config.state_budget == 0 {
             return Err(VerifyError::InvalidConfig {
                 reason: "state budget must be positive".to_string(),
@@ -791,11 +846,14 @@ impl SlotVerifyEngine {
                 reason: "the disturbance bound must allow at least one instance".to_string(),
             });
         }
-        let ctx = ModelCtx::new(model, config)?;
+        Ok(())
+    }
+
+    fn run(&mut self, ctx: &ModelCtx) -> Result<VerificationOutcome, VerifyError> {
         if ctx.max_code_space <= <u16 as StateWord>::LIMIT {
-            self.narrow.run(&ctx)
+            self.narrow.run(ctx)
         } else {
-            self.wide.run(&ctx)
+            self.wide.run(ctx)
         }
     }
 }
@@ -1001,5 +1059,50 @@ mod tests {
                 .unwrap()
                 .schedulable());
         }
+    }
+
+    #[test]
+    fn verify_selected_matches_verify_on_the_cloned_submodel() {
+        // A fleet of four profiles; every 1–3 element index selection must
+        // give the same outcome as cloning the selection into its own model.
+        let fleet = [
+            profile("A", 10, 3, 5, 30),
+            profile("B", 0, 5, 5, 30),
+            profile("C", 10, 3, 5, 30),
+            profile("D", 4, 2, 3, 20),
+        ];
+        let selections: &[&[usize]] = &[
+            &[0],
+            &[1],
+            &[0, 2],
+            &[2, 0],
+            &[1, 3],
+            &[0, 2, 3],
+            &[3, 1, 0],
+        ];
+        let config = VerificationConfig::default();
+        let mut engine = SlotVerifyEngine::new();
+        for members in selections {
+            let selected = engine.verify_selected(&fleet, members, &config).unwrap();
+            let cloned: Vec<AppTimingProfile> = members.iter().map(|&i| fleet[i].clone()).collect();
+            let model = SlotSharingModel::new(cloned).unwrap();
+            let direct = engine.verify(&model, &config).unwrap();
+            assert_eq!(selected.schedulable(), direct.schedulable());
+            assert_eq!(selected.states_explored(), direct.states_explored());
+            assert_eq!(selected.witness().is_some(), direct.witness().is_some());
+            if let Some(witness) = selected.witness() {
+                validate_witness(&model, witness).expect("selected witness replays");
+            }
+        }
+    }
+
+    #[test]
+    fn verify_selected_rejects_an_empty_selection() {
+        let fleet = [profile("A", 10, 3, 5, 30)];
+        let mut engine = SlotVerifyEngine::new();
+        assert!(matches!(
+            engine.verify_selected(&fleet, &[], &VerificationConfig::default()),
+            Err(crate::VerifyError::EmptyModel)
+        ));
     }
 }

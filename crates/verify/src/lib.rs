@@ -73,7 +73,9 @@ pub use conservative::{verify_conservative, ConservativeOutcome};
 pub use engine::{has_interchangeable_neighbors, profiles_interchangeable, SlotVerifyEngine};
 pub use error::VerifyError;
 pub use model::SlotSharingModel;
-pub use witness::{replay_first_miss, validate_witness, TraceEvent, Witness};
+pub use witness::{
+    replay_first_miss, replay_first_miss_selected, validate_witness, TraceEvent, Witness,
+};
 
 #[cfg(test)]
 mod tests {

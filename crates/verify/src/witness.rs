@@ -129,8 +129,40 @@ pub fn replay_first_miss(
     model: &SlotSharingModel,
     disturbances: &[Vec<usize>],
 ) -> Result<Option<(Vec<usize>, usize)>, VerifyError> {
-    let profiles = model.profiles();
-    let apps = profiles.len();
+    replay_core(|i| &model.profiles()[i], model.len(), disturbances)
+}
+
+/// [`replay_first_miss`] over a sub-model selected by `members` (indices
+/// into `profiles`, in that order), without cloning any profile — the same
+/// selection convention as [`crate::engine::SlotVerifyEngine::verify_selected`].
+/// `disturbances[i]` schedules the application at `members[i]`.
+///
+/// This is the replay the `cps-map` admission cascade uses for its
+/// necessary-condition screen, so the deterministic scheduler semantics
+/// live in one place per voice.
+///
+/// # Errors
+///
+/// As for [`replay_first_miss`].
+///
+/// # Panics
+///
+/// Panics if a member index is out of bounds for `profiles`.
+pub fn replay_first_miss_selected(
+    profiles: &[cps_core::AppTimingProfile],
+    members: &[usize],
+    disturbances: &[Vec<usize>],
+) -> Result<Option<(Vec<usize>, usize)>, VerifyError> {
+    replay_core(|i| &profiles[members[i]], members.len(), disturbances)
+}
+
+/// The shared replay simulation behind both entry points; `profile(i)`
+/// resolves position `i` of the replayed line-up.
+fn replay_core<'p>(
+    profile: impl Fn(usize) -> &'p cps_core::AppTimingProfile,
+    apps: usize,
+    disturbances: &[Vec<usize>],
+) -> Result<Option<(Vec<usize>, usize)>, VerifyError> {
     if disturbances.len() != apps {
         return Err(VerifyError::InvalidWitness {
             reason: format!(
@@ -150,9 +182,11 @@ pub fn replay_first_miss(
     // plus one occupation of every application; pad by the longest cooldown
     // so the quiescence check below is conservative.
     let horizon = last_event
-        + profiles
-            .iter()
-            .map(|p| p.max_wait() + p.dwell_table().max_t_dw_plus() + p.min_inter_arrival())
+        + (0..apps)
+            .map(|i| {
+                let p = profile(i);
+                p.max_wait() + p.dwell_table().max_t_dw_plus() + p.min_inter_arrival()
+            })
             .max()
             .unwrap_or(0)
         + 2;
@@ -179,7 +213,7 @@ pub fn replay_first_miss(
             .iter()
             .enumerate()
             .filter_map(|(app, cell)| match cell {
-                ReplayCell::Waiting { waited } if *waited > profiles[app].max_wait() => Some(app),
+                ReplayCell::Waiting { waited } if *waited > profile(app).max_wait() => Some(app),
                 _ => None,
             })
             .collect();
@@ -201,7 +235,7 @@ pub fn replay_first_miss(
             } = cells[app]
             {
                 if received
-                    >= profiles[app]
+                    >= profile(app)
                         .t_dw_plus(wait_at_grant)
                         .expect("wait in range")
                 {
@@ -216,7 +250,7 @@ pub fn replay_first_miss(
             .iter()
             .enumerate()
             .filter_map(|(i, c)| match c {
-                ReplayCell::Waiting { waited } => Some((profiles[i].max_wait() - waited, i)),
+                ReplayCell::Waiting { waited } => Some((profile(i).max_wait() - waited, i)),
                 _ => None,
             })
             .min();
@@ -229,10 +263,7 @@ pub fn replay_first_miss(
                         received,
                     } = cells[app]
                     {
-                        if received
-                            >= profiles[app]
-                                .t_dw_min(wait_at_grant)
-                                .expect("wait in range")
+                        if received >= profile(app).t_dw_min(wait_at_grant).expect("wait in range")
                         {
                             cells[app] = ReplayCell::Cooldown {
                                 since: wait_at_grant + received,
@@ -269,7 +300,7 @@ pub fn replay_first_miss(
                     received: received + 1,
                 },
                 ReplayCell::Cooldown { since } => {
-                    if since + 1 >= profiles[app].min_inter_arrival() {
+                    if since + 1 >= profile(app).min_inter_arrival() {
                         ReplayCell::Steady
                     } else {
                         ReplayCell::Cooldown { since: since + 1 }
@@ -449,6 +480,25 @@ mod tests {
                 validate_witness(&model, &shifted),
                 Err(VerifyError::InvalidWitness { .. })
             ));
+        }
+
+        #[test]
+        fn selected_replay_matches_the_cloned_submodel() {
+            let fleet = [
+                profile("A", 0, 5, 30),
+                profile("B", 10, 3, 30),
+                profile("C", 0, 5, 30),
+            ];
+            let selections: &[&[usize]] = &[&[0, 2], &[1, 0], &[2, 1, 0]];
+            for members in selections {
+                let schedule: Vec<Vec<usize>> = members.iter().map(|_| vec![0]).collect();
+                let selected = replay_first_miss_selected(&fleet, members, &schedule).unwrap();
+                let cloned: Vec<AppTimingProfile> =
+                    members.iter().map(|&i| fleet[i].clone()).collect();
+                let model = SlotSharingModel::new(cloned).unwrap();
+                let direct = replay_first_miss(&model, &schedule).unwrap();
+                assert_eq!(selected, direct, "selection {members:?}");
+            }
         }
 
         #[test]

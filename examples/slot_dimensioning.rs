@@ -8,7 +8,7 @@
 
 use cps_apps::case_study;
 use cps_baseline::Strategy;
-use cps_map::{first_fit, BaselineOracle, ModelCheckingOracle};
+use cps_map::{first_fit, BaselineOracle, MapExplorerEngine};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Use the published Table 1 timing data directly (no recomputation).
@@ -19,11 +19,30 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .collect::<Result<_, _>>()?;
     let names: Vec<&str> = profiles.iter().map(|p| p.name()).collect();
 
-    let proposed = first_fit(&profiles, &ModelCheckingOracle::new())?;
+    // The mapping explorer runs the exact model checking behind a tiered
+    // admission cascade; the partition is identical to plain first-fit over
+    // `ModelCheckingOracle`, and the tier statistics show what each probe
+    // actually cost.
+    let mut engine = MapExplorerEngine::new();
+    let proposed = engine.first_fit(&profiles)?;
     println!(
         "switching strategy + model checking: {} slots  {}",
         proposed.slot_count(),
         proposed.format_with_names(&names)
+    );
+    if let Some(stats) = proposed.tier_stats() {
+        println!("  admission cascade: {stats}");
+    }
+
+    // The branch-and-bound minimizer proves the first-fit partition is
+    // optimal: no single-slot packing of the case study exists. After the
+    // first-fit run every search probe is answered from the memo table.
+    let optimal = engine.minimize_slots(&profiles)?;
+    println!(
+        "provably minimal dimensioning      : {} slots  {}  ({} search nodes)",
+        optimal.slot_count(),
+        optimal.format_with_names(&names),
+        optimal.nodes_explored()
     );
 
     let baseline = first_fit(
