@@ -17,12 +17,14 @@ fn profiles(names: &[&str]) -> Vec<cps_core::AppTimingProfile> {
 
 fn run(engine: &mut SlotVerifyEngine, names: &[&str], cfg: &VerificationConfig, label: &str) {
     let model = SlotSharingModel::new(profiles(names)).unwrap();
+    let before = engine.stats();
     let t = Instant::now();
     let fast = engine.verify(&model, cfg);
     let engine_time = t.elapsed();
     let t = Instant::now();
     let oracle = reference::verify(&model, cfg);
     let oracle_time = t.elapsed();
+    let hashing = engine.stats().since(&before);
     match (fast, oracle) {
         (Ok(f), Ok(o)) => {
             assert_eq!(f.schedulable(), o.schedulable(), "{names:?}: verdict mismatch");
@@ -34,6 +36,18 @@ fn run(engine: &mut SlotVerifyEngine, names: &[&str], cfg: &VerificationConfig, 
                 engine_time,
                 o.states_explored(),
                 oracle_time
+            );
+            println!(
+                "  hashing: {} probes ({} hash-hits, {} hash-skips, {} deep-compares, {} rehashes) | \
+                 {} incremental slot updates vs {} full-rehash words ({:.1}x collapse)",
+                hashing.intern_probes,
+                hashing.hash_hits,
+                hashing.hash_skips,
+                hashing.deep_compares,
+                hashing.rehashes,
+                hashing.hash_slot_updates,
+                hashing.full_hash_words,
+                hashing.hash_work_collapse()
             );
         }
         (f, o) => println!(

@@ -23,7 +23,9 @@ use std::time::Instant;
 
 use cps_bench::published_profiles;
 use cps_core::{AppTimingProfile, DwellTimeTable};
-use cps_map::{first_fit, reference, MapExplorerEngine, ModelCheckingOracle, SlotOracle};
+use cps_map::{
+    first_fit, reference, MapExplorerEngine, ModelCheckingOracle, SlotOracle, TierStats,
+};
 
 /// A fleet plus the label it is reported under.
 struct FleetCase {
@@ -86,6 +88,8 @@ struct FirstFitReport {
     plain_ms: f64,
     cascade_exact_calls: usize,
     plain_exact_calls: usize,
+    /// Cascade tier + verifier hash counters of one engine pass.
+    tiers: TierStats,
 }
 
 impl FirstFitReport {
@@ -122,7 +126,7 @@ fn bench_first_fit_family(name: &str, cases: &[FleetCase]) -> FirstFitReport {
     let (_, second_plain_ms) = timed(plain_once);
     let plain_ms = first_plain_ms.min(second_plain_ms);
 
-    let cascade_once = || -> (Vec<Vec<Vec<usize>>>, usize) {
+    let cascade_once = || -> (Vec<Vec<Vec<usize>>>, usize, TierStats) {
         let mut engine = MapExplorerEngine::new();
         let mut exact_calls = 0usize;
         let partitions = cases
@@ -133,10 +137,10 @@ fn bench_first_fit_family(name: &str, cases: &[FleetCase]) -> FirstFitReport {
                 report.slots().to_vec()
             })
             .collect();
-        (partitions, exact_calls)
+        (partitions, exact_calls, *engine.stats())
     };
-    let ((cascade_partitions, cascade_exact_calls), first_cascade_ms) = timed(cascade_once);
-    let ((second_partitions, _), second_cascade_ms) = timed(cascade_once);
+    let ((cascade_partitions, cascade_exact_calls, tiers), first_cascade_ms) = timed(cascade_once);
+    let ((second_partitions, _, _), second_cascade_ms) = timed(cascade_once);
     let cascade_ms = first_cascade_ms.min(second_cascade_ms);
 
     assert_eq!(
@@ -167,6 +171,7 @@ fn bench_first_fit_family(name: &str, cases: &[FleetCase]) -> FirstFitReport {
         plain_ms,
         cascade_exact_calls,
         plain_exact_calls,
+        tiers,
     };
     println!(
         "{:<22} {:>2} fleets | {:>8.2} ms vs {:>8.2} ms | {:>4} vs {:>4} exact calls | {:>5.1}x wall, {:>5.1}x calls",
@@ -179,6 +184,7 @@ fn bench_first_fit_family(name: &str, cases: &[FleetCase]) -> FirstFitReport {
         report.speedup(),
         report.exact_call_ratio(),
     );
+    println!("  cascade pass: {}", report.tiers);
     report
 }
 
@@ -187,6 +193,8 @@ struct MinimizeReportRow {
     models: usize,
     engine_ms: f64,
     reference_ms: f64,
+    /// Cascade tier + verifier hash counters of one engine pass.
+    tiers: TierStats,
 }
 
 impl MinimizeReportRow {
@@ -212,17 +220,21 @@ fn bench_minimize_family(name: &str, cases: &[FleetCase]) -> MinimizeReportRow {
     let (_, second_reference_ms) = timed(reference_once);
     let reference_ms = first_reference_ms.min(second_reference_ms);
 
-    let engine_once = || -> Vec<(usize, Vec<Vec<usize>>)> {
+    // (first-fit incumbent slots, optimal partition) per fleet, plus the
+    // engine's cumulative cascade/hashing counters for the pass.
+    type MinimizePass = (Vec<(usize, Vec<Vec<usize>>)>, TierStats);
+    let engine_once = || -> MinimizePass {
         let mut engine = MapExplorerEngine::new();
-        cases
+        let results = cases
             .iter()
             .map(|c| {
                 let report = engine.minimize_slots(&c.fleet).expect("minimizer runs");
                 (report.first_fit_slots(), report.slots().to_vec())
             })
-            .collect()
+            .collect();
+        (results, *engine.stats())
     };
-    let (engine_results, first_engine_ms) = timed(engine_once);
+    let ((engine_results, tiers), first_engine_ms) = timed(engine_once);
     let (_, second_engine_ms) = timed(engine_once);
     let engine_ms = first_engine_ms.min(second_engine_ms);
 
@@ -262,6 +274,7 @@ fn bench_minimize_family(name: &str, cases: &[FleetCase]) -> MinimizeReportRow {
         models: cases.len(),
         engine_ms,
         reference_ms,
+        tiers,
     };
     println!(
         "{:<22} {:>2} fleets | {:>8.2} ms vs {:>8.2} ms | {:>5.1}x",
@@ -271,6 +284,7 @@ fn bench_minimize_family(name: &str, cases: &[FleetCase]) -> MinimizeReportRow {
         report.reference_ms,
         report.speedup(),
     );
+    println!("  engine pass: {}", report.tiers);
     report
 }
 
@@ -471,13 +485,41 @@ fn render_json(
         "  \"overall_first_fit_speedup\": {:.1},",
         total_plain / total_cascade
     );
+    // Aggregated interning/hashing counters across all first-fit families
+    // plus the minimizer pass — the fields the CI bench-smoke job sanity
+    // checks for presence and non-zero values.
+    let all_tiers: Vec<&TierStats> = first_fit_reports
+        .iter()
+        .map(|r| &r.tiers)
+        .chain(std::iter::once(&minimize_report.tiers))
+        .collect();
+    let sum = |f: &dyn Fn(&TierStats) -> usize| -> usize { all_tiers.iter().map(|t| f(t)).sum() };
+    let _ = writeln!(json, "  \"memo_hits\": {},", sum(&|t| t.memo_hits));
+    let _ = writeln!(json, "  \"tt_evictions\": {},", sum(&|t| t.tt_evictions));
+    let _ = writeln!(
+        json,
+        "  \"verify_intern_probes\": {},",
+        sum(&|t| t.verify.intern_probes)
+    );
+    let _ = writeln!(
+        json,
+        "  \"verify_hash_hits\": {},",
+        sum(&|t| t.verify.hash_hits)
+    );
+    let _ = writeln!(
+        json,
+        "  \"verify_hash_slot_updates\": {},",
+        sum(&|t| t.verify.hash_slot_updates)
+    );
     json.push_str("  \"first_fit_families\": [\n");
     for (i, r) in first_fit_reports.iter().enumerate() {
         let _ = writeln!(
             json,
             "    {{\"name\": \"{}\", \"fleets\": {}, \"cascade_ms\": {:.3}, \
              \"plain_ms\": {:.3}, \"cascade_exact_calls\": {}, \"plain_exact_calls\": {}, \
-             \"speedup\": {:.1}, \"exact_call_ratio\": {:.1}}}{}",
+             \"speedup\": {:.1}, \"exact_call_ratio\": {:.1}, \
+             \"memo_hits\": {}, \"tt_evictions\": {}, \"verify_intern_probes\": {}, \
+             \"verify_hash_hits\": {}, \"verify_rehashes\": {}}}{}",
             r.name,
             r.models,
             r.cascade_ms,
@@ -486,6 +528,11 @@ fn render_json(
             r.plain_exact_calls,
             r.speedup(),
             r.exact_call_ratio(),
+            r.tiers.memo_hits,
+            r.tiers.tt_evictions,
+            r.tiers.verify.intern_probes,
+            r.tiers.verify.hash_hits,
+            r.tiers.verify.rehashes,
             if i + 1 == first_fit_reports.len() {
                 ""
             } else {
@@ -497,12 +544,19 @@ fn render_json(
     let _ = writeln!(
         json,
         "  \"minimize\": {{\"name\": \"{}\", \"fleets\": {}, \"engine_ms\": {:.3}, \
-         \"reference_ms\": {:.3}, \"speedup\": {:.1}}},",
+         \"reference_ms\": {:.3}, \"speedup\": {:.1}, \"memo_hits\": {}, \
+         \"tt_evictions\": {}, \"verify_intern_probes\": {}, \"verify_hash_hits\": {}, \
+         \"verify_rehashes\": {}}},",
         minimize_report.name,
         minimize_report.models,
         minimize_report.engine_ms,
         minimize_report.reference_ms,
         minimize_report.speedup(),
+        minimize_report.tiers.memo_hits,
+        minimize_report.tiers.tt_evictions,
+        minimize_report.tiers.verify.intern_probes,
+        minimize_report.tiers.verify.hash_hits,
+        minimize_report.tiers.verify.rehashes,
     );
     let _ = writeln!(
         json,

@@ -23,7 +23,7 @@ use cps_ta::guard::ClockConstraint;
 use cps_ta::model::{slot_sharing_network, SlotAppParams};
 use cps_ta::network::Network;
 use cps_ta::reachability::{reference, ReachabilityResult};
-use cps_ta::ZoneGraphExplorer;
+use cps_ta::{IndexStats, ZoneGraphExplorer};
 
 const BUDGET: usize = 20_000_000;
 
@@ -117,6 +117,11 @@ struct NetworkReport {
     states_reference: usize,
     engine_ms: f64,
     reference_ms: f64,
+    /// Location-interner work counters of one engine exploration.
+    intern: IndexStats,
+    /// Per-slot XOR updates of the incremental location hashing in that
+    /// exploration (a full re-hash would cost `intern.probes × automata`).
+    loc_hash_updates: usize,
 }
 
 impl NetworkReport {
@@ -169,8 +174,22 @@ fn bench_network(name: &str, network: &Network) -> NetworkReport {
     // reusable engine delivers in batch use, so take the better of the two.
     let mut explorer = ZoneGraphExplorer::new();
     let (engine, cold_ms) = timed(|| explorer.check(network, BUDGET).expect("within budget"));
+    // The counters are cumulative across runs, so the cold-run totals (from a
+    // fresh explorer) double as the cold-run delta.
+    let intern = *explorer.intern_stats();
+    let loc_hash_updates = explorer.loc_hash_updates();
     let (warm, warm_ms) = timed(|| explorer.check(network, BUDGET).expect("within budget"));
     assert_eq!(engine, warm, "{name}: engine re-run is not deterministic");
+    assert_eq!(
+        explorer.intern_stats().since(&intern),
+        intern,
+        "{name}: engine hash/probe work is not deterministic"
+    );
+    assert_eq!(
+        explorer.loc_hash_updates() - loc_hash_updates,
+        loc_hash_updates,
+        "{name}: incremental hash work is not deterministic"
+    );
     let engine_ms = cold_ms.min(warm_ms);
     // Give the oracle the same best-of-two treatment when it is cheap enough
     // to repeat.
@@ -195,6 +214,8 @@ fn bench_network(name: &str, network: &Network) -> NetworkReport {
         states_reference: oracle.states_explored(),
         engine_ms,
         reference_ms,
+        intern,
+        loc_hash_updates,
     };
     println!(
         "{:<28} {:>2} automata {:>2} clocks | {:>9} vs {:>9} states | {:>9.2} ms vs {:>9.2} ms | {:>6.1}x | {}",
@@ -207,6 +228,17 @@ fn bench_network(name: &str, network: &Network) -> NetworkReport {
         report.reference_ms,
         report.speedup(),
         if report.error_reachable { "unsafe" } else { "safe" },
+    );
+    println!(
+        "  interner: {} probes ({} hits, {} hash-skips, {} deep-compares, {} rehashes) | \
+         {} incremental slot updates vs {} full-rehash equivalent",
+        report.intern.probes,
+        report.intern.hits,
+        report.intern.hash_skips,
+        report.intern.deep_compares,
+        report.intern.rehashes,
+        report.loc_hash_updates,
+        report.intern.probes * report.automata,
     );
     report
 }
@@ -297,13 +329,30 @@ fn render_json(quick: bool, reports: &[NetworkReport]) -> String {
         largest.name,
         largest.speedup()
     );
+    // Aggregated interner/hashing counters across all networks — sanity
+    // checked (present and non-zero) by the CI bench-smoke job.
+    let total_probes: usize = reports.iter().map(|r| r.intern.probes).sum();
+    let total_hits: usize = reports.iter().map(|r| r.intern.hits).sum();
+    let total_updates: usize = reports.iter().map(|r| r.loc_hash_updates).sum();
+    let full_equiv: usize = reports.iter().map(|r| r.intern.probes * r.automata).sum();
+    let _ = writeln!(json, "  \"intern_probes\": {total_probes},");
+    let _ = writeln!(json, "  \"intern_hits\": {total_hits},");
+    let _ = writeln!(json, "  \"loc_hash_updates\": {total_updates},");
+    let _ = writeln!(json, "  \"loc_hash_full_equiv\": {full_equiv},");
+    let _ = writeln!(
+        json,
+        "  \"loc_hash_collapse\": {:.2},",
+        full_equiv as f64 / (total_updates.max(1)) as f64
+    );
     json.push_str("  \"networks\": [\n");
     for (i, r) in reports.iter().enumerate() {
         let _ = writeln!(
             json,
             "    {{\"name\": \"{}\", \"automata\": {}, \"clocks\": {}, \
              \"verdict\": \"{}\", \"states_engine\": {}, \"states_reference\": {}, \
-             \"engine_ms\": {:.3}, \"reference_ms\": {:.3}, \"speedup\": {:.1}}}{}",
+             \"engine_ms\": {:.3}, \"reference_ms\": {:.3}, \"speedup\": {:.1}, \
+             \"intern_probes\": {}, \"intern_hits\": {}, \"hash_skips\": {}, \
+             \"deep_compares\": {}, \"rehashes\": {}, \"loc_hash_updates\": {}}}{}",
             r.name,
             r.automata,
             r.clocks,
@@ -313,6 +362,12 @@ fn render_json(quick: bool, reports: &[NetworkReport]) -> String {
             r.engine_ms,
             r.reference_ms,
             r.speedup(),
+            r.intern.probes,
+            r.intern.hits,
+            r.intern.hash_skips,
+            r.intern.deep_compares,
+            r.intern.rehashes,
+            r.loc_hash_updates,
             if i + 1 == reports.len() { "" } else { "," }
         );
     }

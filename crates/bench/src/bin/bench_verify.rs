@@ -25,7 +25,7 @@ use cps_core::{AppTimingProfile, DwellTimeTable};
 use cps_verify::bounded::sufficient_instance_bound;
 use cps_verify::{
     has_interchangeable_neighbors, reference, validate_witness, SlotSharingModel, SlotVerifyEngine,
-    VerificationConfig, VerificationOutcome,
+    VerificationConfig, VerificationOutcome, VerifyStats,
 };
 
 struct ModelCase {
@@ -67,6 +67,9 @@ struct FamilyReport {
     oracle_ms: f64,
     engine_states: usize,
     oracle_states: usize,
+    /// Hash/probe work of one engine pass over the family (identical across
+    /// passes — asserted).
+    verify: VerifyStats,
 }
 
 impl FamilyReport {
@@ -129,19 +132,24 @@ fn bench_family(name: &str, cases: &[ModelCase]) -> FamilyReport {
     let (_, second_oracle_ms) = timed(oracle_once);
     let oracle_ms = first_oracle_ms.min(second_oracle_ms);
 
-    let engine_once = || -> Vec<VerificationOutcome> {
+    let engine_once = || -> (Vec<VerificationOutcome>, VerifyStats) {
         let mut engine = SlotVerifyEngine::new();
-        cases
+        let outcomes = cases
             .iter()
             .map(|c| engine.verify(&c.model, &c.config).expect("engine verifies"))
-            .collect()
+            .collect();
+        (outcomes, engine.stats())
     };
-    let (engine_results, first_engine_ms) = timed(engine_once);
-    let (second_results, second_engine_ms) = timed(engine_once);
+    let ((engine_results, verify_stats), first_engine_ms) = timed(engine_once);
+    let ((second_results, second_stats), second_engine_ms) = timed(engine_once);
     assert_eq!(
         engine_results.len(),
         second_results.len(),
         "{name}: engine re-run is not deterministic"
+    );
+    assert_eq!(
+        verify_stats, second_stats,
+        "{name}: engine hash/probe work is not deterministic"
     );
     for (a, b) in engine_results.iter().zip(second_results.iter()) {
         assert_eq!(
@@ -173,6 +181,7 @@ fn bench_family(name: &str, cases: &[ModelCase]) -> FamilyReport {
         oracle_ms,
         engine_states: engine_results.iter().map(|o| o.states_explored()).sum(),
         oracle_states: oracle_results.iter().map(|o| o.states_explored()).sum(),
+        verify: verify_stats,
     };
     println!(
         "{:<22} {:>2} models | {:>9.2} ms vs {:>9.2} ms | {:>7} vs {:>8} states | {:>6.1}x",
@@ -183,6 +192,19 @@ fn bench_family(name: &str, cases: &[ModelCase]) -> FamilyReport {
         report.engine_states,
         report.oracle_states,
         report.speedup(),
+    );
+    println!(
+        "  hashing: {} probes ({:.1}% hash-hit, {} skips, {} deep-compares), \
+         {} rehashes ({} entries re-bucketed), {} slot updates vs {} full-width words ({:.1}x less hash work)",
+        report.verify.intern_probes,
+        100.0 * report.verify.hash_hits as f64 / report.verify.intern_probes.max(1) as f64,
+        report.verify.hash_skips,
+        report.verify.deep_compares,
+        report.verify.rehashes,
+        report.verify.rehashed_entries,
+        report.verify.hash_slot_updates,
+        report.verify.full_hash_words,
+        report.verify.hash_work_collapse(),
     );
     report
 }
@@ -302,13 +324,34 @@ fn render_json(quick: bool, reports: &[FamilyReport]) -> String {
         "  \"overall_speedup\": {:.1},",
         total_oracle / total_engine
     );
+    let probes: usize = reports.iter().map(|r| r.verify.intern_probes).sum();
+    let hits: usize = reports.iter().map(|r| r.verify.hash_hits).sum();
+    let incremental: usize = reports.iter().map(|r| r.verify.hash_slot_updates).sum();
+    let full_equiv: usize = reports.iter().map(|r| r.verify.full_hash_words).sum();
+    let _ = writeln!(json, "  \"intern_probes\": {probes},");
+    let _ = writeln!(json, "  \"hash_hits\": {hits},");
+    let _ = writeln!(
+        json,
+        "  \"hash_hit_share\": {:.3},",
+        hits as f64 / probes.max(1) as f64
+    );
+    let _ = writeln!(json, "  \"hash_words_incremental\": {incremental},");
+    let _ = writeln!(json, "  \"hash_words_full_equiv\": {full_equiv},");
+    let _ = writeln!(
+        json,
+        "  \"hash_work_collapse\": {:.1},",
+        full_equiv as f64 / incremental.max(1) as f64
+    );
     json.push_str("  \"families\": [\n");
     for (i, r) in reports.iter().enumerate() {
         let _ = writeln!(
             json,
             "    {{\"name\": \"{}\", \"models\": {}, \"engine_ms\": {:.3}, \
              \"oracle_ms\": {:.3}, \"engine_states\": {}, \"oracle_states\": {}, \
-             \"speedup\": {:.1}}}{}",
+             \"speedup\": {:.1}, \"intern_probes\": {}, \"hash_hits\": {}, \
+             \"hash_skips\": {}, \"deep_compares\": {}, \"rehashes\": {}, \
+             \"rehashed_entries\": {}, \"hash_words_incremental\": {}, \
+             \"hash_words_full_equiv\": {}, \"hash_work_collapse\": {:.1}}}{}",
             r.name,
             r.models,
             r.engine_ms,
@@ -316,6 +359,15 @@ fn render_json(quick: bool, reports: &[FamilyReport]) -> String {
             r.engine_states,
             r.oracle_states,
             r.speedup(),
+            r.verify.intern_probes,
+            r.verify.hash_hits,
+            r.verify.hash_skips,
+            r.verify.deep_compares,
+            r.verify.rehashes,
+            r.verify.rehashed_entries,
+            r.verify.hash_slot_updates,
+            r.verify.full_hash_words,
+            r.verify.hash_work_collapse(),
             if i + 1 == reports.len() { "" } else { "," }
         );
     }

@@ -23,6 +23,13 @@
 //!    and invariant under permutations of identical profiles — PR 4's
 //!    symmetry reduction at the mapping layer — so probes over renamed,
 //!    permuted or re-generated fleets hit the cache instead of the verifier.
+//!    The memo is *bounded* by default: a two-way transposition table
+//!    ([`cps_intern::TwoWayTranspositionTable`]) keyed by the incremental
+//!    Zobrist fingerprint of the canonical key, with a depth-preferred way
+//!    (member count — expensive deep verdicts survive) and an always-replace
+//!    way. Entries carry the full key and only answer on an exact match, so
+//!    bounding memory never changes a verdict; sweeps of unbounded duration
+//!    run in constant memo memory.
 //!    Keys deliberately remain *sequences* across distinct fingerprints: the
 //!    scheduler breaks laxity ties by application index, so the exact verdict
 //!    is only invariant under permutations of interchangeable applications
@@ -78,10 +85,34 @@ use std::time::Instant;
 
 use cps_baseline::{slot_schedulable_profiles, Strategy};
 use cps_core::AppTimingProfile;
+use cps_intern::{seq_fingerprint, TwoWayTranspositionTable};
 use cps_verify::{replay_first_miss_selected, SlotVerifyEngine, VerificationConfig, VerifyError};
 
 use crate::first_fit::sort_for_first_fit;
 use crate::report::{MappingReport, MinimizeReport, TierStats};
+
+/// Default bucket count of the bounded verdict memo (capacity = 2× buckets).
+const DEFAULT_MEMO_BUCKETS: usize = 1 << 14;
+
+/// The tier-2 verdict memo: bounded by default (a two-way transposition
+/// table keyed by the incremental [`seq_fingerprint`] of the canonical
+/// partial partition, depth-preferred on member count + always-replace), or
+/// the historical unbounded hash map for callers that want it.
+///
+/// Both variants store the full canonical key and only answer on an exact
+/// key match, so the choice changes memory footprint, never a verdict —
+/// pinned by the TT-on/TT-off equivalence tests.
+#[derive(Debug)]
+enum Memo {
+    Unbounded(HashMap<Vec<u32>, bool>),
+    Bounded(TwoWayTranspositionTable<Vec<u32>, bool>),
+}
+
+impl Default for Memo {
+    fn default() -> Self {
+        Memo::Bounded(TwoWayTranspositionTable::new(DEFAULT_MEMO_BUCKETS))
+    }
+}
 
 /// Everything the exact checker semantics reads from a profile — the
 /// canonical, name-insensitive identity of an application for memoization
@@ -145,7 +176,7 @@ pub struct MapExplorerEngine {
     fingerprint_store: Vec<Fingerprint>,
     fingerprint_index: HashMap<(usize, usize), Vec<u32>>,
     /// Decided verdicts keyed by the canonical fingerprint sequence.
-    memo: HashMap<Vec<u32>, bool>,
+    memo: Memo,
     /// Known-inadmissible fingerprint sequences (kept free of mutual
     /// embeddings) backing the anti-monotone tier.
     inadmissible: Vec<Vec<u32>>,
@@ -179,6 +210,24 @@ impl MapExplorerEngine {
     /// The verification configuration of the exact tier.
     pub fn config(&self) -> &VerificationConfig {
         &self.config
+    }
+
+    /// Switches the verdict memo to the historical unbounded hash map:
+    /// nothing is ever evicted, memory grows with the number of distinct
+    /// queries. Verdicts are identical to the default bounded memo (pinned
+    /// by the TT-on/TT-off equivalence tests).
+    pub fn with_unbounded_memo(mut self) -> Self {
+        self.memo = Memo::Unbounded(HashMap::new());
+        self
+    }
+
+    /// Bounds the verdict memo to `buckets` two-way buckets (capacity
+    /// `2 × buckets` verdicts, rounded up to a power of two). Small
+    /// capacities force evictions — useful for testing; the default is
+    /// ample for every sweep in the repo.
+    pub fn with_memo_capacity(mut self, buckets: usize) -> Self {
+        self.memo = Memo::Bounded(TwoWayTranspositionTable::new(buckets));
+        self
     }
 
     /// Cumulative per-tier statistics over the engine's whole lifetime.
@@ -399,6 +448,39 @@ impl MapExplorerEngine {
         Ok(())
     }
 
+    /// Looks the current canonical key up in the verdict memo. The bounded
+    /// variant keys on the incremental [`seq_fingerprint`] of the key (a
+    /// handful of mixes for a partial partition) and answers only on an
+    /// exact key match.
+    fn memo_get(&mut self) -> Option<bool> {
+        match &mut self.memo {
+            Memo::Unbounded(map) => map.get(self.key_scratch.as_slice()).copied(),
+            Memo::Bounded(tt) => tt
+                .get(seq_fingerprint(&self.key_scratch), &self.key_scratch)
+                .copied(),
+        }
+    }
+
+    /// Memoizes `verdict` for the current canonical key. In the bounded
+    /// memo, depth is the member count — deeper (more expensive) verdicts
+    /// survive floods of shallow ones in the depth-preferred way.
+    fn memo_insert(&mut self, verdict: bool) {
+        match &mut self.memo {
+            Memo::Unbounded(map) => {
+                map.insert(self.key_scratch.clone(), verdict);
+            }
+            Memo::Bounded(tt) => {
+                tt.insert(
+                    seq_fingerprint(&self.key_scratch),
+                    self.key_scratch.len() as u32,
+                    self.key_scratch.clone(),
+                    verdict,
+                );
+                self.stats.tt_evictions = tt.stats().evictions;
+            }
+        }
+    }
+
     /// One admission query through the cascade. `members` index `profiles`;
     /// the verdict applies to that arrangement (probes generated by this
     /// engine are always in canonical first-fit order).
@@ -427,7 +509,7 @@ impl MapExplorerEngine {
         self.key_scratch.clear();
         self.key_scratch
             .extend(members.iter().map(|&i| fleet_ids[i]));
-        if let Some(&verdict) = self.memo.get(self.key_scratch.as_slice()) {
+        if let Some(verdict) = self.memo_get() {
             self.stats.memo_hits += 1;
             return Ok(verdict);
         }
@@ -455,7 +537,7 @@ impl MapExplorerEngine {
             .any(|s| is_subsequence(s, &self.key_scratch))
         {
             self.stats.anti_monotone_rejects += 1;
-            self.memo.insert(self.key_scratch.clone(), false);
+            self.memo_insert(false);
             return Ok(false);
         }
 
@@ -464,7 +546,7 @@ impl MapExplorerEngine {
             && slot_schedulable_profiles(profiles, members, self.baseline_strategy)
         {
             self.stats.baseline_accepts += 1;
-            self.memo.insert(self.key_scratch.clone(), true);
+            self.memo_insert(true);
             return Ok(true);
         }
 
@@ -475,9 +557,10 @@ impl MapExplorerEngine {
             .verify_selected(profiles, members, &self.config)?;
         self.stats.exact_verify_time += start.elapsed();
         self.stats.exact_verifies += 1;
+        self.stats.verify = self.verifier.stats();
         let verdict = outcome.schedulable();
         if verdict {
-            self.memo.insert(self.key_scratch.clone(), true);
+            self.memo_insert(true);
         } else {
             // Tier 4 already proved no stored set embeds into this key, and
             // nothing has touched the index since — skip the re-scan.
@@ -493,7 +576,7 @@ impl MapExplorerEngine {
     /// (needed on the quick-reject path, which runs before tier 4); callers
     /// past tier 4 pass `false`.
     fn record_inadmissible(&mut self, check_embedding: bool) {
-        self.memo.insert(self.key_scratch.clone(), false);
+        self.memo_insert(false);
         if !check_embedding
             || !self
                 .inadmissible

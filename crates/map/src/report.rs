@@ -3,6 +3,8 @@
 use std::fmt;
 use std::time::Duration;
 
+use cps_verify::VerifyStats;
+
 /// Per-tier accounting of the admission cascade
 /// ([`crate::MapExplorerEngine`]): how many admission queries each tier
 /// decided, and how much time the residue spent in the exact verifier.
@@ -31,6 +33,12 @@ pub struct TierStats {
     pub exact_verifies: usize,
     /// Wall-clock time spent inside the exact verifier.
     pub exact_verify_time: Duration,
+    /// Verdicts evicted from the bounded memo transposition table (always 0
+    /// with an unbounded memo). An eviction bounds memory, never changes a
+    /// verdict — the evicted query is simply recomputed on its next miss.
+    pub tt_evictions: usize,
+    /// Hash/probe work counters of the exact verifier behind tier 6.
+    pub verify: VerifyStats,
 }
 
 impl TierStats {
@@ -51,6 +59,8 @@ impl TierStats {
             baseline_accepts: self.baseline_accepts - earlier.baseline_accepts,
             exact_verifies: self.exact_verifies - earlier.exact_verifies,
             exact_verify_time: self.exact_verify_time - earlier.exact_verify_time,
+            tt_evictions: self.tt_evictions - earlier.tt_evictions,
+            verify: self.verify.since(&earlier.verify),
         }
     }
 }
@@ -60,7 +70,8 @@ impl fmt::Display for TierStats {
         write!(
             f,
             "{} queries: {} singleton, {} memo-hit, {} quick-reject, \
-             {} anti-monotone, {} baseline-accept, {} exact-verify ({:.2} ms)",
+             {} anti-monotone, {} baseline-accept, {} exact-verify ({:.2} ms); \
+             {} tt-evictions; verifier: {} probes, {} hash-hits, {} rehashes",
             self.queries,
             self.singleton_accepts,
             self.memo_hits,
@@ -69,6 +80,10 @@ impl fmt::Display for TierStats {
             self.baseline_accepts,
             self.exact_verifies,
             self.exact_verify_time.as_secs_f64() * 1e3,
+            self.tt_evictions,
+            self.verify.intern_probes,
+            self.verify.hash_hits,
+            self.verify.rehashes,
         )
     }
 }
@@ -310,6 +325,12 @@ mod tests {
             baseline_accepts: 1,
             exact_verifies: 2,
             exact_verify_time: Duration::from_millis(8),
+            tt_evictions: 4,
+            verify: VerifyStats {
+                intern_probes: 100,
+                hash_hits: 40,
+                ..VerifyStats::default()
+            },
         };
         assert_eq!(stats.decided_cheaply(), 8);
         let earlier = TierStats {
@@ -321,11 +342,20 @@ mod tests {
             baseline_accepts: 0,
             exact_verifies: 1,
             exact_verify_time: Duration::from_millis(3),
+            tt_evictions: 1,
+            verify: VerifyStats {
+                intern_probes: 30,
+                hash_hits: 10,
+                ..VerifyStats::default()
+            },
         };
         let delta = stats.since(&earlier);
         assert_eq!(delta.queries, 6);
         assert_eq!(delta.memo_hits, 2);
         assert_eq!(delta.exact_verify_time, Duration::from_millis(5));
+        assert_eq!(delta.tt_evictions, 3);
+        assert_eq!(delta.verify.intern_probes, 70);
+        assert_eq!(delta.verify.hash_hits, 30);
 
         let r = MappingReport::with_tier_stats(
             "map-explorer".to_string(),

@@ -164,6 +164,27 @@ proptest! {
     }
 
     #[test]
+    fn bounded_memo_minimize_matches_unbounded_memo(seed in 0u64..1_000_000) {
+        // (b) of the hash-soundness checklist: the bounded transposition
+        // table behind tier 2 may evict verdicts, never change them. A
+        // pathologically tiny table (one bucket, two entries — evicting on
+        // nearly every insert) must still produce the exact partition the
+        // unbounded hash-map memo produces, on the same fleet.
+        let fleet = random_fleet(seed.wrapping_mul(13), 1, 5);
+        let mut tiny = MapExplorerEngine::new().with_memo_capacity(1);
+        let mut unbounded = MapExplorerEngine::new().with_unbounded_memo();
+        let from_tiny = tiny.minimize_slots(&fleet).unwrap();
+        let from_unbounded = unbounded.minimize_slots(&fleet).unwrap();
+        prop_assert_eq!(from_tiny.slots(), from_unbounded.slots());
+        prop_assert_eq!(from_tiny.slot_count(), from_unbounded.slot_count());
+        prop_assert_eq!(unbounded.stats().tt_evictions, 0);
+        // First-fit through both memos agrees too.
+        let ff_tiny = tiny.first_fit(&fleet).unwrap();
+        let ff_unbounded = unbounded.first_fit(&fleet).unwrap();
+        prop_assert_eq!(ff_tiny.slots(), ff_unbounded.slots());
+    }
+
+    #[test]
     fn single_application_per_slot_is_admissible_by_construction(seed in 0u64..1_000_000) {
         // The claim `first_fit` relies on when opening a new slot without an
         // oracle call: alone in a slot, an application is granted in the

@@ -4,10 +4,16 @@
 //! [`crate::reachability::check_error_reachability`] — "is any error location
 //! reachable?" — but is built for throughput:
 //!
-//! * **Location interning** — every distinct location vector is mapped once
-//!   to a dense `u32` id. The per-successor visited lookup hashes a borrowed
-//!   `&[LocationId]` slice against `Box<[LocationId]>` keys instead of
-//!   cloning a `Vec<LocationId>` per candidate state.
+//! * **Location interning with incremental Zobrist hashing** — every
+//!   distinct location vector is mapped once to a dense `u32` id through a
+//!   [`cps_intern::CachedHashIndex`]. A vector's 64-bit fingerprint is the
+//!   XOR of one Zobrist key per `(automaton slot, location)` pair; successors
+//!   update the parent's cached fingerprint by XOR-ing out/in only the one
+//!   slot a local edge moves (two for a sync pair) instead of re-hashing the
+//!   whole vector. The index stores each interned vector's hash next to its
+//!   id (and in a reverse table indexed by id), so probes reject collisions
+//!   on the cached hash before any slice compare and growth re-buckets
+//!   without re-hashing; exact slice equality stays the final test.
 //! * **Flat zone arena** — all stored zones live in one `Vec<Bound>`; the
 //!   per-location visited list holds indices into it, so the inclusion check
 //!   walks contiguous slices instead of chasing per-zone heap allocations.
@@ -31,7 +37,10 @@
 //! zones) survive across [`ZoneGraphExplorer::check`] calls, so verifying a
 //! batch of networks amortizes every allocation.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
+
+pub use cps_intern::IndexStats;
+use cps_intern::{zobrist_key, CachedHashIndex};
 
 use crate::automaton::{Edge, LocationId};
 use crate::dbm::{bounds_included_in, Bound, Dbm};
@@ -82,11 +91,14 @@ struct StateRecord {
 /// ```
 #[derive(Debug, Default)]
 pub struct ZoneGraphExplorer {
-    /// Interner: location vector → dense id. Lookups borrow `&[LocationId]`;
-    /// only genuinely new vectors allocate.
-    loc_index: HashMap<Box<[LocationId]>, u32>,
+    /// Interner: location-vector fingerprint → dense id, with each entry's
+    /// hash cached next to its id. Only genuinely new vectors allocate.
+    loc_index: CachedHashIndex,
     /// Reverse interner, indexed by location id.
     loc_vecs: Vec<Box<[LocationId]>>,
+    /// Each interned vector's Zobrist fingerprint, indexed by location id —
+    /// the parent hash every incremental successor update starts from.
+    loc_hashes: Vec<u64>,
     /// Per location id: indices of states whose zone is stored (the visited
     /// list the inclusion check walks).
     loc_zones: Vec<Vec<u32>>,
@@ -102,6 +114,9 @@ pub struct ZoneGraphExplorer {
     cur_locs: Vec<LocationId>,
     succ_locs: Vec<LocationId>,
     sync_buf_capacity: usize,
+    /// Per-slot XOR updates performed by the incremental location hashing,
+    /// cumulative across runs.
+    loc_hash_updates: usize,
 }
 
 impl ZoneGraphExplorer {
@@ -136,6 +151,7 @@ impl ZoneGraphExplorer {
             loc_index,
             loc_vecs,
             loc_zones,
+            loc_hashes,
             arena,
             states,
             queue,
@@ -144,6 +160,7 @@ impl ZoneGraphExplorer {
             cur_locs,
             succ_locs,
             sync_buf_capacity,
+            loc_hash_updates,
         } = self;
 
         // Reusable buffer of enabled sync pairs (references into `network`).
@@ -154,7 +171,18 @@ impl ZoneGraphExplorer {
         let initial_locations = network.initial_locations();
         *succ = Dbm::zero(clocks);
         apply_invariants_and_delay(network, &initial_locations, succ);
-        let initial_loc = intern(loc_index, loc_vecs, loc_zones, &initial_locations);
+        // The one from-scratch location hash of the whole run; every other
+        // fingerprint is an incremental XOR update of a cached parent hash.
+        let initial_hash = loc_fingerprint(&initial_locations);
+        *loc_hash_updates += initial_locations.len();
+        let initial_loc = intern(
+            loc_index,
+            loc_vecs,
+            loc_zones,
+            loc_hashes,
+            &initial_locations,
+            initial_hash,
+        );
         push_state(
             arena,
             states,
@@ -181,6 +209,7 @@ impl ZoneGraphExplorer {
 
             cur_locs.clear();
             cur_locs.extend_from_slice(&loc_vecs[record.loc as usize]);
+            let cur_hash = loc_hashes[record.loc as usize];
             cur.copy_from_bounds(clocks, zone_slice(arena, record.zone, zone_len));
 
             if network.any_error(cur_locs) {
@@ -216,9 +245,16 @@ impl ZoneGraphExplorer {
                     continue;
                 }
                 succ.extrapolate(max_constant);
+                // A local edge moves exactly one automaton: XOR out/in that
+                // one slot (a self-loop cancels to the parent's hash).
+                let succ_hash = cur_hash
+                    ^ zobrist_key(automaton_index, cur_locs[automaton_index] as u32)
+                    ^ zobrist_key(automaton_index, edge.target() as u32);
+                *loc_hash_updates += 1;
+                debug_assert_eq!(succ_hash, loc_fingerprint(succ_locs));
                 insert_successor(
-                    loc_index, loc_vecs, loc_zones, arena, states, queue, succ_locs, succ, index,
-                    zone_len,
+                    loc_index, loc_vecs, loc_zones, loc_hashes, arena, states, queue, succ_locs,
+                    succ_hash, succ, index, zone_len,
                 );
             }
 
@@ -254,9 +290,17 @@ impl ZoneGraphExplorer {
                     continue;
                 }
                 succ.extrapolate(max_constant);
+                // A sync pair moves the sender and the receiver: two slots.
+                let succ_hash = cur_hash
+                    ^ zobrist_key(send_index, cur_locs[send_index] as u32)
+                    ^ zobrist_key(send_index, send_edge.target() as u32)
+                    ^ zobrist_key(recv_index, cur_locs[recv_index] as u32)
+                    ^ zobrist_key(recv_index, recv_edge.target() as u32);
+                *loc_hash_updates += 2;
+                debug_assert_eq!(succ_hash, loc_fingerprint(succ_locs));
                 insert_successor(
-                    loc_index, loc_vecs, loc_zones, arena, states, queue, succ_locs, succ, index,
-                    zone_len,
+                    loc_index, loc_vecs, loc_zones, loc_hashes, arena, states, queue, succ_locs,
+                    succ_hash, succ, index, zone_len,
                 );
             }
         }
@@ -265,10 +309,12 @@ impl ZoneGraphExplorer {
         Ok(ReachabilityResult::new(false, explored, None))
     }
 
-    /// Clears all per-run state but keeps every buffer's capacity.
+    /// Clears all per-run state but keeps every buffer's capacity (and the
+    /// cumulative work counters).
     fn reset(&mut self) {
-        self.loc_index.clear();
+        self.loc_index.reset();
         self.loc_vecs.clear();
+        self.loc_hashes.clear();
         self.loc_zones.clear();
         self.arena.clear();
         self.states.clear();
@@ -276,6 +322,31 @@ impl ZoneGraphExplorer {
         self.cur_locs.clear();
         self.succ_locs.clear();
     }
+
+    /// Cumulative probe/hit/rehash counters of the location interner over the
+    /// explorer's lifetime (benches snapshot this and report deltas via
+    /// [`IndexStats::since`]).
+    pub fn intern_stats(&self) -> &IndexStats {
+        self.loc_index.stats()
+    }
+
+    /// Per-slot XOR updates performed by the incremental location hashing,
+    /// cumulative — compare against `intern_stats().probes × slots` to see
+    /// the work a full re-hash per successor would have done.
+    pub fn loc_hash_updates(&self) -> usize {
+        self.loc_hash_updates
+    }
+}
+
+/// From-scratch fingerprint of a location vector: the XOR of one Zobrist key
+/// per `(automaton slot, location)` pair. Computed once per run for the
+/// initial vector; every successor updates incrementally (and
+/// `debug_assert`s agreement with this).
+fn loc_fingerprint(locations: &[LocationId]) -> u64 {
+    locations
+        .iter()
+        .enumerate()
+        .fold(0, |fp, (slot, &loc)| fp ^ zobrist_key(slot, loc as u32))
 }
 
 fn zone_slice(arena: &[Bound], slot: u32, zone_len: usize) -> &[Bound] {
@@ -283,21 +354,28 @@ fn zone_slice(arena: &[Bound], slot: u32, zone_len: usize) -> &[Bound] {
     &arena[start..start + zone_len]
 }
 
+/// Interns `locations` under its Zobrist fingerprint `hash`. The cached-hash
+/// index rejects almost every collision before the slice compare; exact
+/// slice equality remains the final test, so a fingerprint collision costs a
+/// compare, never a merged location.
 fn intern(
-    loc_index: &mut HashMap<Box<[LocationId]>, u32>,
+    loc_index: &mut CachedHashIndex,
     loc_vecs: &mut Vec<Box<[LocationId]>>,
     loc_zones: &mut Vec<Vec<u32>>,
+    loc_hashes: &mut Vec<u64>,
     locations: &[LocationId],
+    hash: u64,
 ) -> u32 {
-    if let Some(&id) = loc_index.get(locations) {
-        return id;
+    let new_id = loc_vecs.len() as u32;
+    match loc_index.intern(hash, |id| &*loc_vecs[id as usize] == locations, new_id) {
+        Some(existing) => existing,
+        None => {
+            loc_vecs.push(locations.into());
+            loc_zones.push(Vec::new());
+            loc_hashes.push(hash);
+            new_id
+        }
     }
-    let id = loc_vecs.len() as u32;
-    let boxed: Box<[LocationId]> = locations.into();
-    loc_index.insert(boxed.clone(), id);
-    loc_vecs.push(boxed);
-    loc_zones.push(Vec::new());
-    id
 }
 
 /// Stores a zone + state record unconditionally (used for the initial state).
@@ -326,18 +404,20 @@ fn push_state(
 /// Inclusion-checked insertion with bidirectional subsumption.
 #[allow(clippy::too_many_arguments)]
 fn insert_successor(
-    loc_index: &mut HashMap<Box<[LocationId]>, u32>,
+    loc_index: &mut CachedHashIndex,
     loc_vecs: &mut Vec<Box<[LocationId]>>,
     loc_zones: &mut Vec<Vec<u32>>,
+    loc_hashes: &mut Vec<u64>,
     arena: &mut Vec<Bound>,
     states: &mut Vec<StateRecord>,
     queue: &mut VecDeque<u32>,
     locations: &[LocationId],
+    hash: u64,
     zone: &Dbm,
     parent: u32,
     zone_len: usize,
 ) {
-    let loc = intern(loc_index, loc_vecs, loc_zones, locations);
+    let loc = intern(loc_index, loc_vecs, loc_zones, loc_hashes, locations, hash);
     let list = &mut loc_zones[loc as usize];
     let new_bounds = zone.as_bounds();
 

@@ -64,7 +64,7 @@ pub mod reachability;
 pub use automaton::{TimedAutomaton, TimedAutomatonBuilder};
 pub use dbm::Dbm;
 pub use error::TaError;
-pub use explorer::ZoneGraphExplorer;
+pub use explorer::{IndexStats, ZoneGraphExplorer};
 pub use guard::ClockConstraint;
 pub use network::Network;
 pub use reachability::{check_error_reachability, ReachabilityResult};

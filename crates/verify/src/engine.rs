@@ -12,10 +12,19 @@
 //!   fixed-width word vector stored in a flat arena (`u16` words when every
 //!   application's code space fits, `u32` otherwise), instead of the oracle's
 //!   two heap-allocated `Vec`s per state.
-//! * **Hash-index interning** — states are deduplicated through an
-//!   open-addressing index that maps a hash of the word vector to a dense
-//!   `u32` id whose words live in the arena; probing compares contiguous
-//!   arena slices, so neither lookups nor insertions clone a state.
+//! * **Incremental Zobrist hashing** — each application's packed code owns a
+//!   Zobrist key per `(slot, code)` pair ([`cps_intern::ZobristKeys`]); a
+//!   state's 64-bit fingerprint is the XOR of one key per slot. Successors
+//!   are hashed by XOR-updating the parent's cached fingerprint over the
+//!   slots that actually changed (stepping *and* the symmetry sort below),
+//!   never by re-mixing the whole word vector.
+//! * **Cached-hash interning** — states are deduplicated through a
+//!   [`cps_intern::CachedHashIndex`] that stores each interned state's
+//!   fingerprint next to its dense `u32` id (and alongside [`NodeMeta`] for
+//!   O(1) parent-hash lookup). Probes compare the cached hash before any
+//!   arena words, growth re-buckets from cached hashes instead of re-hashing
+//!   the arena, and exact word equality stays the final probe test — hash
+//!   collisions cost a compare, never a wrong verdict.
 //! * **Bitmask disturbance enumeration** — the per-sample disturbance choices
 //!   are enumerated as a mixed-radix counter over groups of interchangeable
 //!   applications and recorded as a `u32` position bitmask; the oracle
@@ -51,16 +60,79 @@
 //! identical count.
 
 use cps_core::AppTimingProfile;
+use cps_intern::{CachedHashIndex, ZobristKeys};
 
 use crate::checker::{VerificationConfig, VerificationOutcome};
 use crate::witness::{TraceEvent, Witness};
 use crate::{SlotSharingModel, VerifyError};
 
 const NO_PARENT: u32 = u32::MAX;
-const EMPTY_SLOT: u32 = u32::MAX;
-const INITIAL_INDEX_CAPACITY: usize = 1 << 10;
 /// Disturbance choices are recorded as `u32` position bitmasks.
 const MAX_APPS: usize = 32;
+
+/// Hash/probe work counters of a [`SlotVerifyEngine`], cumulative over the
+/// engine's lifetime (benches and the mapping cascade report deltas between
+/// snapshots via [`VerifyStats::since`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct VerifyStats {
+    /// Intern probes against the state index (one per generated successor
+    /// plus one per initial state).
+    pub intern_probes: usize,
+    /// Probes that resolved to an already-interned state (dedup hits).
+    pub hash_hits: usize,
+    /// Occupied buckets skipped on a cached-hash mismatch alone, without
+    /// comparing arena words.
+    pub hash_skips: usize,
+    /// Full word comparisons performed (cached hashes matched first).
+    pub deep_compares: usize,
+    /// Index growths; each re-buckets from cached hashes.
+    pub rehashes: usize,
+    /// Entries re-bucketed during growths without re-hashing their words.
+    pub rehashed_entries: usize,
+    /// Per-slot XOR updates performed by the incremental Zobrist hashing —
+    /// the words the engine actually hashed.
+    pub hash_slot_updates: usize,
+    /// Words a non-incremental scheme would have hashed for the same runs:
+    /// the full state width per probe plus the whole arena per growth.
+    pub full_hash_words: usize,
+}
+
+impl VerifyStats {
+    /// Component-wise difference `self − earlier` between two snapshots of a
+    /// long-lived engine.
+    pub fn since(&self, earlier: &VerifyStats) -> VerifyStats {
+        VerifyStats {
+            intern_probes: self.intern_probes - earlier.intern_probes,
+            hash_hits: self.hash_hits - earlier.hash_hits,
+            hash_skips: self.hash_skips - earlier.hash_skips,
+            deep_compares: self.deep_compares - earlier.deep_compares,
+            rehashes: self.rehashes - earlier.rehashes,
+            rehashed_entries: self.rehashed_entries - earlier.rehashed_entries,
+            hash_slot_updates: self.hash_slot_updates - earlier.hash_slot_updates,
+            full_hash_words: self.full_hash_words - earlier.full_hash_words,
+        }
+    }
+
+    /// Component-wise sum (the engine keeps one counter set per word width).
+    fn plus(&self, other: &VerifyStats) -> VerifyStats {
+        VerifyStats {
+            intern_probes: self.intern_probes + other.intern_probes,
+            hash_hits: self.hash_hits + other.hash_hits,
+            hash_skips: self.hash_skips + other.hash_skips,
+            deep_compares: self.deep_compares + other.deep_compares,
+            rehashes: self.rehashes + other.rehashes,
+            rehashed_entries: self.rehashed_entries + other.rehashed_entries,
+            hash_slot_updates: self.hash_slot_updates + other.hash_slot_updates,
+            full_hash_words: self.full_hash_words + other.full_hash_words,
+        }
+    }
+
+    /// How many times more hash work the previous full-rehash scheme would
+    /// have done: `full_hash_words / hash_slot_updates`.
+    pub fn hash_work_collapse(&self) -> f64 {
+        self.full_hash_words as f64 / (self.hash_slot_updates.max(1)) as f64
+    }
+}
 
 /// Fixed-width storage for one application's packed cell code.
 trait StateWord: Copy + Eq + Ord + std::fmt::Debug + Default {
@@ -188,6 +260,8 @@ struct ModelCtx {
     n: usize,
     /// The widest per-application code space; selects the word width.
     max_code_space: u64,
+    /// Zobrist key material, one key per `(application slot, packed code)`.
+    keys: ZobristKeys,
 }
 
 impl ModelCtx {
@@ -217,6 +291,7 @@ impl ModelCtx {
 
         let mut params = Vec::with_capacity(n);
         let mut enc = Vec::with_capacity(n);
+        let mut code_spaces = Vec::with_capacity(n);
         let mut max_code_space = 0u64;
         for p in profiles {
             let max_wait = p.max_wait() as u64;
@@ -243,6 +318,7 @@ impl ModelCtx {
                     reason: format!("profile '{}' needs more than 2^32 packed codes", p.name()),
                 })?;
             max_code_space = max_code_space.max(code_space);
+            code_spaces.push(code_space);
 
             params.push(AppParams {
                 max_wait: max_wait as u32,
@@ -279,6 +355,7 @@ impl ModelCtx {
             budget: config.state_budget,
             n,
             max_code_space,
+            keys: ZobristKeys::new(code_spaces),
         })
     }
 
@@ -427,61 +504,40 @@ fn step_in_place(
     StepOutcome::Ok
 }
 
-fn hash_words<W: StateWord>(words: &[W]) -> u64 {
-    let mut h = 0xCBF2_9CE4_8422_2325u64;
-    for &w in words {
-        h = (h ^ u64::from(w.unpack())).wrapping_mul(0x0000_0100_0000_01B3);
-    }
-    h ^= h >> 33;
-    h = h.wrapping_mul(0xFF51_AFD7_ED55_8CCD);
-    h ^ (h >> 33)
-}
-
-fn rehash<W: StateWord>(index: &mut Vec<u32>, arena: &[W], n: usize, new_capacity: usize) {
-    index.clear();
-    index.resize(new_capacity, EMPTY_SLOT);
-    let cap_mask = new_capacity - 1;
-    for id in 0..(arena.len() / n.max(1)) {
-        let start = id * n;
-        let mut slot = (hash_words(&arena[start..start + n]) as usize) & cap_mask;
-        while index[slot] != EMPTY_SLOT {
-            slot = (slot + 1) & cap_mask;
-        }
-        index[slot] = id as u32;
-    }
-}
-
-/// Interns `words`: returns `true` (and appends arena + meta) when the state
-/// is new, `false` when an identical state is already stored.
+/// Interns `words` under its incremental Zobrist fingerprint `hash`: returns
+/// `true` (and appends arena + meta + cached hash) when the state is new,
+/// `false` when an identical state is already stored. The cached-hash index
+/// rejects almost every collision without touching the arena; exact word
+/// equality remains the final test on every hash match.
+#[allow(clippy::too_many_arguments)]
 fn insert_if_new<W: StateWord>(
-    index: &mut Vec<u32>,
+    index: &mut CachedHashIndex,
     arena: &mut Vec<W>,
     meta: &mut Vec<NodeMeta>,
+    hashes: &mut Vec<u64>,
     words: &[W],
+    hash: u64,
     parent: u32,
     mask: u32,
     n: usize,
 ) -> bool {
-    if (meta.len() + 1) * 4 > index.len() * 3 {
-        let doubled = index.len() * 2;
-        rehash(index, arena, n, doubled);
-    }
-    let cap_mask = index.len() - 1;
-    let mut slot = (hash_words(words) as usize) & cap_mask;
-    loop {
-        let entry = index[slot];
-        if entry == EMPTY_SLOT {
-            let id = meta.len() as u32;
-            index[slot] = id;
+    let new_id = meta.len() as u32;
+    let found = index.intern(
+        hash,
+        |id| {
+            let start = id as usize * n;
+            &arena[start..start + n] == words
+        },
+        new_id,
+    );
+    match found {
+        Some(_) => false,
+        None => {
             arena.extend_from_slice(words);
             meta.push(NodeMeta { parent, mask });
-            return true;
+            hashes.push(hash);
+            true
         }
-        let start = entry as usize * n;
-        if &arena[start..start + n] == words {
-            return false;
-        }
-        slot = (slot + 1) & cap_mask;
     }
 }
 
@@ -505,8 +561,12 @@ struct Core<W> {
     /// order is BFS order, so `meta` doubles as the work queue (the cursor
     /// walks it front to back).
     meta: Vec<NodeMeta>,
-    /// Open-addressing hash index from state words to dense ids.
-    index: Vec<u32>,
+    /// Cached-hash intern index from state fingerprints to dense ids.
+    index: CachedHashIndex,
+    /// Each interned state's Zobrist fingerprint, indexed by id (parallel to
+    /// `meta`) — the parent hash every incremental successor update starts
+    /// from, at the cost of one u64 per state instead of a re-hash per pop.
+    hashes: Vec<u64>,
     scratch: Vec<W>,
     cur_cells: Vec<Cell>,
     cur_used: Vec<u32>,
@@ -516,15 +576,43 @@ struct Core<W> {
     groups: Vec<(u32, u32)>,
     /// Mixed-radix disturbance counter, one digit per group.
     counts: Vec<u32>,
+    /// Per-slot XOR updates performed by the current run's incremental
+    /// hashing; folded into `stats` by [`Core::run`].
+    slot_updates: usize,
+    /// Cumulative hash/probe counters across runs of this core.
+    stats: VerifyStats,
 }
 
 impl<W: StateWord> Core<W> {
+    /// Runs the exploration, folding the index's work-counter deltas (plus
+    /// the incremental-hashing work and its full-rehash equivalent) into the
+    /// core's cumulative [`VerifyStats`] on every return path.
     fn run(&mut self, ctx: &ModelCtx) -> Result<VerificationOutcome, VerifyError> {
+        let before = *self.index.stats();
+        self.slot_updates = 0;
+        let result = self.run_inner(ctx);
+        let delta = self.index.stats().since(&before);
+        self.stats.intern_probes += delta.probes;
+        self.stats.hash_hits += delta.hits;
+        self.stats.hash_skips += delta.hash_skips;
+        self.stats.deep_compares += delta.deep_compares;
+        self.stats.rehashes += delta.rehashes;
+        self.stats.rehashed_entries += delta.rehashed_entries;
+        self.stats.hash_slot_updates += self.slot_updates;
+        // What the pre-incremental scheme would have hashed for the same run:
+        // the full state width on every intern probe, plus the full width of
+        // every entry re-bucketed during growth.
+        self.stats.full_hash_words += (delta.probes + delta.rehashed_entries) * ctx.n;
+        result
+    }
+
+    fn run_inner(&mut self, ctx: &ModelCtx) -> Result<VerificationOutcome, VerifyError> {
         let n = ctx.n;
         let Core {
             arena,
             meta,
             index,
+            hashes,
             scratch,
             cur_cells,
             cur_used,
@@ -532,17 +620,24 @@ impl<W: StateWord> Core<W> {
             succ_used,
             groups,
             counts,
+            slot_updates,
+            ..
         } = self;
         arena.clear();
         meta.clear();
-        index.clear();
-        index.resize(INITIAL_INDEX_CAPACITY, EMPTY_SLOT);
+        hashes.clear();
+        index.reset();
 
         // The initial state — every application steady — encodes to all-zero
         // words under every layout and is its own canonical representative.
+        // Its fingerprint is the one from-scratch hash of the whole run.
         scratch.clear();
         scratch.resize(n, W::pack(0));
-        insert_if_new(index, arena, meta, scratch, NO_PARENT, 0, n);
+        let init_hash = ctx.keys.fingerprint(scratch.iter().map(|w| w.unpack()));
+        *slot_updates += n;
+        insert_if_new(
+            index, arena, meta, hashes, scratch, init_hash, NO_PARENT, 0, n,
+        );
 
         let mut head = 0usize;
         let mut explored = 0usize;
@@ -557,6 +652,7 @@ impl<W: StateWord> Core<W> {
             cur_cells.clear();
             cur_used.clear();
             let base = id as usize * n;
+            let cur_hash = hashes[id as usize];
             for (i, w) in arena[base..base + n].iter().enumerate() {
                 let (cell, used) = ctx.enc[i].decode(w.unpack());
                 cur_cells.push(cell);
@@ -620,7 +716,27 @@ impl<W: StateWord> Core<W> {
                             scratch.push(W::pack(ctx.enc[i].encode(succ_cells[i], succ_used[i])));
                         }
                         canonicalize(&ctx.runs, scratch);
-                        insert_if_new(index, arena, meta, scratch, id, mask, n);
+                        // Incremental Zobrist update: XOR out/in exactly the
+                        // slots whose canonical code differs from the
+                        // canonical parent's. One diff pass covers both the
+                        // stepping and the symmetry sort — a slot the sort
+                        // permuted back to its old code contributes nothing,
+                        // exactly as XOR algebra demands.
+                        let mut succ_hash = cur_hash;
+                        for (i, (w, old)) in scratch.iter().zip(&arena[base..base + n]).enumerate()
+                        {
+                            if w != old {
+                                succ_hash ^=
+                                    ctx.keys.key(i, old.unpack()) ^ ctx.keys.key(i, w.unpack());
+                                *slot_updates += 1;
+                            }
+                        }
+                        debug_assert_eq!(
+                            succ_hash,
+                            ctx.keys.fingerprint(scratch.iter().map(|w| w.unpack())),
+                            "incremental fingerprint must equal the from-scratch hash"
+                        );
+                        insert_if_new(index, arena, meta, hashes, scratch, succ_hash, id, mask, n);
                     }
                 }
 
@@ -847,6 +963,14 @@ impl SlotVerifyEngine {
             });
         }
         Ok(())
+    }
+
+    /// Cumulative hash/probe work counters over the engine's lifetime,
+    /// summed across both word-width cores. Long-lived callers (benches, the
+    /// mapping cascade) snapshot this and report deltas via
+    /// [`VerifyStats::since`].
+    pub fn stats(&self) -> VerifyStats {
+        self.narrow.stats.plus(&self.wide.stats)
     }
 
     fn run(&mut self, ctx: &ModelCtx) -> Result<VerificationOutcome, VerifyError> {
@@ -1094,6 +1218,44 @@ mod tests {
                 validate_witness(&model, witness).expect("selected witness replays");
             }
         }
+    }
+
+    #[test]
+    fn stats_track_probes_and_incremental_hash_work() {
+        let model =
+            SlotSharingModel::new(vec![profile("A", 10, 3, 5, 30), profile("B", 10, 3, 5, 30)])
+                .unwrap();
+        let mut engine = SlotVerifyEngine::new();
+        let zero = engine.stats();
+        assert_eq!(zero, VerifyStats::default());
+
+        let outcome = engine
+            .verify(&model, &VerificationConfig::unbounded())
+            .unwrap();
+        let stats = engine.stats();
+        assert!(
+            stats.intern_probes > outcome.states_explored(),
+            "every expanded state probes at least once"
+        );
+        assert!(stats.hash_hits > 0, "revisited states must hit the index");
+        assert!(stats.hash_slot_updates > 0);
+        assert!(
+            stats.full_hash_words > stats.hash_slot_updates,
+            "incremental hashing must beat the full-width equivalent: {} vs {}",
+            stats.full_hash_words,
+            stats.hash_slot_updates
+        );
+        assert!(stats.hash_work_collapse() > 1.0);
+
+        // A second run accumulates; the delta of the second run alone is
+        // consistent with the first (same model, same exploration).
+        engine
+            .verify(&model, &VerificationConfig::unbounded())
+            .unwrap();
+        let second = engine.stats().since(&stats);
+        assert_eq!(second.intern_probes, stats.intern_probes);
+        assert_eq!(second.hash_hits, stats.hash_hits);
+        assert_eq!(second.hash_slot_updates, stats.hash_slot_updates);
     }
 
     #[test]

@@ -70,7 +70,9 @@ pub use checker as reference;
 
 pub use checker::{VerificationConfig, VerificationOutcome};
 pub use conservative::{verify_conservative, ConservativeOutcome};
-pub use engine::{has_interchangeable_neighbors, profiles_interchangeable, SlotVerifyEngine};
+pub use engine::{
+    has_interchangeable_neighbors, profiles_interchangeable, SlotVerifyEngine, VerifyStats,
+};
 pub use error::VerifyError;
 pub use model::SlotSharingModel;
 pub use witness::{

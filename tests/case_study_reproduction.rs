@@ -4,7 +4,7 @@
 use cps_apps::case_study::{self, CaseStudyApp};
 use cps_baseline::Strategy;
 use cps_core::Mode;
-use cps_map::{first_fit, BaselineOracle};
+use cps_map::{first_fit, BaselineOracle, MapExplorerEngine};
 
 #[test]
 fn table1_settling_times_match_for_c1_and_c6() {
@@ -59,4 +59,41 @@ fn baseline_mapping_needs_more_slots_than_the_paper_result() {
     )
     .unwrap();
     assert!(baseline.slot_count() >= 3);
+}
+
+#[test]
+fn bounded_memo_reproduces_the_published_partition_bit_identically() {
+    // The slot minimizer must reproduce the paper's two-slot partition
+    // {C1,C5,C4,C3} {C6,C2} — slot members in placement order — whatever the
+    // verdict memo behind the admission cascade is: the default bounded
+    // transposition table, a pathologically tiny one that is forced to evict
+    // verdicts mid-search, and the unbounded hash map. Evictions may cost
+    // recomputation, never a different verdict.
+    let profiles: Vec<_> = case_study::all_applications()
+        .unwrap()
+        .iter()
+        .map(|a| a.paper_row().to_profile(a.application().name()).unwrap())
+        .collect();
+    let published: &[Vec<usize>] = &[vec![0, 4, 3, 2], vec![5, 1]];
+
+    let mut bounded = MapExplorerEngine::new();
+    let mut tiny = MapExplorerEngine::new().with_memo_capacity(1);
+    let mut unbounded = MapExplorerEngine::new().with_unbounded_memo();
+
+    let from_bounded = bounded.minimize_slots(&profiles).unwrap();
+    let from_tiny = tiny.minimize_slots(&profiles).unwrap();
+    let from_unbounded = unbounded.minimize_slots(&profiles).unwrap();
+
+    assert_eq!(from_bounded.slots(), published);
+    assert_eq!(from_tiny.slots(), published);
+    assert_eq!(from_unbounded.slots(), published);
+    assert_eq!(
+        unbounded.stats().tt_evictions,
+        0,
+        "the unbounded memo never evicts"
+    );
+    assert!(
+        tiny.stats().tt_evictions > 0,
+        "a two-entry memo must evict during the lattice search"
+    );
 }
