@@ -19,6 +19,7 @@ use std::time::Instant;
 
 use cps_apps::case_study::{SLOT1_MEMBERS, SLOT2_MEMBERS};
 use cps_bench::case_study_apps;
+use cps_core::BackendChoice;
 use cps_sched::cosim::{CosimApp, CosimScenario};
 use cps_sched::engine::assert_bitwise_equal;
 use cps_sched::{engine, scenarios, BatchCosimEngine, CosimResult};
@@ -59,11 +60,18 @@ struct FamilyReport {
     scenarios: usize,
     engine_ms: f64,
     oracle_ms: f64,
+    backend_dyn_ms: f64,
+    backend_static_ms: f64,
+    backend_static_name: &'static str,
 }
 
 impl FamilyReport {
     fn speedup(&self) -> f64 {
         self.oracle_ms / self.engine_ms
+    }
+
+    fn backend_speedup(&self) -> f64 {
+        self.backend_dyn_ms / self.backend_static_ms
     }
 }
 
@@ -142,6 +150,36 @@ fn bench_family(
         assert_bitwise_equal(&format!("{name}[{index}]"), fast, oracle);
     }
 
+    // Backend comparison: the same batch forced onto the heap-backed and the
+    // stack-allocated stepping kernels, each from a fresh engine. The batch
+    // times are small enough (micro-seconds per scenario on the
+    // checkpoint-heavy families) that the best of five passes is taken to
+    // keep timer noise out of the backend columns. Both sides are asserted
+    // bitwise equal to the oracle — the static kernels replay the exact same
+    // floating-point sequence.
+    let backend_timed = |choice: BackendChoice| -> (Vec<CosimResult>, f64, &'static str) {
+        let mut first = BatchCosimEngine::with_backend(apps.to_vec(), horizon, choice)
+            .expect("case-study augmented dimensions fit the static menu");
+        let backend = first.backend_name();
+        let (results, mut best_ms) = timed(|| first.run_batch(family).expect("engine runs"));
+        for _ in 0..4 {
+            let mut engine = BatchCosimEngine::with_backend(apps.to_vec(), horizon, choice)
+                .expect("valid engine");
+            let (_, pass_ms) = timed(|| engine.run_batch(family).expect("engine runs"));
+            best_ms = best_ms.min(pass_ms);
+        }
+        (results, best_ms, backend)
+    };
+    let (dyn_results, backend_dyn_ms, _) = backend_timed(BackendChoice::ForceDyn);
+    let (static_results, backend_static_ms, backend_static_name) =
+        backend_timed(BackendChoice::ForceStatic);
+    for (index, (fast, oracle)) in dyn_results.iter().zip(oracle_results.iter()).enumerate() {
+        assert_bitwise_equal(&format!("{name}[{index}] forced-dyn"), fast, oracle);
+    }
+    for (index, (fast, oracle)) in static_results.iter().zip(oracle_results.iter()).enumerate() {
+        assert_bitwise_equal(&format!("{name}[{index}] forced-static"), fast, oracle);
+    }
+
     let report = FamilyReport {
         name: name.to_string(),
         apps: apps.len(),
@@ -149,9 +187,13 @@ fn bench_family(
         scenarios: family.len(),
         engine_ms,
         oracle_ms,
+        backend_dyn_ms,
+        backend_static_ms,
+        backend_static_name,
     };
     println!(
-        "{:<26} {:>2} apps  horizon {:>4} | {:>4} scenarios | {:>9.2} ms vs {:>9.2} ms | {:>6.1}x",
+        "{:<26} {:>2} apps  horizon {:>4} | {:>4} scenarios | {:>9.2} ms vs {:>9.2} ms | {:>6.1}x \
+         | backend dyn {:>8.2} ms vs {} {:>8.2} ms ({:4.2}x)",
         report.name,
         report.apps,
         report.horizon,
@@ -159,6 +201,10 @@ fn bench_family(
         report.engine_ms,
         report.oracle_ms,
         report.speedup(),
+        report.backend_dyn_ms,
+        report.backend_static_name,
+        report.backend_static_ms,
+        report.backend_speedup(),
     );
     report
 }
@@ -234,12 +280,26 @@ fn render_json(quick: bool, reports: &[FamilyReport]) -> String {
         "  \"overall_speedup\": {:.1},",
         total_oracle / total_engine
     );
+    let backend_dyn_total: f64 = reports.iter().map(|r| r.backend_dyn_ms).sum();
+    let backend_static_total: f64 = reports.iter().map(|r| r.backend_static_ms).sum();
+    let _ = writeln!(json, "  \"backend_dyn_total_ms\": {backend_dyn_total:.3},");
+    let _ = writeln!(
+        json,
+        "  \"backend_static_total_ms\": {backend_static_total:.3},"
+    );
+    let _ = writeln!(
+        json,
+        "  \"backend_static_speedup\": {:.2},",
+        backend_dyn_total / backend_static_total
+    );
     json.push_str("  \"families\": [\n");
     for (i, r) in reports.iter().enumerate() {
         let _ = writeln!(
             json,
             "    {{\"name\": \"{}\", \"apps\": {}, \"horizon\": {}, \"scenarios\": {}, \
-             \"engine_ms\": {:.3}, \"oracle_ms\": {:.3}, \"speedup\": {:.1}}}{}",
+             \"engine_ms\": {:.3}, \"oracle_ms\": {:.3}, \"speedup\": {:.1}, \
+             \"backend_dyn_ms\": {:.3}, \"backend_static_ms\": {:.3}, \
+             \"backend\": \"{}\", \"backend_speedup\": {:.2}}}{}",
             r.name,
             r.apps,
             r.horizon,
@@ -247,6 +307,10 @@ fn render_json(quick: bool, reports: &[FamilyReport]) -> String {
             r.engine_ms,
             r.oracle_ms,
             r.speedup(),
+            r.backend_dyn_ms,
+            r.backend_static_ms,
+            r.backend_static_name,
+            r.backend_speedup(),
             if i + 1 == reports.len() { "" } else { "," }
         );
     }

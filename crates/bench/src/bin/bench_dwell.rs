@@ -16,9 +16,11 @@ use std::time::Instant;
 
 use cps_apps::case_study::{self, CaseStudyApp};
 use cps_core::dwell::{
-    compute_dwell_table_with_threads, reference, settling_surface_with_threads, DwellSearchOptions,
+    compute_dwell_table_with_backend, compute_dwell_table_with_threads, reference,
+    settling_surface_with_threads, DwellSearchOptions,
 };
 use cps_core::engine::DwellEngine;
+use cps_core::BackendChoice;
 
 /// Milliseconds spent in `f`, returning the value as well.
 fn timed<T>(f: impl FnOnce() -> T) -> (T, f64) {
@@ -49,6 +51,9 @@ struct AppReport {
     surface_naive_ms: f64,
     surface_engine_ms: f64,
     surface_engine_mt_ms: f64,
+    backend_dyn_ms: f64,
+    backend_static_ms: f64,
+    backend_static_name: &'static str,
 }
 
 impl AppReport {
@@ -58,6 +63,10 @@ impl AppReport {
 
     fn surface_speedup(&self) -> f64 {
         self.surface_naive_ms / self.surface_engine_ms
+    }
+
+    fn backend_speedup(&self) -> f64 {
+        self.backend_dyn_ms / self.backend_static_ms
     }
 }
 
@@ -141,6 +150,35 @@ fn main() {
             a.name()
         );
 
+        // Backend comparison: the same single-threaded table workload forced
+        // onto the heap-backed and the stack-allocated linalg kernels. The
+        // static path must reproduce the oracle exactly (its floating-point
+        // sequence is bitwise identical by construction, so the settling
+        // sample counts cannot differ).
+        let backend_static_name = DwellEngine::with_backend(a, BackendChoice::ForceStatic)
+            .expect("case-study augmented dimensions fit the static menu")
+            .backend_name();
+        let (dyn_table, backend_dyn_ms) = timed_best(|| {
+            compute_dwell_table_with_backend(a, jstar, options, 1, BackendChoice::ForceDyn)
+                .expect("computes")
+        });
+        let (static_table, backend_static_ms) = timed_best(|| {
+            compute_dwell_table_with_backend(a, jstar, options, 1, BackendChoice::ForceStatic)
+                .expect("computes")
+        });
+        assert_eq!(
+            naive_table,
+            dyn_table,
+            "{}: forced-dyn table oracle mismatch",
+            a.name()
+        );
+        assert_eq!(
+            naive_table,
+            static_table,
+            "{}: forced-static table oracle mismatch",
+            a.name()
+        );
+
         let report = AppReport {
             name: a.name().to_string(),
             table_naive_ms,
@@ -149,10 +187,14 @@ fn main() {
             surface_naive_ms,
             surface_engine_ms,
             surface_engine_mt_ms,
+            backend_dyn_ms,
+            backend_static_ms,
+            backend_static_name,
         };
         println!(
             "{}: table {:8.2} ms -> {:6.2} ms ({:5.1}x, {:.2} ms @ {} threads) | \
-             surface {:8.2} ms -> {:6.2} ms ({:5.1}x, {:.2} ms @ {} threads)",
+             surface {:8.2} ms -> {:6.2} ms ({:5.1}x, {:.2} ms @ {} threads) | \
+             backend dyn {:6.2} ms vs {} {:6.2} ms ({:4.2}x)",
             report.name,
             report.table_naive_ms,
             report.table_engine_ms,
@@ -164,6 +206,10 @@ fn main() {
             report.surface_speedup(),
             report.surface_engine_mt_ms,
             threads,
+            report.backend_dyn_ms,
+            report.backend_static_name,
+            report.backend_static_ms,
+            report.backend_speedup(),
         );
         reports.push(report);
     }
@@ -181,7 +227,14 @@ fn main() {
         .iter()
         .map(AppReport::surface_speedup)
         .fold(f64::INFINITY, f64::min);
-    println!("worst single-thread speedup: table {worst_table:.1}x, surface {worst_surface:.1}x");
+    let worst_backend = reports
+        .iter()
+        .map(AppReport::backend_speedup)
+        .fold(f64::INFINITY, f64::min);
+    println!(
+        "worst single-thread speedup: table {worst_table:.1}x, surface {worst_surface:.1}x, \
+         static backend {worst_backend:.2}x"
+    );
 }
 
 fn render_json(
@@ -207,6 +260,18 @@ fn render_json(
             "  \"note\": \"single-CPU host: *_engine_mt_ms columns are 1-thread re-runs\","
         );
     }
+    let backend_dyn_total: f64 = reports.iter().map(|r| r.backend_dyn_ms).sum();
+    let backend_static_total: f64 = reports.iter().map(|r| r.backend_static_ms).sum();
+    let _ = writeln!(json, "  \"backend_dyn_total_ms\": {backend_dyn_total:.3},");
+    let _ = writeln!(
+        json,
+        "  \"backend_static_total_ms\": {backend_static_total:.3},"
+    );
+    let _ = writeln!(
+        json,
+        "  \"backend_static_speedup\": {:.2},",
+        backend_dyn_total / backend_static_total
+    );
     json.push_str("  \"apps\": [\n");
     for (i, r) in reports.iter().enumerate() {
         let _ = writeln!(
@@ -215,7 +280,9 @@ fn render_json(
              \"table_naive_ms\": {:.3}, \"table_engine_ms\": {:.3}, \
              \"table_engine_mt_ms\": {:.3}, \"table_speedup\": {:.1}, \
              \"surface_naive_ms\": {:.3}, \"surface_engine_ms\": {:.3}, \
-             \"surface_engine_mt_ms\": {:.3}, \"surface_speedup\": {:.1}}}{}",
+             \"surface_engine_mt_ms\": {:.3}, \"surface_speedup\": {:.1}, \
+             \"backend_dyn_ms\": {:.3}, \"backend_static_ms\": {:.3}, \
+             \"backend\": \"{}\", \"backend_speedup\": {:.2}}}{}",
             r.name,
             r.table_naive_ms,
             r.table_engine_ms,
@@ -225,6 +292,10 @@ fn render_json(
             r.surface_engine_ms,
             r.surface_engine_mt_ms,
             r.surface_speedup(),
+            r.backend_dyn_ms,
+            r.backend_static_ms,
+            r.backend_static_name,
+            r.backend_speedup(),
             if i + 1 == reports.len() { "" } else { "," }
         );
     }

@@ -121,13 +121,47 @@ impl StateSpace {
 
     /// Advances the plant one sample: `x⁺ = Φ·x + Γ·u`.
     ///
+    /// Allocates only the returned state: each row accumulates `Φ·x` and
+    /// `Γ·u` separately (ascending columns, starting from `0.0`, matching
+    /// [`Matrix::gemv_into`]) and sums the two partials, so the result is
+    /// bitwise identical to the former `Φ·x + Γ·u` three-allocation form.
+    ///
     /// # Errors
     ///
     /// Returns a dimension error when `x` or `u` have the wrong length.
     pub fn step(&self, x: &Vector, u: &Vector) -> Result<Vector, ControlError> {
-        let free = self.phi.mul_vector(x)?;
-        let forced = self.gamma.mul_vector(u)?;
-        Ok(&free + &forced)
+        let n = self.state_dim();
+        let m = self.input_dim();
+        if x.len() != n {
+            return Err(ControlError::InconsistentDimensions {
+                reason: format!("state has {} entries, plant has {n} states", x.len()),
+            });
+        }
+        if u.len() != m {
+            return Err(ControlError::InconsistentDimensions {
+                reason: format!("input has {} entries, plant has {m} inputs", u.len()),
+            });
+        }
+        let xs = x.as_slice();
+        let us = u.as_slice();
+        let mut next = Vector::zeros(n);
+        for ((slot, phi_row), gamma_row) in next
+            .as_mut_slice()
+            .iter_mut()
+            .zip(self.phi.as_slice().chunks_exact(n))
+            .zip(self.gamma.as_slice().chunks_exact(m))
+        {
+            let mut free = 0.0;
+            for (a, b) in phi_row.iter().zip(xs.iter()) {
+                free += a * b;
+            }
+            let mut forced = 0.0;
+            for (a, b) in gamma_row.iter().zip(us.iter()) {
+                forced += a * b;
+            }
+            *slot = free + forced;
+        }
+        Ok(next)
     }
 
     /// Computes the measured output `y = C·x`.

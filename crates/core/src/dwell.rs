@@ -36,7 +36,7 @@
 //! With the `parallel` feature (default), wait rows are additionally fanned
 //! out across `std::thread` workers.
 
-use crate::{engine::DwellEngine, CoreError, Mode, SwitchedApplication};
+use crate::{engine::DwellEngine, kernel::BackendChoice, CoreError, Mode, SwitchedApplication};
 
 /// Options controlling the exhaustive dwell-time search.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -162,8 +162,35 @@ pub fn settling_surface_with_threads(
     horizon: usize,
     threads: usize,
 ) -> Result<SettlingSurface, CoreError> {
+    settling_surface_with_backend(
+        app,
+        max_wait,
+        max_dwell,
+        horizon,
+        threads,
+        BackendChoice::Auto,
+    )
+}
+
+/// [`settling_surface_with_threads`] on an explicitly chosen linalg backend
+/// (used by the bench harness to compare the dynamic and static kernels on
+/// the same workload).
+///
+/// # Errors
+///
+/// As for [`settling_surface_with_threads`], plus
+/// [`CoreError::InvalidParameter`] when [`BackendChoice::ForceStatic`] is
+/// requested for an augmented dimension outside the static menu.
+pub fn settling_surface_with_backend(
+    app: &SwitchedApplication,
+    max_wait: usize,
+    max_dwell: usize,
+    horizon: usize,
+    threads: usize,
+    backend: BackendChoice,
+) -> Result<SettlingSurface, CoreError> {
     validate_surface_bounds(max_wait, max_dwell, horizon)?;
-    let engine = DwellEngine::new(app);
+    let engine = DwellEngine::with_backend(app, backend)?;
     let prefix = engine.prefix_chain(max_wait);
     let settling = engine.settling_rows(&prefix, 0..max_wait + 1, max_dwell, horizon, threads);
     Ok(SettlingSurface {
@@ -402,7 +429,27 @@ pub fn compute_dwell_table_with_threads(
     options: DwellSearchOptions,
     threads: usize,
 ) -> Result<DwellTimeTable, CoreError> {
-    compute_dwell_table_detailed(app, jstar, options, threads).map(|detail| detail.table)
+    compute_dwell_table_detailed(app, jstar, options, threads, BackendChoice::Auto)
+        .map(|detail| detail.table)
+}
+
+/// [`compute_dwell_table_with_threads`] on an explicitly chosen linalg
+/// backend (used by the bench harness to compare the dynamic and static
+/// kernels on the same workload).
+///
+/// # Errors
+///
+/// As for [`compute_dwell_table`], plus [`CoreError::InvalidParameter`] when
+/// [`BackendChoice::ForceStatic`] is requested for an augmented dimension
+/// outside the static menu.
+pub fn compute_dwell_table_with_backend(
+    app: &SwitchedApplication,
+    jstar: usize,
+    options: DwellSearchOptions,
+    threads: usize,
+    backend: BackendChoice,
+) -> Result<DwellTimeTable, CoreError> {
+    compute_dwell_table_detailed(app, jstar, options, threads, backend).map(|detail| detail.table)
 }
 
 /// A computed dwell table together with the pure-mode settling times the
@@ -421,13 +468,14 @@ pub(crate) fn compute_dwell_table_detailed(
     jstar: usize,
     options: DwellSearchOptions,
     threads: usize,
+    backend: BackendChoice,
 ) -> Result<TableComputation, CoreError> {
     if options.horizon <= options.max_wait + options.max_dwell {
         return Err(CoreError::InvalidParameter {
             reason: "horizon must exceed max_wait + max_dwell".to_string(),
         });
     }
-    let engine = DwellEngine::new(app);
+    let engine = DwellEngine::with_backend(app, backend)?;
     // Sanity: the event-triggered loop must settle eventually (stability), and
     // the dedicated TT loop must meet the requirement, otherwise the strategy
     // does not apply to this application.

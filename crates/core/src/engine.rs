@@ -7,9 +7,14 @@
 //!
 //! 1. **Allocation-free kernels.** Both closed-loop modes act on the
 //!    augmented state `z = [x; u_prev]` through matrices precomputed by
-//!    [`SwitchedApplication`], so one simulated sample is a single
-//!    [`Matrix::gemv_into`] between two pre-allocated buffers — zero heap
-//!    allocations in the steady-state inner loop.
+//!    [`SwitchedApplication`], so one simulated sample is a single gemv
+//!    between two pre-allocated buffers — zero heap allocations in the
+//!    steady-state inner loop. The engine is generic over the
+//!    [`LinalgBackend`] executing that gemv: the public [`DwellEngine`]
+//!    dispatches to a stack-allocated const-generic kernel when the
+//!    augmented dimension fits the static menu (see
+//!    [`crate::kernel::BackendChoice`]), so the inner loops monomorphize
+//!    with compile-time trip counts.
 //! 2. **Prefix sharing.** Schedules `E^w T^d E^…` share structure twice
 //!    over: all waits share one event-triggered prefix chain
 //!    ([`PrefixChain`], `W` samples total instead of `O(W²)`), and within a
@@ -24,22 +29,27 @@
 //!
 //! Exactness: the engine and the naive search evaluate the same per-sample
 //! recurrences in the same floating-point order (both are `gemv` on the same
-//! precomputed matrices), and the early exit only skips samples that are
-//! provably inside the band, so every settling cell matches the reference
-//! `Option<usize>`-for-`Option<usize>`. The oracle-equivalence tests in this
-//! module and in `tests/engine_oracle.rs` assert that on the paper's case
-//! study and on randomized plants.
+//! precomputed matrices, and the backends share a bitwise accumulation-order
+//! contract), and the early exit only skips samples that are provably inside
+//! the band, so every settling cell matches the reference
+//! `Option<usize>`-for-`Option<usize>` on either backend. The
+//! oracle-equivalence tests in this module and in `tests/engine_oracle.rs`
+//! assert that on the paper's case study and on randomized plants.
 
-use cps_linalg::{decomp, lyapunov, Matrix, Vector};
+use cps_linalg::{
+    decomp, lyapunov, DynBackend, LinalgBackend, Matrix, MatrixOps, StaticBackend, VectorOps,
+};
 
-use crate::{Mode, SwitchedApplication};
+use crate::kernel::{resolve_backend, BackendChoice, ResolvedBackend};
+use crate::{CoreError, Mode, SwitchedApplication};
 
 /// The event-triggered prefix chain shared by every wait time.
 ///
 /// `state(w)` is the augmented state after `w` event-triggered samples from
 /// the canonical disturbance state; `last_violation(w)` is the largest sample
 /// index in `0..=w` whose output lies outside the settling band (`None` when
-/// all of them are inside).
+/// all of them are inside). The chain stores flat `f64` checkpoints, so it is
+/// shared between backends unchanged.
 #[derive(Debug, Clone)]
 pub struct PrefixChain {
     dim: usize,
@@ -75,21 +85,21 @@ impl PrefixChain {
 /// Reusable per-thread simulation buffers; allocated once per search (or per
 /// worker thread), never inside the per-sample loop.
 #[derive(Debug)]
-struct RowWorkspace {
+struct RowWorkspace<B: LinalgBackend> {
     /// Checkpoint: state at the end of the current TT block.
-    z_tt: Vector,
+    z_tt: B::Vector,
     /// Tail cursor.
-    z: Vector,
+    z: B::Vector,
     /// gemv destination, swapped with the cursor every step.
-    z_next: Vector,
+    z_next: B::Vector,
 }
 
-impl RowWorkspace {
-    fn new(dim: usize) -> Self {
+impl<B: LinalgBackend> RowWorkspace<B> {
+    fn like(z0: &B::Vector) -> Self {
         RowWorkspace {
-            z_tt: Vector::zeros(dim),
-            z: Vector::zeros(dim),
-            z_next: Vector::zeros(dim),
+            z_tt: z0.clone(),
+            z: z0.clone(),
+            z_next: z0.clone(),
         }
     }
 }
@@ -97,15 +107,209 @@ impl RowWorkspace {
 /// Lyapunov early-exit certificate: once `zᵀPz ≤ v_max`, every future
 /// event-triggered output provably stays within half the settling band.
 #[derive(Debug, Clone)]
-struct TailCertificate {
-    p: Matrix,
+struct TailCertificate<B: LinalgBackend> {
+    p: B::Matrix,
     v_max: f64,
+}
+
+/// The backend-generic search core: the application's augmented matrices
+/// converted onto `B`, plus the certificate. All search methods monomorphize
+/// over `B`.
+#[derive(Debug, Clone)]
+pub struct DwellEngineCore<B: LinalgBackend> {
+    a_tt: B::Matrix,
+    a_et: B::Matrix,
+    c: B::Vector,
+    z0: B::Vector,
+    threshold: f64,
+    certificate: Option<TailCertificate<B>>,
+}
+
+impl<B: LinalgBackend> DwellEngineCore<B> {
+    fn from_app(app: &SwitchedApplication) -> Result<Self, CoreError> {
+        let threshold = app.settling().threshold();
+        let a_tt = B::Matrix::from_dyn(app.mode_matrix(Mode::TimeTriggered))?;
+        let a_et = B::Matrix::from_dyn(app.mode_matrix(Mode::EventTriggered))?;
+        let c = B::Vector::from_dyn(app.augmented_output_row())?;
+        let z0 = B::Vector::from_dyn(&app.initial_augmented_state())?;
+        let certificate = match build_certificate(app, threshold) {
+            Some((p, v_max)) => Some(TailCertificate {
+                p: B::Matrix::from_dyn(&p)?,
+                v_max,
+            }),
+            None => None,
+        };
+        Ok(DwellEngineCore {
+            a_tt,
+            a_et,
+            c,
+            z0,
+            threshold,
+            certificate,
+        })
+    }
+
+    fn backend_name(&self) -> &'static str {
+        B::name()
+    }
+
+    fn dim(&self) -> usize {
+        self.z0.dim()
+    }
+
+    fn has_certificate(&self) -> bool {
+        self.certificate.is_some()
+    }
+
+    fn drop_certificate(&mut self) {
+        self.certificate = None;
+    }
+
+    fn mode_matrix(&self, mode: Mode) -> &B::Matrix {
+        match mode {
+            Mode::TimeTriggered => &self.a_tt,
+            Mode::EventTriggered => &self.a_et,
+        }
+    }
+
+    fn prefix_chain(&self, max_wait: usize) -> PrefixChain {
+        let dim = self.dim();
+        let mut z = self.z0.clone();
+        let mut z_next = self.z0.clone();
+        let mut states = Vec::with_capacity((max_wait + 1) * dim);
+        let mut last_violation = Vec::with_capacity(max_wait + 1);
+        let mut viol = violation(self.c.dot(&z), self.threshold, 0);
+        states.extend_from_slice(z.elements());
+        last_violation.push(viol);
+        for wait in 1..=max_wait {
+            step::<B>(&self.a_et, &mut z, &mut z_next);
+            viol = violation(self.c.dot(&z), self.threshold, wait).or(viol);
+            states.extend_from_slice(z.elements());
+            last_violation.push(viol);
+        }
+        PrefixChain {
+            dim,
+            states,
+            last_violation,
+        }
+    }
+
+    fn pure_mode_settling(&self, mode: Mode, horizon: usize) -> Option<usize> {
+        let a = self.mode_matrix(mode);
+        let mut z = self.z0.clone();
+        let mut z_next = self.z0.clone();
+        let mut viol = violation(self.c.dot(&z), self.threshold, 0);
+        let early_exit = mode == Mode::EventTriggered;
+        for k in 1..=horizon {
+            step::<B>(a, &mut z, &mut z_next);
+            let y = self.c.dot(&z);
+            if y.abs() > self.threshold {
+                viol = Some(k);
+            } else if early_exit && self.inside_safe_set(&z) {
+                break;
+            }
+        }
+        settle_index(viol, horizon)
+    }
+
+    fn settling_row_with(
+        &self,
+        prefix: &PrefixChain,
+        wait: usize,
+        max_dwell: usize,
+        horizon: usize,
+        ws: &mut RowWorkspace<B>,
+        out: &mut Vec<Option<usize>>,
+    ) {
+        debug_assert!(wait + max_dwell < horizon, "schedule exceeds horizon");
+        ws.z_tt.elements_mut().copy_from_slice(prefix.state(wait));
+        let prefix_viol = prefix.last_violation(wait);
+        let mut tt_viol = None;
+        for dwell in 0..=max_dwell {
+            if dwell > 0 {
+                // Extend the shared TT block by one checkpointed sample.
+                step::<B>(&self.a_tt, &mut ws.z_tt, &mut ws.z_next);
+                tt_viol = violation(self.c.dot(&ws.z_tt), self.threshold, wait + dwell).or(tt_viol);
+            }
+            // Only the post-switch event-triggered tail is specific to this
+            // dwell; everything before it is shared with dwell − 1.
+            ws.z.assign(&ws.z_tt);
+            let mut tail_viol = None;
+            for k in (wait + dwell + 1)..=horizon {
+                step::<B>(&self.a_et, &mut ws.z, &mut ws.z_next);
+                let y = self.c.dot(&ws.z);
+                if y.abs() > self.threshold {
+                    tail_viol = Some(k);
+                } else if self.inside_safe_set(&ws.z) {
+                    // Provably in-band until the horizon: later samples can
+                    // no longer move the last-violation index.
+                    break;
+                }
+            }
+            // Violations in later segments dominate earlier ones by index.
+            let last = tail_viol.or(tt_viol).or(prefix_viol);
+            out.push(settle_index(last, horizon));
+        }
+    }
+
+    fn settling_rows(
+        &self,
+        prefix: &PrefixChain,
+        waits: std::ops::Range<usize>,
+        max_dwell: usize,
+        horizon: usize,
+        threads: usize,
+    ) -> Vec<Vec<Option<usize>>> {
+        let wait_list: Vec<usize> = waits.collect();
+        let mut rows: Vec<Vec<Option<usize>>> = vec![Vec::new(); wait_list.len()];
+        let row_dwell = |w: usize| max_dwell.min(horizon - w - 1);
+
+        #[cfg(feature = "parallel")]
+        if threads > 1 && wait_list.len() > 1 {
+            let chunk = wait_list.len().div_ceil(threads.min(wait_list.len()));
+            std::thread::scope(|scope| {
+                for (chunk_index, out_chunk) in rows.chunks_mut(chunk).enumerate() {
+                    let start = chunk_index * chunk;
+                    let waits_chunk = &wait_list[start..start + out_chunk.len()];
+                    scope.spawn(move || {
+                        let mut ws = RowWorkspace::<B>::like(&self.z0);
+                        for (row, &w) in out_chunk.iter_mut().zip(waits_chunk) {
+                            self.settling_row_with(prefix, w, row_dwell(w), horizon, &mut ws, row);
+                        }
+                    });
+                }
+            });
+            return rows;
+        }
+
+        let _ = threads;
+        let mut ws = RowWorkspace::<B>::like(&self.z0);
+        for (row, &w) in rows.iter_mut().zip(wait_list.iter()) {
+            self.settling_row_with(prefix, w, row_dwell(w), horizon, &mut ws, row);
+        }
+        rows
+    }
+
+    /// `true` when `z` lies in the certified sublevel set from which the
+    /// output can no longer leave the settling band.
+    #[inline]
+    fn inside_safe_set(&self, z: &B::Vector) -> bool {
+        match &self.certificate {
+            Some(cert) => cert.p.quad_form(z) <= cert.v_max,
+            None => false,
+        }
+    }
 }
 
 /// The fast dwell/settling search engine for one application.
 ///
-/// Construction precomputes the Lyapunov early-exit certificate; all search
-/// entry points then run without per-sample heap allocation.
+/// Construction converts the application's augmented matrices onto the
+/// backend picked by the dispatch rule (static fast path for augmented
+/// dimensions 2–5, heap-backed otherwise; see
+/// [`BackendChoice`](crate::kernel::BackendChoice)) and precomputes the
+/// Lyapunov early-exit certificate; all search entry points then run without
+/// per-sample heap allocation. The backend is matched once per call — the
+/// per-sample loops are fully monomorphized.
 ///
 /// # Example
 ///
@@ -132,40 +336,84 @@ struct TailCertificate {
 /// # }
 /// ```
 #[derive(Debug)]
-pub struct DwellEngine<'a> {
-    app: &'a SwitchedApplication,
-    dim: usize,
-    threshold: f64,
-    certificate: Option<TailCertificate>,
+// One engine exists per dwell search and lives on the caller's stack for the
+// whole search; boxing the larger static variants would put a pointer chase in
+// front of every stepped kernel, defeating the stack-allocated fast path.
+#[allow(clippy::large_enum_variant)]
+pub enum DwellEngine {
+    /// Stack-allocated core for augmented dimension 2.
+    Static2(DwellEngineCore<StaticBackend<2>>),
+    /// Stack-allocated core for augmented dimension 3.
+    Static3(DwellEngineCore<StaticBackend<3>>),
+    /// Stack-allocated core for augmented dimension 4.
+    Static4(DwellEngineCore<StaticBackend<4>>),
+    /// Stack-allocated core for augmented dimension 5.
+    Static5(DwellEngineCore<StaticBackend<5>>),
+    /// Heap-backed core for dimensions outside the static menu.
+    Dyn(DwellEngineCore<DynBackend>),
 }
 
-impl<'a> DwellEngine<'a> {
-    /// Builds the engine, attempting to construct the early-exit certificate.
+macro_rules! each_core {
+    ($self:expr, $core:ident => $body:expr) => {
+        match $self {
+            DwellEngine::Static2($core) => $body,
+            DwellEngine::Static3($core) => $body,
+            DwellEngine::Static4($core) => $body,
+            DwellEngine::Static5($core) => $body,
+            DwellEngine::Dyn($core) => $body,
+        }
+    };
+}
+
+impl DwellEngine {
+    /// Builds the engine with the automatic backend dispatch rule, attempting
+    /// to construct the early-exit certificate.
     ///
     /// When the certificate cannot be built (e.g. the event-triggered loop is
     /// not Schur stable) the engine still works, simulating every tail to the
     /// horizon.
-    pub fn new(app: &'a SwitchedApplication) -> Self {
-        let dim = app.et_closed_loop().rows();
-        let threshold = app.settling().threshold();
-        let certificate = build_certificate(app, threshold);
-        DwellEngine {
-            app,
-            dim,
-            threshold,
-            certificate,
-        }
+    pub fn new(app: &SwitchedApplication) -> Self {
+        Self::with_backend(app, BackendChoice::Auto).expect("auto backend resolution is infallible")
+    }
+
+    /// Builds the engine on an explicitly chosen backend (used by the bench
+    /// harness to compare the dynamic and static paths on one workload).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidParameter`] when
+    /// [`BackendChoice::ForceStatic`] is requested for an augmented dimension
+    /// outside the static menu.
+    pub fn with_backend(
+        app: &SwitchedApplication,
+        choice: BackendChoice,
+    ) -> Result<Self, CoreError> {
+        let dim = app.mode_matrix(Mode::EventTriggered).rows();
+        let engine = match resolve_backend(choice, dim)? {
+            ResolvedBackend::Dyn => DwellEngine::Dyn(DwellEngineCore::from_app(app)?),
+            ResolvedBackend::Static(2) => DwellEngine::Static2(DwellEngineCore::from_app(app)?),
+            ResolvedBackend::Static(3) => DwellEngine::Static3(DwellEngineCore::from_app(app)?),
+            ResolvedBackend::Static(4) => DwellEngine::Static4(DwellEngineCore::from_app(app)?),
+            ResolvedBackend::Static(5) => DwellEngine::Static5(DwellEngineCore::from_app(app)?),
+            ResolvedBackend::Static(n) => unreachable!("dimension {n} is outside the static menu"),
+        };
+        Ok(engine)
+    }
+
+    /// The resolved backend's report name (e.g. `"dyn"`, `"static<3>"`).
+    pub fn backend_name(&self) -> &'static str {
+        each_core!(self, core => core.backend_name())
     }
 
     /// Whether the Lyapunov early-exit certificate is active.
     pub fn has_certificate(&self) -> bool {
-        self.certificate.is_some()
+        each_core!(self, core => core.has_certificate())
     }
 
     /// Drops the certificate (used by tests to compare exit-on/exit-off runs).
     #[doc(hidden)]
     pub fn without_certificate(mut self) -> Self {
-        self.certificate = None;
+        each_core!(&mut self, core => core.drop_certificate());
         self
     }
 
@@ -187,48 +435,14 @@ impl<'a> DwellEngine<'a> {
     /// Simulates the event-triggered prefix once, checkpointing the state and
     /// the running last-violation index after every sample.
     pub fn prefix_chain(&self, max_wait: usize) -> PrefixChain {
-        let c = self.app.augmented_output_row();
-        let mut z = self.app.initial_augmented_state();
-        let mut z_next = Vector::zeros(self.dim);
-        let mut states = Vec::with_capacity((max_wait + 1) * self.dim);
-        let mut last_violation = Vec::with_capacity(max_wait + 1);
-        let mut viol = violation(c.dot(&z), self.threshold, 0);
-        states.extend_from_slice(z.as_slice());
-        last_violation.push(viol);
-        let a_et = self.app.mode_matrix(Mode::EventTriggered);
-        for wait in 1..=max_wait {
-            step(a_et, &mut z, &mut z_next);
-            viol = violation(c.dot(&z), self.threshold, wait).or(viol);
-            states.extend_from_slice(z.as_slice());
-            last_violation.push(viol);
-        }
-        PrefixChain {
-            dim: self.dim,
-            states,
-            last_violation,
-        }
+        each_core!(self, core => core.prefix_chain(max_wait))
     }
 
     /// Settling time of a pure-mode schedule over `horizon` samples, exactly
     /// as [`SwitchedApplication::settling_in_mode`] measures it (but without
     /// materializing a trajectory).
     pub fn pure_mode_settling(&self, mode: Mode, horizon: usize) -> Option<usize> {
-        let c = self.app.augmented_output_row();
-        let a = self.app.mode_matrix(mode);
-        let mut z = self.app.initial_augmented_state();
-        let mut z_next = Vector::zeros(self.dim);
-        let mut viol = violation(c.dot(&z), self.threshold, 0);
-        let early_exit = mode == Mode::EventTriggered;
-        for k in 1..=horizon {
-            step(a, &mut z, &mut z_next);
-            let y = c.dot(&z);
-            if y.abs() > self.threshold {
-                viol = Some(k);
-            } else if early_exit && self.inside_safe_set(&z) {
-                break;
-            }
-        }
-        settle_index(viol, horizon)
+        each_core!(self, core => core.pure_mode_settling(mode, horizon))
     }
 
     /// Computes one wait row of the settling surface: the settling time for
@@ -243,51 +457,10 @@ impl<'a> DwellEngine<'a> {
         horizon: usize,
         out: &mut Vec<Option<usize>>,
     ) {
-        let mut ws = RowWorkspace::new(self.dim);
-        self.settling_row_with(prefix, wait, max_dwell, horizon, &mut ws, out);
-    }
-
-    fn settling_row_with(
-        &self,
-        prefix: &PrefixChain,
-        wait: usize,
-        max_dwell: usize,
-        horizon: usize,
-        ws: &mut RowWorkspace,
-        out: &mut Vec<Option<usize>>,
-    ) {
-        debug_assert!(wait + max_dwell < horizon, "schedule exceeds horizon");
-        let a_tt = self.app.mode_matrix(Mode::TimeTriggered);
-        let a_et = self.app.mode_matrix(Mode::EventTriggered);
-        let c = self.app.augmented_output_row();
-        ws.z_tt.as_mut_slice().copy_from_slice(prefix.state(wait));
-        let prefix_viol = prefix.last_violation(wait);
-        let mut tt_viol = None;
-        for dwell in 0..=max_dwell {
-            if dwell > 0 {
-                // Extend the shared TT block by one checkpointed sample.
-                step(a_tt, &mut ws.z_tt, &mut ws.z_next);
-                tt_viol = violation(c.dot(&ws.z_tt), self.threshold, wait + dwell).or(tt_viol);
-            }
-            // Only the post-switch event-triggered tail is specific to this
-            // dwell; everything before it is shared with dwell − 1.
-            ws.z.copy_from(&ws.z_tt);
-            let mut tail_viol = None;
-            for k in (wait + dwell + 1)..=horizon {
-                step(a_et, &mut ws.z, &mut ws.z_next);
-                let y = c.dot(&ws.z);
-                if y.abs() > self.threshold {
-                    tail_viol = Some(k);
-                } else if self.inside_safe_set(&ws.z) {
-                    // Provably in-band until the horizon: later samples can
-                    // no longer move the last-violation index.
-                    break;
-                }
-            }
-            // Violations in later segments dominate earlier ones by index.
-            let last = tail_viol.or(tt_viol).or(prefix_viol);
-            out.push(settle_index(last, horizon));
-        }
+        each_core!(self, core => {
+            let mut ws = RowWorkspace::like(&core.z0);
+            core.settling_row_with(prefix, wait, max_dwell, horizon, &mut ws, out);
+        })
     }
 
     /// Computes the settling rows of all waits in `waits`, each with dwell
@@ -301,53 +474,15 @@ impl<'a> DwellEngine<'a> {
         horizon: usize,
         threads: usize,
     ) -> Vec<Vec<Option<usize>>> {
-        let wait_list: Vec<usize> = waits.collect();
-        let mut rows: Vec<Vec<Option<usize>>> = vec![Vec::new(); wait_list.len()];
-        let row_dwell = |w: usize| max_dwell.min(horizon - w - 1);
-
-        #[cfg(feature = "parallel")]
-        if threads > 1 && wait_list.len() > 1 {
-            let chunk = wait_list.len().div_ceil(threads.min(wait_list.len()));
-            std::thread::scope(|scope| {
-                for (chunk_index, out_chunk) in rows.chunks_mut(chunk).enumerate() {
-                    let start = chunk_index * chunk;
-                    let waits_chunk = &wait_list[start..start + out_chunk.len()];
-                    scope.spawn(move || {
-                        let mut ws = RowWorkspace::new(self.dim);
-                        for (row, &w) in out_chunk.iter_mut().zip(waits_chunk) {
-                            self.settling_row_with(prefix, w, row_dwell(w), horizon, &mut ws, row);
-                        }
-                    });
-                }
-            });
-            return rows;
-        }
-
-        let _ = threads;
-        let mut ws = RowWorkspace::new(self.dim);
-        for (row, &w) in rows.iter_mut().zip(wait_list.iter()) {
-            self.settling_row_with(prefix, w, row_dwell(w), horizon, &mut ws, row);
-        }
-        rows
-    }
-
-    /// `true` when `z` lies in the certified sublevel set from which the
-    /// output can no longer leave the settling band.
-    #[inline]
-    fn inside_safe_set(&self, z: &Vector) -> bool {
-        match &self.certificate {
-            Some(cert) => quad_form(&cert.p, z) <= cert.v_max,
-            None => false,
-        }
+        each_core!(self, core => core.settling_rows(prefix, waits, max_dwell, horizon, threads))
     }
 }
 
 /// One simulation step: `cursor ← a · cursor`, using `scratch` as the gemv
 /// destination. No heap allocation.
 #[inline]
-fn step(a: &Matrix, cursor: &mut Vector, scratch: &mut Vector) {
-    a.gemv_into(cursor, scratch)
-        .expect("engine buffers share the augmented dimension");
+fn step<B: LinalgBackend>(a: &B::Matrix, cursor: &mut B::Vector, scratch: &mut B::Vector) {
+    a.gemv(cursor, scratch);
     std::mem::swap(cursor, scratch);
 }
 
@@ -373,25 +508,9 @@ fn settle_index(last_violation: Option<usize>, horizon: usize) -> Option<usize> 
     }
 }
 
-/// Allocation-free quadratic form `zᵀ P z`.
-fn quad_form(p: &Matrix, z: &Vector) -> f64 {
-    let m = z.len();
-    let mut acc = 0.0;
-    for i in 0..m {
-        let zi = z[i];
-        if zi == 0.0 {
-            continue;
-        }
-        let mut row = 0.0;
-        for j in 0..m {
-            row += p[(i, j)] * z[j];
-        }
-        acc += zi * row;
-    }
-    acc
-}
-
-/// Builds the early-exit certificate for the event-triggered mode.
+/// Builds the early-exit certificate for the event-triggered mode, on the
+/// dynamic types (construction-time cold path; the caller converts `P` onto
+/// its backend).
 ///
 /// With `P` solving `AᵀPA − P = −I`, the function `V(z) = zᵀPz` is
 /// non-increasing along event-triggered trajectories, and by Cauchy–Schwarz
@@ -400,7 +519,7 @@ fn quad_form(p: &Matrix, z: &Vector) -> f64 {
 /// within **half** the band forever — the factor-of-two margin dwarfs the
 /// `~1e-7` residual of the Lyapunov solve, keeping the exit sound in floating
 /// point.
-fn build_certificate(app: &SwitchedApplication, threshold: f64) -> Option<TailCertificate> {
+fn build_certificate(app: &SwitchedApplication, threshold: f64) -> Option<(Matrix, f64)> {
     let a = app.mode_matrix(Mode::EventTriggered);
     let q = Matrix::identity(a.rows());
     let p = lyapunov::solve_discrete_lyapunov(a, &q).ok()?;
@@ -408,15 +527,12 @@ fn build_certificate(app: &SwitchedApplication, threshold: f64) -> Option<TailCe
         return None;
     }
     let p_inv = decomp::inverse(&p).ok()?;
-    let gain = quad_form(&p_inv, app.augmented_output_row());
+    let gain = p_inv.quad_form(app.augmented_output_row());
     if !gain.is_finite() || gain <= 0.0 {
         return None;
     }
     let margin = 0.5 * threshold;
-    Some(TailCertificate {
-        p,
-        v_max: margin * margin / gain,
-    })
+    Some((p, margin * margin / gain))
 }
 
 #[cfg(test)]
@@ -424,6 +540,7 @@ mod tests {
     use super::*;
     use crate::{dwell, ModeSchedule};
     use cps_control::{StateFeedback, StateSpace};
+    use cps_linalg::Vector;
 
     fn demo_app() -> SwitchedApplication {
         let plant = StateSpace::from_slices(&[&[0.95]], &[0.1], &[1.0]).unwrap();
@@ -457,6 +574,44 @@ mod tests {
     fn demo_app_has_certificate() {
         let app = demo_app();
         assert!(DwellEngine::new(&app).has_certificate());
+    }
+
+    #[test]
+    fn auto_dispatch_picks_the_static_menu_when_enabled() {
+        let app = demo_app();
+        let engine = DwellEngine::new(&app);
+        #[cfg(feature = "static-backend")]
+        assert_eq!(engine.backend_name(), "static<2>");
+        #[cfg(not(feature = "static-backend"))]
+        assert_eq!(engine.backend_name(), "dyn");
+    }
+
+    #[test]
+    fn forced_backends_produce_identical_rows() {
+        let app = demo_app();
+        let fast = DwellEngine::with_backend(&app, BackendChoice::ForceStatic).unwrap();
+        let slow = DwellEngine::with_backend(&app, BackendChoice::ForceDyn).unwrap();
+        assert_eq!(fast.backend_name(), "static<2>");
+        assert_eq!(slow.backend_name(), "dyn");
+        let prefix_fast = fast.prefix_chain(10);
+        let prefix_slow = slow.prefix_chain(10);
+        for wait in 0..=10 {
+            assert_eq!(prefix_fast.state(wait), prefix_slow.state(wait));
+            assert_eq!(
+                prefix_fast.last_violation(wait),
+                prefix_slow.last_violation(wait)
+            );
+        }
+        assert_eq!(
+            fast.settling_rows(&prefix_fast, 0..11, 12, 200, 1),
+            slow.settling_rows(&prefix_slow, 0..11, 12, 200, 1)
+        );
+        for mode in [Mode::TimeTriggered, Mode::EventTriggered] {
+            assert_eq!(
+                fast.pure_mode_settling(mode, 300),
+                slow.pure_mode_settling(mode, 300)
+            );
+        }
     }
 
     #[test]

@@ -27,6 +27,11 @@
 //! * [`AppTimingProfile`] — the per-application timing abstraction handed to
 //!   the scheduler, the verifier and the mapping heuristic ([`profile`]).
 //! * [`sequence`] — mode-schedule construction helpers.
+//! * [`kernel`] — linalg backend dispatch ([`BackendChoice`]) and the
+//!   monomorphized augmented-state stepping kernel the engines run on; with
+//!   the `static-backend` feature (default), applications whose augmented
+//!   dimension fits the 2–5 menu run on stack-allocated const-generic
+//!   matrices instead of the heap-backed fallback.
 //!
 //! # Example
 //!
@@ -55,6 +60,7 @@
 pub mod dwell;
 pub mod engine;
 mod error;
+pub mod kernel;
 mod mode;
 pub mod profile;
 pub mod sequence;
@@ -62,6 +68,7 @@ pub mod strategy;
 
 pub use dwell::{DwellTimeTable, SettlingSurface};
 pub use error::CoreError;
+pub use kernel::{AugmentedKernel, BackendChoice};
 pub use mode::Mode;
 pub use profile::AppTimingProfile;
 pub use sequence::ModeSchedule;
@@ -79,5 +86,8 @@ mod tests {
         assert_send_sync::<DwellTimeTable>();
         assert_send_sync::<AppTimingProfile>();
         assert_send_sync::<SwitchedApplication>();
+        assert_send_sync::<BackendChoice>();
+        assert_send_sync::<AugmentedKernel>();
+        assert_send_sync::<engine::DwellEngine>();
     }
 }

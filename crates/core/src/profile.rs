@@ -125,7 +125,13 @@ impl AppTimingProfile {
     ) -> Result<Self, CoreError> {
         // The table computation's sanity checks already measure J_T and J_E
         // through the engine; reuse them instead of re-simulating.
-        let detail = dwell::compute_dwell_table_detailed(app, jstar, options, threads)?;
+        let detail = dwell::compute_dwell_table_detailed(
+            app,
+            jstar,
+            options,
+            threads,
+            crate::kernel::BackendChoice::Auto,
+        )?;
         AppTimingProfile::new(
             app.name(),
             detail.jt,

@@ -228,7 +228,8 @@ impl SwitchedApplication {
         for mode in modes {
             let mut next = Vector::zeros(n + 1);
             self.mode_matrix(*mode)
-                .gemv_into(states.last().expect("seeded above"), &mut next)?;
+                .gemv_into(states.last().expect("seeded above"), &mut next)
+                .expect("augmented dimensions validated above");
             outputs.push(self.c_aug.dot(&next));
             states.push(next);
         }
@@ -251,7 +252,19 @@ impl SwitchedApplication {
         z: &mut Vector,
         scratch: &mut Vector,
     ) -> Result<(), CoreError> {
-        self.mode_matrix(mode).gemv_into(z, scratch)?;
+        let dim = self.plant.state_dim() + 1;
+        if z.len() != dim || scratch.len() != dim {
+            return Err(CoreError::InvalidParameter {
+                reason: format!(
+                    "augmented state has {dim} entries, got z: {}, scratch: {}",
+                    z.len(),
+                    scratch.len()
+                ),
+            });
+        }
+        self.mode_matrix(mode)
+            .gemv_into(z, scratch)
+            .expect("augmented dimensions validated above");
         std::mem::swap(z, scratch);
         Ok(())
     }
@@ -285,7 +298,9 @@ impl SwitchedApplication {
         z.as_mut_slice()[..n].copy_from_slice(x.as_slice());
         z.as_mut_slice()[n] = u_prev;
         let mut next = Vector::zeros(n + 1);
-        self.mode_matrix(mode).gemv_into(&z, &mut next)?;
+        self.mode_matrix(mode)
+            .gemv_into(&z, &mut next)
+            .expect("augmented dimensions validated above");
         let next_x = Vector::from_slice(&next.as_slice()[..n]);
         Ok((next_x, next.as_slice()[n]))
     }

@@ -293,6 +293,29 @@ pub fn spectral_radius(a: &Matrix) -> Result<f64, LinalgError> {
     Ok(eigenvalues(a)?.spectral_radius())
 }
 
+/// Backend-generic form of [`eigenvalues`] (cold path, via
+/// [`MatrixOps::to_dyn`](crate::MatrixOps::to_dyn)).
+///
+/// Eigenvalue computations run once per application at construction time, so
+/// they round-trip through the dynamic representation instead of being
+/// duplicated per backend.
+///
+/// # Errors
+///
+/// As for [`eigenvalues`].
+pub fn eigenvalues_in<M: crate::MatrixOps>(a: &M) -> Result<Eigenvalues, LinalgError> {
+    eigenvalues(&a.to_dyn())
+}
+
+/// Backend-generic form of [`spectral_radius`] (cold path).
+///
+/// # Errors
+///
+/// As for [`spectral_radius`].
+pub fn spectral_radius_in<M: crate::MatrixOps>(a: &M) -> Result<f64, LinalgError> {
+    Ok(eigenvalues_in(a)?.spectral_radius())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

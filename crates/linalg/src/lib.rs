@@ -13,6 +13,13 @@
 //!   shifted, implicit QR iteration (supports complex conjugate pairs).
 //! * [`lyapunov`] — discrete-time Lyapunov equation solver (Kronecker
 //!   vectorization) and positive-definiteness tests via Cholesky.
+//! * [`backend`] — the pluggable-backend traits ([`MatrixOps`], [`VectorOps`],
+//!   [`LinalgBackend`]) that let engines monomorphize over the storage
+//!   strategy, with the heap-backed types as the default [`DynBackend`].
+//! * [`static_backend`] — stack-allocated const-generic [`StaticMatrix`] /
+//!   [`StaticVector`] with compile-time shape checks: the allocation-free
+//!   fast path ([`StaticBackend`]) for the small fixed dimensions of the
+//!   case-study plants.
 //!
 //! The plants in the reproduced paper are at most third order, so these
 //! routines favour clarity and numerical robustness over asymptotic
@@ -33,18 +40,22 @@
 //! # }
 //! ```
 
+pub mod backend;
 pub mod decomp;
 pub mod eigen;
 mod error;
 pub mod lyapunov;
 mod matrix;
+pub mod static_backend;
 mod vector;
 
+pub use backend::{DynBackend, LinalgBackend, MatrixOps, VectorOps};
 pub use decomp::LuDecomposition;
 pub use eigen::{spectral_radius, Eigenvalues};
 pub use error::LinalgError;
 pub use lyapunov::{is_positive_definite, solve_discrete_lyapunov};
 pub use matrix::Matrix;
+pub use static_backend::{StaticBackend, StaticMatrix, StaticVector};
 pub use vector::Vector;
 
 /// Default absolute tolerance used by comparisons throughout the crate.
@@ -86,5 +97,9 @@ mod tests {
         assert_send_sync::<Vector>();
         assert_send_sync::<LinalgError>();
         assert_send_sync::<Eigenvalues>();
+        assert_send_sync::<StaticMatrix<3, 3>>();
+        assert_send_sync::<StaticVector<3>>();
+        assert_send_sync::<DynBackend>();
+        assert_send_sync::<StaticBackend<3>>();
     }
 }

@@ -9,6 +9,7 @@
 //! * [`cholesky`] / [`is_positive_definite`] / [`is_negative_definite`] —
 //!   definiteness tests used to validate candidate Lyapunov certificates.
 
+use crate::backend::MatrixOps;
 use crate::{decomp::LuDecomposition, LinalgError, Matrix, Vector};
 
 /// Stacks the columns of a matrix into a single vector (the `vec(·)`
@@ -149,15 +150,60 @@ pub fn is_negative_definite(m: &Matrix) -> Result<bool, LinalgError> {
     is_positive_definite(&m.scale(-1.0))
 }
 
-/// Evaluates the quadratic form `xᵀ·P·x`.
+/// Evaluates the quadratic form `xᵀ·P·x` without materialising `P·x`.
+///
+/// The accumulation order is the one the allocating formulation
+/// (`x.dot(&p.mul_vector(x)?)`) used — each `(P·x)[i]` folds from `0.0` over
+/// ascending columns, then the outer product folds from `0.0` over ascending
+/// rows — so results are bitwise-unchanged while the temporary vector is gone.
 ///
 /// # Errors
 ///
-/// Returns [`LinalgError::DimensionMismatch`] when the dimensions of `P` and
-/// `x` do not agree.
+/// Returns [`LinalgError::DimensionMismatch`] when `P` is not square of
+/// dimension `x.len()`.
 pub fn quadratic_form(p: &Matrix, x: &Vector) -> Result<f64, LinalgError> {
-    let px = p.mul_vector(x)?;
-    Ok(x.dot(&px))
+    if !p.is_square() || p.cols() != x.len() {
+        return Err(LinalgError::DimensionMismatch {
+            operation: "quadratic_form",
+            left: p.dims(),
+            right: (x.len(), 1),
+        });
+    }
+    let xs = x.as_slice();
+    let mut acc = 0.0;
+    for (&xi, row) in xs.iter().zip(p.as_slice().chunks_exact(p.cols())) {
+        let mut pxi = 0.0;
+        for (a, b) in row.iter().zip(xs.iter()) {
+            pxi += a * b;
+        }
+        acc += xi * pxi;
+    }
+    Ok(acc)
+}
+
+/// Backend-generic form of [`solve_discrete_lyapunov`].
+///
+/// A cold-path entry point: the solve runs once per application at
+/// construction time, so it round-trips through the dynamic representation
+/// ([`MatrixOps::to_dyn`] / [`MatrixOps::from_dyn`]) rather than duplicating
+/// the Kronecker solver per backend.
+///
+/// # Errors
+///
+/// As for [`solve_discrete_lyapunov`].
+pub fn solve_discrete_lyapunov_in<M: MatrixOps>(a: &M, q: &M) -> Result<M, LinalgError> {
+    let p = solve_discrete_lyapunov(&a.to_dyn(), &q.to_dyn())?;
+    M::from_dyn(&p)
+}
+
+/// Backend-generic form of [`is_positive_definite`] (cold path, via
+/// [`MatrixOps::to_dyn`]).
+///
+/// # Errors
+///
+/// As for [`is_positive_definite`].
+pub fn is_positive_definite_in<M: MatrixOps>(m: &M) -> Result<bool, LinalgError> {
+    is_positive_definite(&m.to_dyn())
 }
 
 #[cfg(test)]

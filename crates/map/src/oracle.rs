@@ -2,38 +2,29 @@
 
 use std::sync::Mutex;
 
-use cps_baseline::{is_slot_schedulable, slot_schedulable_profiles, BaselineApp, Strategy};
+use cps_baseline::{slot_schedulable_profiles, Strategy};
 use cps_core::AppTimingProfile;
-use cps_verify::{SlotSharingModel, SlotVerifyEngine, VerificationConfig, VerifyError};
+use cps_verify::{SlotVerifyEngine, VerificationConfig, VerifyError};
 
 /// An admission test for one TT slot.
 ///
 /// Implementations decide whether the given applications can all meet their
 /// settling requirements when sharing a single slot.
 pub trait SlotOracle {
-    /// Returns `true` when the applications can safely share one slot.
+    /// Decides admission for the applications selected by `members` (indices
+    /// into `profiles`), in that order. This is **the** oracle entry point:
+    /// the first-fit heuristic and the exact slot minimizer probe through it
+    /// so candidate sets are described by indices instead of a freshly
+    /// cloned `Vec<AppTimingProfile>` per oracle call.
+    ///
+    /// `scratch` is a caller-provided profile buffer reused across probes;
+    /// implementations that need an owned selection may clone into it,
+    /// clone-free implementations ignore it.
     ///
     /// # Errors
     ///
     /// Implementations may fail (e.g. a model checker running out of budget);
     /// the mapping heuristic treats a failure as an error, not as a rejection.
-    fn admits(&self, profiles: &[AppTimingProfile]) -> Result<bool, VerifyError>;
-
-    /// Index-based probe path: decides admission for the applications
-    /// selected by `members` (indices into `profiles`), in that order.
-    ///
-    /// The first-fit heuristic probes through this method so candidate sets
-    /// are described by indices instead of a freshly cloned
-    /// `Vec<AppTimingProfile>` per oracle call. The default implementation is
-    /// a shim that clones the selection into the caller-provided `scratch`
-    /// buffer (reused across probes) and forwards to
-    /// [`SlotOracle::admits`], so existing external implementations keep
-    /// working unchanged; the built-in oracles override it with clone-free
-    /// paths.
-    ///
-    /// # Errors
-    ///
-    /// As for [`SlotOracle::admits`].
     ///
     /// # Panics
     ///
@@ -43,10 +34,26 @@ pub trait SlotOracle {
         profiles: &[AppTimingProfile],
         members: &[usize],
         scratch: &mut Vec<AppTimingProfile>,
-    ) -> Result<bool, VerifyError> {
-        scratch.clear();
-        scratch.extend(members.iter().map(|&i| profiles[i].clone()));
-        self.admits(scratch)
+    ) -> Result<bool, VerifyError>;
+
+    /// Legacy whole-set admission test: `true` when all of `profiles` can
+    /// share one slot.
+    ///
+    /// This is a compatibility shim forwarding to
+    /// [`SlotOracle::admits_indices`] with the full index range; new code
+    /// (and all in-tree callers) should use the index path directly.
+    ///
+    /// # Errors
+    ///
+    /// As for [`SlotOracle::admits_indices`].
+    #[deprecated(
+        since = "0.1.0",
+        note = "probe through `admits_indices`; this cloning shim only exists \
+                for external callers of the old API"
+    )]
+    fn admits(&self, profiles: &[AppTimingProfile]) -> Result<bool, VerifyError> {
+        let members: Vec<usize> = (0..profiles.len()).collect();
+        self.admits_indices(profiles, &members, &mut Vec::new())
     }
 
     /// A short human-readable name for reports.
@@ -56,8 +63,9 @@ pub trait SlotOracle {
 /// The paper's oracle: exact discrete-time model checking of the switching
 /// strategy, run on the interned-state `cps-verify` engine.
 ///
-/// The oracle owns one [`SlotVerifyEngine`] and reuses it across `admits`
-/// calls, so the repeated first-fit probes amortise the exploration buffers.
+/// The oracle owns one [`SlotVerifyEngine`] and reuses it across
+/// [`SlotOracle::admits_indices`] calls, so the repeated first-fit probes
+/// amortise the exploration buffers.
 #[derive(Debug, Default)]
 pub struct ModelCheckingOracle {
     config: VerificationConfig,
@@ -90,12 +98,6 @@ impl ModelCheckingOracle {
 }
 
 impl SlotOracle for ModelCheckingOracle {
-    fn admits(&self, profiles: &[AppTimingProfile]) -> Result<bool, VerifyError> {
-        let model = SlotSharingModel::new(profiles.to_vec())?;
-        let mut engine = self.engine.lock().unwrap_or_else(|e| e.into_inner());
-        Ok(engine.verify(&model, &self.config)?.schedulable())
-    }
-
     fn admits_indices(
         &self,
         profiles: &[AppTimingProfile],
@@ -135,11 +137,6 @@ impl BaselineOracle {
 }
 
 impl SlotOracle for BaselineOracle {
-    fn admits(&self, profiles: &[AppTimingProfile]) -> Result<bool, VerifyError> {
-        let apps: Vec<BaselineApp> = profiles.iter().map(BaselineApp::from_profile).collect();
-        Ok(is_slot_schedulable(&apps, self.strategy))
-    }
-
     fn admits_indices(
         &self,
         profiles: &[AppTimingProfile],
@@ -170,14 +167,23 @@ mod tests {
         AppTimingProfile::new(name, dwell, jstar + 5, jstar, jstar + 10, table).unwrap()
     }
 
+    /// Whole-set admission through the index path (what the deprecated
+    /// `admits` shim does for external callers).
+    fn admits_all(oracle: &dyn SlotOracle, profiles: &[AppTimingProfile]) -> bool {
+        let members: Vec<usize> = (0..profiles.len()).collect();
+        oracle
+            .admits_indices(profiles, &members, &mut Vec::new())
+            .unwrap()
+    }
+
     #[test]
     fn model_checking_oracle_accepts_and_rejects() {
         let oracle = ModelCheckingOracle::new();
         assert_eq!(oracle.name(), "model-checking");
         let generous = [profile("A", 10, 3), profile("B", 10, 3)];
-        assert!(oracle.admits(&generous).unwrap());
+        assert!(admits_all(&oracle, &generous));
         let impossible = [profile("A", 0, 5), profile("B", 0, 5)];
-        assert!(!oracle.admits(&impossible).unwrap());
+        assert!(!admits_all(&oracle, &impossible));
     }
 
     #[test]
@@ -186,8 +192,8 @@ mod tests {
         // minimum-dwell preemption, while the baseline charges the full
         // dedicated-slot hold time and rejects earlier.
         let apps = [profile("A", 10, 9), profile("B", 10, 9)];
-        let exact = ModelCheckingOracle::new().admits(&apps).unwrap();
-        let conservative = BaselineOracle::new().admits(&apps).unwrap();
+        let exact = admits_all(&ModelCheckingOracle::new(), &apps);
+        let conservative = admits_all(&BaselineOracle::new(), &apps);
         assert!(
             exact || !conservative,
             "baseline must never accept more than the exact oracle"
@@ -209,7 +215,7 @@ mod tests {
                     oracle
                         .admits_indices(&fleet, members, &mut scratch)
                         .unwrap(),
-                    oracle.admits(&cloned).unwrap(),
+                    admits_all(oracle, &cloned),
                     "{} on {members:?}",
                     oracle.name()
                 );
@@ -218,10 +224,27 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)]
+    fn legacy_admits_shim_forwards_to_the_index_path() {
+        let fleet = [profile("A", 10, 3), profile("B", 10, 3)];
+        let impossible = [profile("A", 0, 5), profile("B", 0, 5)];
+        for oracle in [
+            &ModelCheckingOracle::new() as &dyn SlotOracle,
+            &BaselineOracle::new(),
+        ] {
+            assert_eq!(oracle.admits(&fleet).unwrap(), admits_all(oracle, &fleet));
+            assert_eq!(
+                oracle.admits(&impossible).unwrap(),
+                admits_all(oracle, &impossible)
+            );
+        }
+    }
+
+    #[test]
     fn baseline_oracle_strategies() {
         let oracle = BaselineOracle::with_strategy(Strategy::DelayedRequests);
         assert_eq!(oracle.name(), "baseline-blocking-analysis");
         let apps = [profile("A", 10, 3), profile("B", 10, 3)];
-        assert!(oracle.admits(&apps).unwrap());
+        assert!(admits_all(&oracle, &apps));
     }
 }

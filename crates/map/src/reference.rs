@@ -116,8 +116,13 @@ mod tests {
     }
 
     impl SlotOracle for CapacityOracle {
-        fn admits(&self, profiles: &[AppTimingProfile]) -> Result<bool, VerifyError> {
-            Ok(profiles.len() <= self.capacity)
+        fn admits_indices(
+            &self,
+            _profiles: &[AppTimingProfile],
+            members: &[usize],
+            _scratch: &mut Vec<AppTimingProfile>,
+        ) -> Result<bool, VerifyError> {
+            Ok(members.len() <= self.capacity)
         }
         fn name(&self) -> &str {
             "capacity"

@@ -192,6 +192,8 @@ proptest! {
         let mut rng = TestRng::new(seed.wrapping_add(83));
         let profile = random_profile(&mut rng, 0);
         let oracle = ModelCheckingOracle::new();
-        prop_assert!(oracle.admits(std::slice::from_ref(&profile)).unwrap());
+        prop_assert!(oracle
+            .admits_indices(std::slice::from_ref(&profile), &[0], &mut Vec::new())
+            .unwrap());
     }
 }

@@ -13,9 +13,11 @@
 //! (`cps_core::engine`) and the zone-graph explorer (`cps_ta::explorer`):
 //!
 //! 1. **Allocation-free kernels.** Each application's closed loop is
-//!    advanced with [`SwitchedApplication::advance_augmented`] — one in-place
-//!    gemv between two pre-allocated buffers per sample, zero heap
-//!    allocations in the inner loop.
+//!    advanced by a [`cps_core::AugmentedKernel`] — one in-place gemv between
+//!    two pre-allocated buffers per sample, zero heap allocations in the
+//!    inner loop. The kernel dispatches to a stack-allocated const-generic
+//!    linalg backend when the augmented dimension fits the static menu (see
+//!    [`cps_core::BackendChoice`]); all backends step bitwise identically.
 //! 2. **Prefix sharing via checkpoints.** For every application (and every
 //!    response window of a recurrent pattern) the engine keeps the last
 //!    simulated mode pattern together with a checkpoint of the augmented
@@ -69,8 +71,7 @@
 //! # }
 //! ```
 
-use cps_core::{sequence, Mode, SwitchedApplication};
-use cps_linalg::Vector;
+use cps_core::{sequence, AugmentedKernel, BackendChoice, Mode, SwitchedApplication};
 
 use crate::cosim::{CosimApp, CosimResult, CosimScenario};
 use crate::{SchedError, SlotScheduler};
@@ -97,28 +98,26 @@ struct WindowCache {
 }
 
 /// Per-application engine state: the canonical post-disturbance augmented
-/// state, reusable step buffers, and one [`WindowCache`] per response window
-/// (recurrent patterns have one window per disturbance).
+/// state, the backend-dispatched stepping kernel, and one [`WindowCache`] per
+/// response window (recurrent patterns have one window per disturbance).
 #[derive(Debug)]
 struct AppEngineState {
     dim: usize,
     z0: Vec<f64>,
     windows: Vec<WindowCache>,
-    cursor: Vector,
-    scratch: Vector,
+    kernel: AugmentedKernel,
 }
 
 impl AppEngineState {
-    fn new(app: &SwitchedApplication) -> Self {
+    fn new(app: &SwitchedApplication, backend: BackendChoice) -> Result<Self, SchedError> {
+        let kernel = AugmentedKernel::with_backend(app, backend)?;
         let z0 = app.initial_augmented_state();
-        let dim = z0.len();
-        AppEngineState {
-            dim,
+        Ok(AppEngineState {
+            dim: z0.len(),
             z0: z0.as_slice().to_vec(),
             windows: Vec::new(),
-            cursor: Vector::zeros(dim),
-            scratch: Vector::zeros(dim),
-        }
+            kernel,
+        })
     }
 }
 
@@ -151,6 +150,24 @@ impl BatchCosimEngine {
     /// Returns [`SchedError::InvalidScenario`] when no applications are given
     /// or the horizon is zero.
     pub fn new(apps: Vec<CosimApp>, horizon: usize) -> Result<Self, SchedError> {
+        BatchCosimEngine::with_backend(apps, horizon, BackendChoice::Auto)
+    }
+
+    /// [`BatchCosimEngine::new`] on an explicitly chosen linalg backend for
+    /// every application kernel (used by the bench harness to compare the
+    /// dynamic and static stepping paths on the same scenario family).
+    ///
+    /// # Errors
+    ///
+    /// As for [`BatchCosimEngine::new`], plus a propagated
+    /// [`cps_core::CoreError::InvalidParameter`] when
+    /// [`BackendChoice::ForceStatic`] is requested for an application whose
+    /// augmented dimension is outside the static menu.
+    pub fn with_backend(
+        apps: Vec<CosimApp>,
+        horizon: usize,
+        backend: BackendChoice,
+    ) -> Result<Self, SchedError> {
         if horizon == 0 {
             return Err(SchedError::InvalidScenario {
                 reason: "horizon must be at least one sample".to_string(),
@@ -160,8 +177,8 @@ impl BatchCosimEngine {
         let scheduler = SlotScheduler::new(profiles)?;
         let states = apps
             .iter()
-            .map(|a| AppEngineState::new(&a.application))
-            .collect();
+            .map(|a| AppEngineState::new(&a.application, backend))
+            .collect::<Result<Vec<_>, _>>()?;
         let sampling_periods = apps
             .iter()
             .map(|a| a.application.sampling_period())
@@ -175,6 +192,19 @@ impl BatchCosimEngine {
             sampling_periods,
             requirements,
         })
+    }
+
+    /// The linalg backend the application kernels run on: the common kernel
+    /// name when every application agrees (e.g. `"dyn"` or `"static<2>"`),
+    /// `"mixed"` otherwise.
+    pub fn backend_name(&self) -> &'static str {
+        let mut names = self.states.iter().map(|s| s.kernel.backend_name());
+        let first = names.next().unwrap_or("dyn");
+        if names.all(|n| n == first) {
+            first
+        } else {
+            "mixed"
+        }
     }
 
     /// Creates an engine over the applications and horizon of an existing
@@ -317,8 +347,8 @@ fn advance_window(
         // Seed the chain with the canonical post-disturbance state; its
         // output goes through the same kernel the loop uses.
         cache.states.extend_from_slice(&state.z0);
-        state.cursor.as_mut_slice().copy_from_slice(&state.z0);
-        cache.outputs.push(app.augmented_output(&state.cursor));
+        state.kernel.load(&state.z0);
+        cache.outputs.push(state.kernel.output());
     }
 
     // TT samples inside the window, as a sorted absolute subslice.
@@ -352,9 +382,8 @@ fn advance_window(
     cache.outputs.truncate(prefix + 1);
     cache.length = length;
     state
-        .cursor
-        .as_mut_slice()
-        .copy_from_slice(&cache.states[prefix * dim..(prefix + 1) * dim]);
+        .kernel
+        .load(&cache.states[prefix * dim..(prefix + 1) * dim]);
     let mut tt_index = tt.partition_point(|&s| s - t0 < prefix);
     for p in prefix..length {
         let mode = if tt_index < tt.len() && tt[tt_index] - t0 == p {
@@ -364,10 +393,9 @@ fn advance_window(
         } else {
             Mode::EventTriggered
         };
-        app.advance_augmented(mode, &mut state.cursor, &mut state.scratch)
-            .expect("engine buffers share the augmented dimension");
-        cache.states.extend_from_slice(state.cursor.as_slice());
-        cache.outputs.push(app.augmented_output(&state.cursor));
+        state.kernel.advance(mode);
+        cache.states.extend_from_slice(state.kernel.state());
+        cache.outputs.push(state.kernel.output());
     }
     cache.settling = app.settling().settling_samples(&cache.outputs);
     cache.settling
