@@ -1,0 +1,46 @@
+//! An online admission-control service over the incremental mapping
+//! cascade.
+//!
+//! `cps-map` answers mapping questions in two shapes: the batch
+//! [`cps_map::MapExplorerEngine`] (re-run first-fit over a whole fleet) and
+//! the incremental [`cps_map::AdmissionState`] (repair the partition as
+//! applications arrive and depart). This crate turns the latter into a
+//! *service*: a single worker thread owns one long-lived `AdmissionState`
+//! — and through it the persistent verdict memo, anti-monotone index,
+//! interned fingerprints, and the exact verifier — while any number of
+//! client handles enqueue requests on a bounded message queue and block for
+//! their answers.
+//!
+//! The crate splits along the usual lines of a networked front end:
+//!
+//! * [`protocol`] — the message types ([`Request`], [`Response`],
+//!   [`ServiceError`]) and nothing else;
+//! * [`service`] — the bounded queue, the worker loop, and the
+//!   [`AdmissionClient`] / [`AdmissionService`] handles.
+//!
+//! Warm starts close the loop with `cps-intern`'s snapshot format:
+//! [`AdmissionClient::snapshot`] serializes the worker's caches, and
+//! [`AdmissionService::spawn_warm`] restores them so a restarted service
+//! answers re-admissions of its old fleet without ever touching the exact
+//! verifier — bit-identical verdicts, memo-hit latency.
+
+pub mod protocol;
+pub mod service;
+
+pub use protocol::{AdmitOutcome, EvictOutcome, Request, Response, ServiceError, ServiceStats};
+pub use service::{AdmissionClient, AdmissionService};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn handles_are_send() {
+        fn assert_send<T: Send>() {}
+        assert_send::<AdmissionClient>();
+        assert_send::<AdmissionService>();
+        assert_send::<Request>();
+        assert_send::<Response>();
+        assert_send::<ServiceError>();
+    }
+}

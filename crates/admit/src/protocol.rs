@@ -1,0 +1,132 @@
+//! Message types of the admission service.
+//!
+//! The service speaks a small request/response protocol: every [`Request`]
+//! sent to the worker is answered with exactly one `Result<Response,
+//! ServiceError>`, and requests and responses pair up by kind (an
+//! [`Request::Admit`] is answered by [`Response::Admitted`], and so on).
+//! Keeping the wire types separate from the queue/worker mechanics mirrors
+//! the usual protocol/message-queue/transport layering of a networked
+//! service front end, even though this in-process service only ever crosses
+//! a channel.
+
+use std::error::Error;
+use std::fmt;
+
+use cps_core::AppTimingProfile;
+use cps_map::TierStats;
+use cps_verify::VerifyError;
+
+/// A client request to the admission worker.
+#[derive(Debug)]
+pub enum Request {
+    /// Admit an arriving application into the resident fleet.
+    Admit(AppTimingProfile),
+    /// Evict the application at this fleet index (later indices renumber
+    /// down by one, as in [`cps_map::AdmissionState::remove_app`]).
+    Evict(usize),
+    /// Serialize the cascade caches as a versioned warm-start snapshot.
+    Snapshot,
+    /// Report the current fleet, partition, and cascade statistics.
+    Stats,
+}
+
+/// The worker's answer to one [`Request`], paired by kind.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Response {
+    /// Answer to [`Request::Admit`].
+    Admitted(AdmitOutcome),
+    /// Answer to [`Request::Evict`].
+    Evicted(EvictOutcome),
+    /// Answer to [`Request::Snapshot`]: the snapshot bytes.
+    Snapshot(Vec<u8>),
+    /// Answer to [`Request::Stats`].
+    Stats(ServiceStats),
+}
+
+/// A successful admission: where the application landed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AdmitOutcome {
+    /// Fleet index assigned to the arrival (stable until an eviction below
+    /// it renumbers the fleet).
+    pub index: usize,
+    /// Slot the arrival was placed in.
+    pub slot: usize,
+    /// The repaired partition (slots list fleet indices).
+    pub slots: Vec<Vec<usize>>,
+}
+
+/// A successful eviction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EvictOutcome {
+    /// Name of the departed application.
+    pub name: String,
+    /// The repaired partition over the renumbered fleet.
+    pub slots: Vec<Vec<usize>>,
+}
+
+/// A point-in-time view of the service's state and lifetime cascade work.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServiceStats {
+    /// Resident fleet size.
+    pub fleet_len: usize,
+    /// Current partition (slots list fleet indices).
+    pub slots: Vec<Vec<usize>>,
+    /// Admission checks performed by every repair so far.
+    pub oracle_calls: usize,
+    /// Lifetime cascade statistics (memo hits, exact verifies, ...).
+    pub tier: TierStats,
+}
+
+/// Why a request failed. The worker survives every error — a failed
+/// admission rolls the fleet back and the service keeps answering.
+#[derive(Debug)]
+pub enum ServiceError {
+    /// The cascade's exact tier failed (budget exhaustion, invalid config).
+    Verify(VerifyError),
+    /// An eviction named an index outside the resident fleet.
+    EvictOutOfRange {
+        /// The requested fleet index.
+        index: usize,
+        /// Resident fleet size at the time of the request.
+        fleet_len: usize,
+    },
+    /// The worker hung up (service shut down) before answering.
+    Disconnected,
+    /// The worker answered with a response of the wrong kind — a protocol
+    /// bug, never expected in practice.
+    Protocol {
+        /// The response kind the client was waiting for.
+        expected: &'static str,
+    },
+}
+
+impl fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServiceError::Verify(e) => write!(f, "admission verification failed: {e}"),
+            ServiceError::EvictOutOfRange { index, fleet_len } => write!(
+                f,
+                "evict index {index} out of range for a fleet of {fleet_len}"
+            ),
+            ServiceError::Disconnected => write!(f, "admission service disconnected"),
+            ServiceError::Protocol { expected } => {
+                write!(f, "protocol violation: expected a {expected} response")
+            }
+        }
+    }
+}
+
+impl Error for ServiceError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ServiceError::Verify(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<VerifyError> for ServiceError {
+    fn from(e: VerifyError) -> Self {
+        ServiceError::Verify(e)
+    }
+}

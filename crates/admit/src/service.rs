@@ -1,0 +1,354 @@
+//! The message-queue worker and its client handle.
+//!
+//! One worker thread owns the whole mutable state — a single
+//! [`AdmissionState`] (and with it the persistent memo, anti-monotone
+//! index, interned fingerprints, and the exact [`cps_verify`] engine behind
+//! the cascade). Clients never touch that state; they enqueue [`Request`]s
+//! on a *bounded* [`std::sync::mpsc::sync_channel`] and block on a
+//! per-request reply channel. The bound is the service's backpressure: when
+//! the queue is full, producers wait instead of piling up unboundedly ahead
+//! of a verifier-limited consumer.
+//!
+//! Shutdown is by hang-up, the natural drain semantics of mpsc: dropping
+//! the last [`AdmissionClient`] closes the channel, the worker keeps
+//! receiving until the queue is *empty* (a disconnected `recv` still yields
+//! every queued envelope), answers each one, and only then exits.
+//! [`AdmissionService::shutdown`] does exactly that and hands back the
+//! final [`AdmissionState`] so a caller can snapshot it at rest.
+
+use std::sync::mpsc;
+use std::thread;
+
+use cps_intern::SnapshotError;
+use cps_map::AdmissionState;
+
+use crate::protocol::{AdmitOutcome, EvictOutcome, Request, Response, ServiceError, ServiceStats};
+
+/// One queued request plus the channel its answer goes back on.
+struct Envelope {
+    request: Request,
+    reply: mpsc::Sender<Result<Response, ServiceError>>,
+}
+
+/// A cloneable, blocking handle to a running [`AdmissionService`].
+#[derive(Clone)]
+pub struct AdmissionClient {
+    tx: mpsc::SyncSender<Envelope>,
+}
+
+impl AdmissionClient {
+    /// Sends one request and blocks for its answer.
+    fn call(&self, request: Request) -> Result<Response, ServiceError> {
+        let (reply_tx, reply_rx) = mpsc::channel();
+        self.tx
+            .send(Envelope {
+                request,
+                reply: reply_tx,
+            })
+            .map_err(|_| ServiceError::Disconnected)?;
+        reply_rx.recv().map_err(|_| ServiceError::Disconnected)?
+    }
+
+    /// Admits an arriving application; blocks until the worker has repaired
+    /// the partition.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::Verify`] if the cascade's exact tier fails (the
+    /// worker rolls the fleet back and keeps serving), or
+    /// [`ServiceError::Disconnected`] if the service shut down.
+    pub fn admit(&self, profile: cps_core::AppTimingProfile) -> Result<AdmitOutcome, ServiceError> {
+        match self.call(Request::Admit(profile))? {
+            Response::Admitted(outcome) => Ok(outcome),
+            _ => Err(ServiceError::Protocol {
+                expected: "Admitted",
+            }),
+        }
+    }
+
+    /// Evicts the application at `index` from the resident fleet.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::EvictOutOfRange`] for a bad index (checked by the
+    /// worker — the service never panics on malformed requests), plus the
+    /// errors of [`AdmissionClient::admit`].
+    pub fn evict(&self, index: usize) -> Result<EvictOutcome, ServiceError> {
+        match self.call(Request::Evict(index))? {
+            Response::Evicted(outcome) => Ok(outcome),
+            _ => Err(ServiceError::Protocol {
+                expected: "Evicted",
+            }),
+        }
+    }
+
+    /// Serializes the worker's cascade caches as a warm-start snapshot.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::Disconnected`] if the service shut down.
+    pub fn snapshot(&self) -> Result<Vec<u8>, ServiceError> {
+        match self.call(Request::Snapshot)? {
+            Response::Snapshot(bytes) => Ok(bytes),
+            _ => Err(ServiceError::Protocol {
+                expected: "Snapshot",
+            }),
+        }
+    }
+
+    /// Reports the current fleet, partition, and lifetime cascade work.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::Disconnected`] if the service shut down.
+    pub fn stats(&self) -> Result<ServiceStats, ServiceError> {
+        match self.call(Request::Stats)? {
+            Response::Stats(stats) => Ok(stats),
+            _ => Err(ServiceError::Protocol { expected: "Stats" }),
+        }
+    }
+}
+
+/// A running admission service: one worker thread over one
+/// [`AdmissionState`]. See the module docs for the queue and shutdown
+/// contract.
+///
+/// # Example
+///
+/// ```
+/// use cps_admit::AdmissionService;
+/// use cps_core::{AppTimingProfile, DwellTimeTable};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let profile = |name: &str| -> AppTimingProfile {
+///     let table = DwellTimeTable::from_arrays(18, vec![3; 12], vec![5; 12]).unwrap();
+///     AppTimingProfile::new(name, 9, 35, 18, 25, table).unwrap()
+/// };
+/// let service = AdmissionService::spawn();
+/// let client = service.client();
+/// let a = client.admit(profile("A"))?;
+/// let b = client.admit(profile("B"))?;
+/// assert_eq!((a.index, b.index), (0, 1));
+/// drop(client); // outstanding clients keep the worker alive
+/// let state = service.shutdown();
+/// assert_eq!(state.fleet().len(), 2);
+/// # Ok(())
+/// # }
+/// ```
+pub struct AdmissionService {
+    client: AdmissionClient,
+    worker: thread::JoinHandle<AdmissionState>,
+}
+
+impl AdmissionService {
+    /// Queue bound used by [`AdmissionService::spawn`] and
+    /// [`AdmissionService::spawn_warm`].
+    pub const DEFAULT_QUEUE_CAPACITY: usize = 64;
+
+    /// Spawns a cold service: empty fleet, empty caches, default (exact,
+    /// unbounded) verification configuration.
+    pub fn spawn() -> Self {
+        Self::spawn_with(AdmissionState::new(), Self::DEFAULT_QUEUE_CAPACITY)
+    }
+
+    /// Spawns a warm service from [`AdmissionClient::snapshot`] bytes: the
+    /// fleet starts empty (snapshots carry caches, not request state) but
+    /// re-admissions of the saved fleet are answered without touching the
+    /// exact verifier.
+    ///
+    /// # Errors
+    ///
+    /// Propagates snapshot framing/payload violations.
+    pub fn spawn_warm(snapshot: &[u8]) -> Result<Self, SnapshotError> {
+        Ok(Self::spawn_with(
+            AdmissionState::from_snapshot(snapshot)?,
+            Self::DEFAULT_QUEUE_CAPACITY,
+        ))
+    }
+
+    /// Spawns a service over an explicit state (e.g. a custom verification
+    /// configuration or bounded memo) and queue bound.
+    pub fn spawn_with(state: AdmissionState, queue_capacity: usize) -> Self {
+        let (tx, rx) = mpsc::sync_channel(queue_capacity);
+        let worker = thread::spawn(move || worker_loop(state, rx));
+        AdmissionService {
+            client: AdmissionClient { tx },
+            worker,
+        }
+    }
+
+    /// A new client handle. Handles are cheap to clone and may be moved to
+    /// other threads; requests from concurrent clients serialize through
+    /// the queue.
+    pub fn client(&self) -> AdmissionClient {
+        self.client.clone()
+    }
+
+    /// Gracefully shuts down: hangs up the service's own client, waits for
+    /// the worker to drain every queued request (outstanding clients keep
+    /// the queue open until they drop), and returns the final state.
+    ///
+    /// Blocks until every [`AdmissionClient`] is gone — drop the handles
+    /// you still hold (locals included: Rust drops them at end of scope,
+    /// not last use) before calling this, or it will wait for them.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the worker thread itself panicked.
+    pub fn shutdown(self) -> AdmissionState {
+        let AdmissionService { client, worker } = self;
+        drop(client);
+        worker.join().expect("admission worker panicked")
+    }
+}
+
+/// The worker loop: answer until every sender is gone *and* the queue is
+/// empty, then hand the state back.
+fn worker_loop(mut state: AdmissionState, rx: mpsc::Receiver<Envelope>) -> AdmissionState {
+    while let Ok(Envelope { request, reply }) = rx.recv() {
+        let answer = handle(&mut state, request);
+        // A client that hung up without waiting loses its answer; that is
+        // its problem, not the service's.
+        let _ = reply.send(answer);
+    }
+    state
+}
+
+/// Answers one request against the persistent state.
+fn handle(state: &mut AdmissionState, request: Request) -> Result<Response, ServiceError> {
+    match request {
+        Request::Admit(profile) => {
+            let index = state.add_app(profile)?;
+            let slot = state
+                .report()
+                .slot_of(index)
+                .expect("an admitted application is placed");
+            Ok(Response::Admitted(AdmitOutcome {
+                index,
+                slot,
+                slots: state.report().slots().to_vec(),
+            }))
+        }
+        Request::Evict(index) => {
+            let fleet_len = state.fleet().len();
+            if index >= fleet_len {
+                return Err(ServiceError::EvictOutOfRange { index, fleet_len });
+            }
+            let profile = state.remove_app(index)?;
+            Ok(Response::Evicted(EvictOutcome {
+                name: profile.name().to_string(),
+                slots: state.report().slots().to_vec(),
+            }))
+        }
+        Request::Snapshot => Ok(Response::Snapshot(state.snapshot())),
+        Request::Stats => Ok(Response::Stats(ServiceStats {
+            fleet_len: state.fleet().len(),
+            slots: state.report().slots().to_vec(),
+            oracle_calls: state.report().oracle_calls(),
+            tier: *state.stats(),
+        })),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cps_core::{AppTimingProfile, DwellTimeTable};
+    use cps_verify::{VerificationConfig, VerifyError};
+
+    fn profile(name: &str, max_wait: usize, dwell: usize) -> AppTimingProfile {
+        let len = max_wait + 1;
+        let jstar = max_wait + dwell + 1;
+        let table = DwellTimeTable::from_arrays(jstar, vec![dwell; len], vec![dwell; len]).unwrap();
+        AppTimingProfile::new(name, 1, jstar + 10, jstar, jstar + 10, table).unwrap()
+    }
+
+    #[test]
+    fn admit_evict_roundtrip_through_the_queue() {
+        let service = AdmissionService::spawn();
+        let client = service.client();
+        let a = client.admit(profile("A", 10, 3)).unwrap();
+        assert_eq!((a.index, a.slot), (0, 0));
+        let b = client.admit(profile("B", 10, 3)).unwrap();
+        assert_eq!(b.index, 1);
+        let evicted = client.evict(0).unwrap();
+        assert_eq!(evicted.name, "A");
+        let stats = client.stats().unwrap();
+        assert_eq!(stats.fleet_len, 1);
+        assert_eq!(stats.slots, vec![vec![0]]);
+        assert!(stats.tier.queries > 0);
+        drop(client);
+        let state = service.shutdown();
+        assert_eq!(state.fleet()[0].name(), "B");
+    }
+
+    #[test]
+    fn malformed_evictions_are_answered_not_panicked() {
+        let service = AdmissionService::spawn();
+        let client = service.client();
+        let err = client.evict(0).unwrap_err();
+        assert!(matches!(
+            err,
+            ServiceError::EvictOutOfRange {
+                index: 0,
+                fleet_len: 0
+            }
+        ));
+        // The worker survived and keeps serving.
+        client.admit(profile("A", 10, 3)).unwrap();
+        drop(client);
+        assert_eq!(service.shutdown().fleet().len(), 1);
+    }
+
+    #[test]
+    fn verification_failures_roll_back_and_keep_serving() {
+        let state = AdmissionState::with_config(VerificationConfig {
+            state_budget: 1,
+            ..VerificationConfig::default()
+        });
+        let service = AdmissionService::spawn_with(state, 4);
+        let client = service.client();
+        client.admit(profile("A", 10, 3)).unwrap();
+        let err = client.admit(profile("B", 10, 3)).unwrap_err();
+        assert!(matches!(
+            err,
+            ServiceError::Verify(VerifyError::StateBudgetExhausted { .. })
+        ));
+        let stats = client.stats().unwrap();
+        assert_eq!(stats.fleet_len, 1, "failed admission must roll back");
+        drop(client);
+        service.shutdown();
+    }
+
+    #[test]
+    fn dropping_every_client_drains_the_queue_before_shutdown() {
+        let service = AdmissionService::spawn_with(AdmissionState::new(), 16);
+        // Fire-and-forget admissions from a second thread, dropping the
+        // reply receivers immediately: the worker must still answer all of
+        // them before exiting.
+        let client = service.client();
+        let producer = thread::spawn(move || {
+            for i in 0..8 {
+                let name = format!("P{i}");
+                let _ = client.call(Request::Admit(profile(&name, 10, 3)));
+            }
+        });
+        producer.join().unwrap();
+        let state = service.shutdown();
+        assert_eq!(state.fleet().len(), 8, "every queued admission lands");
+    }
+
+    #[test]
+    fn clients_are_disconnected_after_shutdown() {
+        let service = AdmissionService::spawn();
+        let survivor = service.client();
+        // `shutdown` only hangs up the service's own handle; the worker
+        // stays alive for outstanding clients. Drop the survivor from a
+        // helper thread while shutdown waits.
+        let joiner = thread::spawn(move || service.shutdown());
+        survivor.admit(profile("A", 10, 3)).unwrap();
+        drop(survivor);
+        let state = joiner.join().unwrap();
+        assert_eq!(state.fleet().len(), 1);
+    }
+}

@@ -1,0 +1,89 @@
+//! The paper's case-study partition through the service path.
+//!
+//! The published result — `{C1, C5, C4, C3}` and `{C6, C2}`, two TT slots —
+//! must fall out of the online service exactly as it does from the batch
+//! engine: admit the six applications one at a time, read the partition
+//! back through the protocol, snapshot, and reproduce it warm.
+
+use cps_admit::AdmissionService;
+use cps_apps::case_study;
+use cps_core::AppTimingProfile;
+
+/// Table 1 timing profiles, in the paper's order C1..C6.
+fn paper_profiles() -> Vec<AppTimingProfile> {
+    case_study::all_applications()
+        .expect("published case-study data is valid")
+        .iter()
+        .map(|app| {
+            app.paper_row()
+                .to_profile(app.application().name())
+                .expect("published rows are consistent")
+        })
+        .collect()
+}
+
+/// The published two-slot partition as fleet indices (C1 is index 0).
+fn published_slots() -> Vec<Vec<usize>> {
+    vec![vec![0, 4, 3, 2], vec![5, 1]]
+}
+
+#[test]
+fn service_reproduces_the_published_partition() {
+    let service = AdmissionService::spawn();
+    let client = service.client();
+    for (i, p) in paper_profiles().into_iter().enumerate() {
+        let outcome = client.admit(p).unwrap();
+        assert_eq!(outcome.index, i);
+    }
+    let stats = client.stats().unwrap();
+    assert_eq!(stats.slots, published_slots());
+    assert_eq!(stats.fleet_len, 6);
+    assert!(stats.tier.exact_verifies > 0, "a cold run does real work");
+    drop(client);
+    let state = service.shutdown();
+    assert_eq!(state.report().slots(), published_slots().as_slice());
+}
+
+#[test]
+fn snapshot_roundtrip_reproduces_the_partition_warm() {
+    // Cold service: admit the fleet, save the caches.
+    let service = AdmissionService::spawn();
+    let client = service.client();
+    for p in paper_profiles() {
+        client.admit(p).unwrap();
+    }
+    let bytes = client.snapshot().unwrap();
+    drop(client);
+    service.shutdown();
+
+    // Warm restart: the fleet is gone (snapshots carry caches, not request
+    // state), re-admission reproduces the published partition with every
+    // verdict answered from the restored memo — zero exact verifications.
+    let warm = AdmissionService::spawn_warm(&bytes).unwrap();
+    let client = warm.client();
+    assert_eq!(client.stats().unwrap().fleet_len, 0);
+    for p in paper_profiles() {
+        client.admit(p).unwrap();
+    }
+    let stats = client.stats().unwrap();
+    assert_eq!(stats.slots, published_slots());
+    assert_eq!(
+        stats.tier.exact_verifies, 0,
+        "warm-start verdicts must all come from the restored caches"
+    );
+    assert!(stats.tier.memo_hits > 0);
+    drop(client);
+    warm.shutdown();
+}
+
+#[test]
+fn corrupt_snapshots_are_rejected_at_spawn() {
+    let service = AdmissionService::spawn();
+    let client = service.client();
+    let mut bytes = client.snapshot().unwrap();
+    let last = bytes.len() - 1;
+    bytes[last] ^= 0xFF;
+    assert!(AdmissionService::spawn_warm(&bytes).is_err());
+    drop(client);
+    service.shutdown();
+}

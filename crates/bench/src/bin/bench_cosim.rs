@@ -14,11 +14,10 @@
 //! `-- --quick` for the reduced CI smoke sizes).
 
 use std::fmt::Write as _;
-use std::path::Path;
-use std::time::Instant;
 
 use cps_apps::case_study::{SLOT1_MEMBERS, SLOT2_MEMBERS};
 use cps_bench::case_study_apps;
+use cps_bench::report::{quick_flag, timed, write_report};
 use cps_core::BackendChoice;
 use cps_sched::cosim::{CosimApp, CosimScenario};
 use cps_sched::engine::assert_bitwise_equal;
@@ -45,12 +44,6 @@ fn slot_apps(members: &[&str]) -> Vec<CosimApp> {
             }
         })
         .collect()
-}
-
-fn timed<T>(f: impl FnOnce() -> T) -> (T, f64) {
-    let start = Instant::now();
-    let value = f();
-    (value, start.elapsed().as_secs_f64() * 1e3)
 }
 
 struct FamilyReport {
@@ -210,7 +203,7 @@ fn bench_family(
 }
 
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
+    let quick = quick_flag();
     let slot1 = slot_apps(&SLOT1_MEMBERS);
     let slot2 = slot_apps(&SLOT2_MEMBERS);
     let mut reports = Vec::new();
@@ -252,9 +245,7 @@ fn main() {
     ));
 
     let json = render_json(quick, &reports);
-    let out_path = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_cosim.json");
-    std::fs::write(&out_path, json).expect("writes BENCH_cosim.json");
-    println!("wrote {}", out_path.display());
+    write_report("cosim", &json);
 
     let total_oracle: f64 = reports.iter().map(|r| r.oracle_ms).sum();
     let total_engine: f64 = reports.iter().map(|r| r.engine_ms).sum();

@@ -11,37 +11,15 @@
 //! `-- --quick` for the reduced sizes the CI bench-smoke job uses).
 
 use std::fmt::Write as _;
-use std::path::Path;
-use std::time::Instant;
 
 use cps_apps::case_study::{self, CaseStudyApp};
+use cps_bench::report::{quick_flag, timed_best, write_report};
 use cps_core::dwell::{
     compute_dwell_table_with_backend, compute_dwell_table_with_threads, reference,
     settling_surface_with_threads, DwellSearchOptions,
 };
 use cps_core::engine::DwellEngine;
 use cps_core::BackendChoice;
-
-/// Milliseconds spent in `f`, returning the value as well.
-fn timed<T>(f: impl FnOnce() -> T) -> (T, f64) {
-    let start = Instant::now();
-    let value = f();
-    (value, start.elapsed().as_secs_f64() * 1e3)
-}
-
-/// Best-of-three timing, applied to the naive and engine configurations
-/// alike so the reported speedups compare like with like.
-fn timed_best<T>(mut f: impl FnMut() -> T) -> (T, f64) {
-    let (mut value, mut best) = timed(&mut f);
-    for _ in 0..2 {
-        let (v, ms) = timed(&mut f);
-        if ms < best {
-            best = ms;
-            value = v;
-        }
-    }
-    (value, best)
-}
 
 struct AppReport {
     name: String,
@@ -71,7 +49,7 @@ impl AppReport {
 }
 
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
+    let quick = quick_flag();
     let options = if quick {
         // The reduced search window the case-study reproduction itself uses;
         // small enough for a CI smoke run, still covering every app.
@@ -215,9 +193,7 @@ fn main() {
     }
 
     let json = render_json(quick, &options, threads, &reports);
-    let out_path = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_dwell.json");
-    std::fs::write(&out_path, json).expect("writes BENCH_dwell.json");
-    println!("wrote {}", out_path.display());
+    write_report("dwell", &json);
 
     let worst_table = reports
         .iter()

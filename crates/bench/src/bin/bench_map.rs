@@ -18,11 +18,11 @@
 //! `-- --quick` for the reduced CI smoke sizes).
 
 use std::fmt::Write as _;
-use std::path::Path;
-use std::time::Instant;
 
+use cps_bench::fleet::{fleet_profile, random_fleet};
 use cps_bench::published_profiles;
-use cps_core::{AppTimingProfile, DwellTimeTable};
+use cps_bench::report::{quick_flag, timed, write_report};
+use cps_core::AppTimingProfile;
 use cps_map::{
     first_fit, reference, MapExplorerEngine, ModelCheckingOracle, SlotOracle, TierStats,
 };
@@ -31,54 +31,6 @@ use cps_map::{
 struct FleetCase {
     label: String,
     fleet: Vec<AppTimingProfile>,
-}
-
-/// A constant-dwell synthetic profile whose hold time `J_T` equals the dwell
-/// (so the baseline gate can open) — the symmetric-fleet building block.
-fn fleet_profile(name: &str, max_wait: usize, dwell: usize, r: usize) -> AppTimingProfile {
-    let jstar = max_wait + dwell + 1;
-    let table =
-        DwellTimeTable::from_arrays(jstar, vec![dwell; max_wait + 1], vec![dwell; max_wait + 1])
-            .expect("consistent dwell table");
-    AppTimingProfile::new(name, dwell, jstar + 10, jstar, r.max(jstar + 1), table)
-        .expect("consistent profile")
-}
-
-/// Deterministic xorshift64* draw in `[0, bound)`.
-fn next_below(state: &mut u64, bound: u64) -> u64 {
-    let mut x = *state;
-    x ^= x >> 12;
-    x ^= x << 25;
-    x ^= x >> 27;
-    *state = x;
-    x.wrapping_mul(0x2545_F491_4F6C_DD1D) % bound
-}
-
-/// A deterministic pseudo-random small profile, mirroring the
-/// state-footprint of the property-test models.
-fn random_profile(state: &mut u64, tag: usize) -> AppTimingProfile {
-    let mut next = |bound: u64| next_below(state, bound);
-    // Waits comfortably above the dwells, so pairs and triples often share a
-    // slot and the cascade's accept tiers (not only the screen) are
-    // exercised; inter-arrival stays small to keep the exact models cheap.
-    let max_wait = 3 + next(4) as usize;
-    let len = max_wait + 1;
-    let base = 1 + next(2) as usize;
-    let t_dw_min: Vec<usize> = (0..len).map(|_| base + next(2) as usize).collect();
-    let t_dw_plus: Vec<usize> = t_dw_min.iter().map(|&m| m + next(2) as usize).collect();
-    let max_plus = t_dw_plus.iter().copied().max().unwrap();
-    let jstar = max_wait + max_plus + 1;
-    let jt = if next(2) == 0 { max_plus } else { 1 };
-    let r = jstar + 1 + next(8) as usize;
-    let table = DwellTimeTable::from_arrays(jstar, t_dw_min, t_dw_plus).expect("consistent table");
-    AppTimingProfile::new(format!("R{tag}"), jt, jstar + 10, jstar, r, table)
-        .expect("consistent profile")
-}
-
-fn timed<T>(f: impl FnOnce() -> T) -> (T, f64) {
-    let start = Instant::now();
-    let value = f();
-    (value, start.elapsed().as_secs_f64() * 1e3)
 }
 
 struct FirstFitReport {
@@ -289,7 +241,7 @@ fn bench_minimize_family(name: &str, cases: &[FleetCase]) -> MinimizeReportRow {
 }
 
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
+    let quick = quick_flag();
 
     // Repeated sweep over the paper's case study: identical and
     // order-permuted copies of the published fleet — the shape of a
@@ -363,29 +315,9 @@ fn main() {
     let (fleets, size) = if quick { (2, 7) } else { (4, 9) };
     let mut state = 0x9E37_79B9_7F4A_7C15u64;
     let hetero_cases: Vec<FleetCase> = (0..fleets)
-        .map(|f| {
-            let pool: Vec<AppTimingProfile> = (0..3)
-                .map(|i| random_profile(&mut state, f * 3 + i))
-                .collect();
-            let fleet: Vec<AppTimingProfile> = (0..size)
-                .map(|k| {
-                    let p = &pool[next_below(&mut state, 3) as usize];
-                    // Distinct names per position; fingerprints ignore them.
-                    AppTimingProfile::new(
-                        format!("H{f}_{k}"),
-                        p.jt(),
-                        p.je(),
-                        p.jstar(),
-                        p.min_inter_arrival(),
-                        p.dwell_table().clone(),
-                    )
-                    .expect("renamed profile stays consistent")
-                })
-                .collect();
-            FleetCase {
-                label: format!("random_{f}_n{size}"),
-                fleet,
-            }
+        .map(|f| FleetCase {
+            label: format!("random_{f}_n{size}"),
+            fleet: random_fleet(&mut state, f, 3, size),
         })
         .collect();
     let hetero_report = bench_first_fit_family("heterogeneous_random", &hetero_cases);
@@ -454,9 +386,7 @@ fn main() {
 
     let first_fit_reports = [case_study_report, symmetric_report, hetero_report];
     let json = render_json(quick, &first_fit_reports, &minimize_report);
-    let out_path = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_map.json");
-    std::fs::write(&out_path, json).expect("writes BENCH_map.json");
-    println!("wrote {}", out_path.display());
+    write_report("map", &json);
 
     let total_plain: f64 = first_fit_reports.iter().map(|r| r.plain_ms).sum();
     let total_cascade: f64 = first_fit_reports.iter().map(|r| r.cascade_ms).sum();

@@ -14,10 +14,9 @@
 //! `-- --quick` for the reduced CI smoke sizes).
 
 use std::fmt::Write as _;
-use std::path::Path;
-use std::time::Instant;
 
 use cps_bench::published_profiles;
+use cps_bench::report::{quick_flag, timed, write_report};
 use cps_ta::automaton::{SyncAction, TimedAutomatonBuilder};
 use cps_ta::guard::ClockConstraint;
 use cps_ta::model::{slot_sharing_network, SlotAppParams};
@@ -130,12 +129,6 @@ impl NetworkReport {
     }
 }
 
-fn timed<T>(f: impl FnOnce() -> T) -> (T, f64) {
-    let start = Instant::now();
-    let value = f();
-    (value, start.elapsed().as_secs_f64() * 1e3)
-}
-
 /// Asserts verdict equivalence (and witness sanity) between the two engines.
 fn assert_equivalent(
     name: &str,
@@ -244,7 +237,7 @@ fn bench_network(name: &str, network: &Network) -> NetworkReport {
 }
 
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
+    let quick = quick_flag();
     let mut reports = Vec::new();
 
     // Sender/receiver token rings, scaled in length; two tokens circulate so
@@ -293,9 +286,7 @@ fn main() {
     }
 
     let json = render_json(quick, &reports);
-    let out_path = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_reach.json");
-    std::fs::write(&out_path, json).expect("writes BENCH_reach.json");
-    println!("wrote {}", out_path.display());
+    write_report("reach", &json);
 
     let largest = reports
         .iter()

@@ -17,10 +17,9 @@
 //! `-- --quick` for the reduced CI smoke sizes).
 
 use std::fmt::Write as _;
-use std::path::Path;
-use std::time::Instant;
 
 use cps_bench::published_profiles;
+use cps_bench::report::{quick_flag, timed, write_report};
 use cps_core::{AppTimingProfile, DwellTimeTable};
 use cps_verify::bounded::sufficient_instance_bound;
 use cps_verify::{
@@ -52,12 +51,6 @@ fn fleet_profile(name: &str, max_wait: usize, dwell: usize, r: usize) -> AppTimi
             .expect("consistent dwell table");
     AppTimingProfile::new(name, 1, jstar + 10, jstar, r.max(jstar + 1), table)
         .expect("consistent profile")
-}
-
-fn timed<T>(f: impl FnOnce() -> T) -> (T, f64) {
-    let start = Instant::now();
-    let value = f();
-    (value, start.elapsed().as_secs_f64() * 1e3)
 }
 
 struct FamilyReport {
@@ -210,7 +203,7 @@ fn bench_family(name: &str, cases: &[ModelCase]) -> FamilyReport {
 }
 
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
+    let quick = quick_flag();
     let mut reports = Vec::new();
 
     // The paper's exact (unbounded sporadic) slot mappings, hardest last:
@@ -296,9 +289,7 @@ fn main() {
     reports.push(bench_family("symmetric_fleet", &fleet_cases));
 
     let json = render_json(quick, &reports);
-    let out_path = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_verify.json");
-    std::fs::write(&out_path, json).expect("writes BENCH_verify.json");
-    println!("wrote {}", out_path.display());
+    write_report("verify", &json);
 
     let total_oracle: f64 = reports.iter().map(|r| r.oracle_ms).sum();
     let total_engine: f64 = reports.iter().map(|r| r.engine_ms).sum();

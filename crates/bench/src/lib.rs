@@ -11,6 +11,9 @@
 use cps_apps::case_study::{self, CaseStudyApp};
 use cps_core::{AppTimingProfile, CoreError};
 
+pub mod fleet;
+pub mod report;
+
 /// Returns the six case-study applications in the paper's order.
 ///
 /// # Panics

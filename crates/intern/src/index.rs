@@ -1,9 +1,14 @@
 //! Open-addressing intern index with cached entry hashes.
 
+use crate::snapshot::{SnapshotError, SnapshotReader, SnapshotWriter};
+
 /// Empty-bucket sentinel; interned ids must stay below it.
 const EMPTY: u32 = u32::MAX;
 /// Buckets allocated on first use; always a power of two.
 const INITIAL_CAPACITY: usize = 1 << 10;
+
+/// Snapshot kind tag of [`CachedHashIndex`].
+const KIND: [u8; 4] = *b"CHIX";
 
 /// Work counters of a [`CachedHashIndex`], cumulative over the index's
 /// lifetime (they survive [`CachedHashIndex::reset`], so a long-lived engine
@@ -126,6 +131,75 @@ impl CachedHashIndex {
             }
             slot = (slot + 1) & cap_mask;
         }
+    }
+
+    /// Writes the index into a snapshot payload, bucket positions included,
+    /// so the restored index probes exactly like the saved one. Work
+    /// counters are not persisted — a restored index counts from zero.
+    pub fn write_snapshot(&self, w: &mut SnapshotWriter) {
+        w.put_usize(self.len);
+        w.put_usize(self.ids.len());
+        for (&hash, &id) in self.hashes.iter().zip(&self.ids) {
+            w.put_u64(hash);
+            w.put_u32(id);
+        }
+    }
+
+    /// Reads an index previously written by
+    /// [`CachedHashIndex::write_snapshot`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates payload truncation, a non-power-of-two capacity, or an
+    /// entry count that disagrees with the stored buckets.
+    pub fn read_snapshot(r: &mut SnapshotReader<'_>) -> Result<Self, SnapshotError> {
+        let len = r.take_usize()?;
+        let capacity = r.take_usize()?;
+        if capacity != 0 && !capacity.is_power_of_two() {
+            return Err(SnapshotError::Corrupt {
+                reason: format!("index capacity {capacity} is not a power of two"),
+            });
+        }
+        let mut hashes = Vec::with_capacity(capacity.min(1 << 24));
+        let mut ids = Vec::with_capacity(capacity.min(1 << 24));
+        let mut occupied = 0usize;
+        for _ in 0..capacity {
+            let hash = r.take_u64()?;
+            let id = r.take_u32()?;
+            occupied += usize::from(id != EMPTY);
+            hashes.push(hash);
+            ids.push(id);
+        }
+        if occupied != len {
+            return Err(SnapshotError::Corrupt {
+                reason: format!("index claims {len} entries but stores {occupied}"),
+            });
+        }
+        Ok(CachedHashIndex {
+            hashes,
+            ids,
+            len,
+            stats: IndexStats::default(),
+        })
+    }
+
+    /// Serializes the index as a standalone snapshot.
+    pub fn to_snapshot_bytes(&self) -> Vec<u8> {
+        let mut w = SnapshotWriter::new(KIND);
+        self.write_snapshot(&mut w);
+        w.finish()
+    }
+
+    /// Restores an index from [`CachedHashIndex::to_snapshot_bytes`] output.
+    ///
+    /// # Errors
+    ///
+    /// Propagates framing and payload violations as [`SnapshotError`].
+    pub fn from_snapshot_bytes(bytes: &[u8]) -> Result<Self, SnapshotError> {
+        let mut r = SnapshotReader::open(bytes, KIND)?;
+        let index = CachedHashIndex::read_snapshot(&mut r)?;
+        r.finish()?;
+        Ok(index)
     }
 
     /// Doubles the bucket array, re-bucketing every entry from its cached
@@ -258,6 +332,60 @@ mod tests {
         let mut arena2 = Vec::new();
         let id = intern_words(&mut index, &mut arena2, &[42]);
         assert_eq!(id, 0, "ids restart after reset");
+    }
+
+    #[test]
+    fn snapshot_roundtrip_preserves_bucket_layout() {
+        let mut index = CachedHashIndex::new();
+        let mut arena = Vec::new();
+        for i in 0..900u32 {
+            intern_words(&mut index, &mut arena, &[i, i.wrapping_mul(31)]);
+        }
+        let bytes = index.to_snapshot_bytes();
+        let mut restored = CachedHashIndex::from_snapshot_bytes(&bytes).unwrap();
+        assert_eq!(restored.len(), index.len());
+        assert_eq!(restored.stats(), &IndexStats::default(), "counters restart");
+        // Layout-identical: re-serializing reproduces the same bytes, and
+        // every key resolves to its original id without new inserts.
+        assert_eq!(restored.to_snapshot_bytes(), bytes);
+        for i in 0..900u32 {
+            let id = intern_words(&mut restored, &mut arena, &[i, i.wrapping_mul(31)]);
+            assert_eq!(arena[id as usize], vec![i, i.wrapping_mul(31)]);
+        }
+        assert_eq!(restored.len(), 900);
+
+        // An empty (never grown) index roundtrips too.
+        let empty = CachedHashIndex::new();
+        let restored = CachedHashIndex::from_snapshot_bytes(&empty.to_snapshot_bytes()).unwrap();
+        assert!(restored.is_empty());
+    }
+
+    #[test]
+    fn snapshot_rejects_inconsistent_payloads() {
+        // Capacity that is not a power of two.
+        let mut w = crate::snapshot::SnapshotWriter::new(*b"CHIX");
+        w.put_usize(0);
+        w.put_usize(3);
+        for _ in 0..3 {
+            w.put_u64(0);
+            w.put_u32(EMPTY);
+        }
+        assert!(matches!(
+            CachedHashIndex::from_snapshot_bytes(&w.finish()).unwrap_err(),
+            SnapshotError::Corrupt { .. }
+        ));
+        // Entry count that disagrees with the stored buckets.
+        let mut w = crate::snapshot::SnapshotWriter::new(*b"CHIX");
+        w.put_usize(2);
+        w.put_usize(4);
+        for _ in 0..4 {
+            w.put_u64(7);
+            w.put_u32(EMPTY);
+        }
+        assert!(matches!(
+            CachedHashIndex::from_snapshot_bytes(&w.finish()).unwrap_err(),
+            SnapshotError::Corrupt { .. }
+        ));
     }
 
     #[test]

@@ -34,12 +34,22 @@
 //! cached-hash hits and skips, growth re-buckets and replacements, which the
 //! engines surface through `VerifyStats` / `TierStats` and the `BENCH_*.json`
 //! reports.
+//!
+//! For long-running services the containers also persist: [`snapshot`]
+//! defines a versioned, dependency-free binary format (magic, kind tag,
+//! checksum), and each container offers layout-preserving
+//! `write_snapshot`/`read_snapshot` plus standalone
+//! `to_snapshot_bytes`/`from_snapshot_bytes`, so an admission service
+//! warm-starts across restarts with bit-identical probe paths and verdicts.
+
+pub mod snapshot;
 
 mod index;
 mod tt;
 mod zobrist;
 
 pub use index::{CachedHashIndex, IndexStats};
+pub use snapshot::{Persist, SnapshotError, SnapshotReader, SnapshotWriter, SNAPSHOT_VERSION};
 pub use tt::{TtStats, TwoWayTranspositionTable};
 pub use zobrist::{seq_fingerprint, zobrist_key, ZobristKeys};
 

@@ -1,0 +1,489 @@
+//! Versioned, dependency-free binary snapshots of the interning containers.
+//!
+//! A long-running admission service keeps its verdict caches — the mapping
+//! cascade's memo transposition table, the interned fingerprints, the
+//! anti-monotone index — in memory; a restart would otherwise throw all of
+//! that work away and re-run the exact verifier for every query it had
+//! already answered. This module defines the byte format those caches are
+//! persisted in so a service *warm-starts*: the restored containers are
+//! layout-identical to the saved ones (same bucket positions, same
+//! replacement state), so every subsequent query takes exactly the probe
+//! path — and returns exactly the verdict — it would have taken in the
+//! original process.
+//!
+//! The format is deliberately free of external dependencies (the container
+//! building this workspace has no crates.io access): little-endian integers
+//! behind a small header and trailer,
+//!
+//! ```text
+//! magic "CPSN" | version u16 | kind [u8; 4] | payload ... | fnv1a64 checksum
+//! ```
+//!
+//! where `kind` names the structure the payload encodes (each persistable
+//! type picks a four-byte tag) and the checksum covers header and payload.
+//! [`SnapshotWriter`] / [`SnapshotReader`] implement the framing;
+//! [`Persist`] is the per-type payload codec, implemented here for the
+//! primitives and sequences the containers need and by the containers
+//! themselves ([`crate::ZobristKeys`], [`crate::CachedHashIndex`],
+//! [`crate::TwoWayTranspositionTable`]).
+//!
+//! Work counters ([`crate::IndexStats`], [`crate::TtStats`]) are *not*
+//! persisted: a restored container counts its new process's work from zero,
+//! which is what the warm-vs-cold bench deltas measure. Only behavior is
+//! preserved, bit-identically.
+
+use std::fmt;
+
+/// Version of the snapshot framing; bumped on any layout change.
+pub const SNAPSHOT_VERSION: u16 = 1;
+
+const MAGIC: [u8; 4] = *b"CPSN";
+
+/// Why a snapshot failed to decode.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SnapshotError {
+    /// The buffer does not start with the snapshot magic.
+    BadMagic,
+    /// The snapshot was written by an incompatible format version.
+    BadVersion {
+        /// Version found in the header.
+        found: u16,
+    },
+    /// The snapshot encodes a different structure than the caller expects.
+    BadKind {
+        /// Kind tag found in the header.
+        found: [u8; 4],
+        /// Kind tag the caller asked for.
+        expected: [u8; 4],
+    },
+    /// The checksum over header and payload does not match the trailer.
+    BadChecksum,
+    /// The payload ended before a read completed.
+    UnexpectedEof,
+    /// Bytes remained after the payload was fully decoded.
+    TrailingBytes {
+        /// Number of undecoded payload bytes.
+        count: usize,
+    },
+    /// The payload decoded but violates a structural invariant.
+    Corrupt {
+        /// Human-readable description of the violated invariant.
+        reason: String,
+    },
+}
+
+impl fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SnapshotError::BadMagic => write!(f, "not a cps snapshot (bad magic)"),
+            SnapshotError::BadVersion { found } => {
+                write!(
+                    f,
+                    "unsupported snapshot version {found} (supported: {SNAPSHOT_VERSION})"
+                )
+            }
+            SnapshotError::BadKind { found, expected } => write!(
+                f,
+                "snapshot encodes kind {:?}, expected {:?}",
+                String::from_utf8_lossy(found),
+                String::from_utf8_lossy(expected)
+            ),
+            SnapshotError::BadChecksum => write!(f, "snapshot checksum mismatch"),
+            SnapshotError::UnexpectedEof => write!(f, "snapshot payload truncated"),
+            SnapshotError::TrailingBytes { count } => {
+                write!(f, "{count} trailing bytes after snapshot payload")
+            }
+            SnapshotError::Corrupt { reason } => write!(f, "corrupt snapshot: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {}
+
+/// FNV-1a 64-bit hash over `bytes` — the integrity checksum of the format.
+fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut hash = 0xCBF2_9CE4_8422_2325u64;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    hash
+}
+
+/// Serializer for one snapshot: header, little-endian payload writes, and a
+/// checksum trailer appended by [`SnapshotWriter::finish`].
+#[derive(Debug)]
+pub struct SnapshotWriter {
+    buf: Vec<u8>,
+}
+
+impl SnapshotWriter {
+    /// Starts a snapshot of the structure tagged `kind`.
+    pub fn new(kind: [u8; 4]) -> Self {
+        let mut buf = Vec::with_capacity(64);
+        buf.extend_from_slice(&MAGIC);
+        buf.extend_from_slice(&SNAPSHOT_VERSION.to_le_bytes());
+        buf.extend_from_slice(&kind);
+        SnapshotWriter { buf }
+    }
+
+    /// Appends one byte.
+    pub fn put_u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Appends a little-endian `u32`.
+    pub fn put_u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian `u64`.
+    pub fn put_u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a `usize` as a little-endian `u64` (sizes are
+    /// platform-independent in the format).
+    pub fn put_usize(&mut self, v: usize) {
+        self.put_u64(v as u64);
+    }
+
+    /// Appends a boolean as one byte.
+    pub fn put_bool(&mut self, v: bool) {
+        self.put_u8(u8::from(v));
+    }
+
+    /// Appends a length-prefixed byte string.
+    pub fn put_bytes(&mut self, v: &[u8]) {
+        self.put_usize(v.len());
+        self.buf.extend_from_slice(v);
+    }
+
+    /// Seals the snapshot: appends the checksum and returns the bytes.
+    pub fn finish(mut self) -> Vec<u8> {
+        let checksum = fnv1a64(&self.buf);
+        self.buf.extend_from_slice(&checksum.to_le_bytes());
+        self.buf
+    }
+}
+
+/// Deserializer over a sealed snapshot buffer. [`SnapshotReader::open`]
+/// validates the header and checksum up front, the `take_*` methods walk the
+/// payload, and [`SnapshotReader::finish`] rejects trailing bytes.
+#[derive(Debug)]
+pub struct SnapshotReader<'a> {
+    payload: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> SnapshotReader<'a> {
+    /// Opens a snapshot, verifying magic, version, kind and checksum.
+    pub fn open(bytes: &'a [u8], kind: [u8; 4]) -> Result<Self, SnapshotError> {
+        // magic + version + kind up front, checksum trailer at the end.
+        const HEADER: usize = 4 + 2 + 4;
+        if bytes.len() < HEADER + 8 {
+            return Err(SnapshotError::UnexpectedEof);
+        }
+        if bytes[..4] != MAGIC {
+            return Err(SnapshotError::BadMagic);
+        }
+        let version = u16::from_le_bytes([bytes[4], bytes[5]]);
+        if version != SNAPSHOT_VERSION {
+            return Err(SnapshotError::BadVersion { found: version });
+        }
+        let found: [u8; 4] = bytes[6..10].try_into().expect("slice of length 4");
+        if found != kind {
+            return Err(SnapshotError::BadKind {
+                found,
+                expected: kind,
+            });
+        }
+        let (body, trailer) = bytes.split_at(bytes.len() - 8);
+        let stored = u64::from_le_bytes(trailer.try_into().expect("slice of length 8"));
+        if fnv1a64(body) != stored {
+            return Err(SnapshotError::BadChecksum);
+        }
+        Ok(SnapshotReader {
+            payload: &body[HEADER..],
+            pos: 0,
+        })
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], SnapshotError> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&end| end <= self.payload.len())
+            .ok_or(SnapshotError::UnexpectedEof)?;
+        let slice = &self.payload[self.pos..end];
+        self.pos = end;
+        Ok(slice)
+    }
+
+    /// Reads one byte.
+    pub fn take_u8(&mut self) -> Result<u8, SnapshotError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Reads a little-endian `u32`.
+    pub fn take_u32(&mut self) -> Result<u32, SnapshotError> {
+        Ok(u32::from_le_bytes(
+            self.take(4)?.try_into().expect("slice of length 4"),
+        ))
+    }
+
+    /// Reads a little-endian `u64`.
+    pub fn take_u64(&mut self) -> Result<u64, SnapshotError> {
+        Ok(u64::from_le_bytes(
+            self.take(8)?.try_into().expect("slice of length 8"),
+        ))
+    }
+
+    /// Reads a `usize` stored as a `u64`, rejecting values the platform
+    /// cannot represent.
+    pub fn take_usize(&mut self) -> Result<usize, SnapshotError> {
+        usize::try_from(self.take_u64()?).map_err(|_| SnapshotError::Corrupt {
+            reason: "size exceeds the platform's usize".to_string(),
+        })
+    }
+
+    /// Reads a boolean, rejecting bytes other than 0 and 1.
+    pub fn take_bool(&mut self) -> Result<bool, SnapshotError> {
+        match self.take_u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            other => Err(SnapshotError::Corrupt {
+                reason: format!("invalid boolean byte {other}"),
+            }),
+        }
+    }
+
+    /// Reads a length-prefixed byte string.
+    pub fn take_bytes(&mut self) -> Result<&'a [u8], SnapshotError> {
+        let len = self.take_usize()?;
+        self.take(len)
+    }
+
+    /// Asserts the whole payload was consumed.
+    pub fn finish(self) -> Result<(), SnapshotError> {
+        if self.pos != self.payload.len() {
+            return Err(SnapshotError::TrailingBytes {
+                count: self.payload.len() - self.pos,
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Payload codec for one value: how a type writes itself into a snapshot and
+/// reconstructs itself from one. Compound structures persist their fields in
+/// a fixed order; `restore` must read exactly what `persist` wrote.
+pub trait Persist: Sized {
+    /// Appends this value to the snapshot payload.
+    fn persist(&self, w: &mut SnapshotWriter);
+
+    /// Reads one value of this type from the snapshot payload.
+    ///
+    /// # Errors
+    ///
+    /// Propagates truncation and invariant violations as [`SnapshotError`].
+    fn restore(r: &mut SnapshotReader<'_>) -> Result<Self, SnapshotError>;
+}
+
+impl Persist for u32 {
+    fn persist(&self, w: &mut SnapshotWriter) {
+        w.put_u32(*self);
+    }
+
+    fn restore(r: &mut SnapshotReader<'_>) -> Result<Self, SnapshotError> {
+        r.take_u32()
+    }
+}
+
+impl Persist for u64 {
+    fn persist(&self, w: &mut SnapshotWriter) {
+        w.put_u64(*self);
+    }
+
+    fn restore(r: &mut SnapshotReader<'_>) -> Result<Self, SnapshotError> {
+        r.take_u64()
+    }
+}
+
+impl Persist for usize {
+    fn persist(&self, w: &mut SnapshotWriter) {
+        w.put_usize(*self);
+    }
+
+    fn restore(r: &mut SnapshotReader<'_>) -> Result<Self, SnapshotError> {
+        r.take_usize()
+    }
+}
+
+impl Persist for bool {
+    fn persist(&self, w: &mut SnapshotWriter) {
+        w.put_bool(*self);
+    }
+
+    fn restore(r: &mut SnapshotReader<'_>) -> Result<Self, SnapshotError> {
+        r.take_bool()
+    }
+}
+
+impl<T: Persist> Persist for Vec<T> {
+    fn persist(&self, w: &mut SnapshotWriter) {
+        w.put_usize(self.len());
+        for item in self {
+            item.persist(w);
+        }
+    }
+
+    fn restore(r: &mut SnapshotReader<'_>) -> Result<Self, SnapshotError> {
+        let len = r.take_usize()?;
+        // Guard allocation against corrupt length prefixes: every element
+        // occupies at least one payload byte.
+        let mut items = Vec::with_capacity(len.min(1 << 20));
+        for _ in 0..len {
+            items.push(T::restore(r)?);
+        }
+        Ok(items)
+    }
+}
+
+impl Persist for String {
+    fn persist(&self, w: &mut SnapshotWriter) {
+        w.put_bytes(self.as_bytes());
+    }
+
+    fn restore(r: &mut SnapshotReader<'_>) -> Result<Self, SnapshotError> {
+        String::from_utf8(r.take_bytes()?.to_vec()).map_err(|_| SnapshotError::Corrupt {
+            reason: "string payload is not UTF-8".to_string(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const KIND: [u8; 4] = *b"TEST";
+
+    #[test]
+    fn primitives_roundtrip() {
+        let mut w = SnapshotWriter::new(KIND);
+        42u32.persist(&mut w);
+        u64::MAX.persist(&mut w);
+        7usize.persist(&mut w);
+        true.persist(&mut w);
+        false.persist(&mut w);
+        vec![1u32, 2, 3].persist(&mut w);
+        "héllo".to_string().persist(&mut w);
+        let bytes = w.finish();
+
+        let mut r = SnapshotReader::open(&bytes, KIND).unwrap();
+        assert_eq!(u32::restore(&mut r).unwrap(), 42);
+        assert_eq!(u64::restore(&mut r).unwrap(), u64::MAX);
+        assert_eq!(usize::restore(&mut r).unwrap(), 7);
+        assert!(bool::restore(&mut r).unwrap());
+        assert!(!bool::restore(&mut r).unwrap());
+        assert_eq!(Vec::<u32>::restore(&mut r).unwrap(), vec![1, 2, 3]);
+        assert_eq!(String::restore(&mut r).unwrap(), "héllo");
+        r.finish().unwrap();
+    }
+
+    #[test]
+    fn header_violations_are_reported() {
+        let bytes = {
+            let mut w = SnapshotWriter::new(KIND);
+            1u32.persist(&mut w);
+            w.finish()
+        };
+
+        assert_eq!(
+            SnapshotReader::open(&bytes[..4], KIND).unwrap_err(),
+            SnapshotError::UnexpectedEof
+        );
+
+        let mut bad_magic = bytes.clone();
+        bad_magic[0] = b'X';
+        assert_eq!(
+            SnapshotReader::open(&bad_magic, KIND).unwrap_err(),
+            SnapshotError::BadMagic
+        );
+
+        let mut bad_version = bytes.clone();
+        bad_version[4] = 0xFF;
+        // The version bytes are covered by the checksum, but the version is
+        // rejected before the checksum is consulted.
+        assert!(matches!(
+            SnapshotReader::open(&bad_version, KIND).unwrap_err(),
+            SnapshotError::BadVersion { .. }
+        ));
+
+        assert!(matches!(
+            SnapshotReader::open(&bytes, *b"OTHR").unwrap_err(),
+            SnapshotError::BadKind { .. }
+        ));
+
+        let mut flipped = bytes.clone();
+        let last_payload = flipped.len() - 9;
+        flipped[last_payload] ^= 0x40;
+        assert_eq!(
+            SnapshotReader::open(&flipped, KIND).unwrap_err(),
+            SnapshotError::BadChecksum
+        );
+    }
+
+    #[test]
+    fn payload_violations_are_reported() {
+        let bytes = {
+            let mut w = SnapshotWriter::new(KIND);
+            5u32.persist(&mut w);
+            w.finish()
+        };
+        // Reading more than was written: EOF.
+        let mut r = SnapshotReader::open(&bytes, KIND).unwrap();
+        assert_eq!(u32::restore(&mut r).unwrap(), 5);
+        assert_eq!(
+            u32::restore(&mut r).unwrap_err(),
+            SnapshotError::UnexpectedEof
+        );
+        // Reading less: trailing bytes.
+        let r = SnapshotReader::open(&bytes, KIND).unwrap();
+        assert_eq!(
+            r.finish().unwrap_err(),
+            SnapshotError::TrailingBytes { count: 4 }
+        );
+        // Invalid boolean byte.
+        let bytes = {
+            let mut w = SnapshotWriter::new(KIND);
+            w.put_u8(3);
+            w.finish()
+        };
+        let mut r = SnapshotReader::open(&bytes, KIND).unwrap();
+        assert!(matches!(
+            bool::restore(&mut r).unwrap_err(),
+            SnapshotError::Corrupt { .. }
+        ));
+    }
+
+    #[test]
+    fn errors_render() {
+        for err in [
+            SnapshotError::BadMagic,
+            SnapshotError::BadVersion { found: 9 },
+            SnapshotError::BadKind {
+                found: *b"AAAA",
+                expected: KIND,
+            },
+            SnapshotError::BadChecksum,
+            SnapshotError::UnexpectedEof,
+            SnapshotError::TrailingBytes { count: 3 },
+            SnapshotError::Corrupt {
+                reason: "x".to_string(),
+            },
+        ] {
+            assert!(!err.to_string().is_empty());
+        }
+    }
+}

@@ -10,7 +10,7 @@
 //! scratch for each. The engine pushes every query through a cascade of
 //! tiers, cheapest first; each tier either decides the query or passes it
 //! down, and only the residue reaches the interned-state
-//! [`SlotVerifyEngine`]:
+//! [`SlotVerifyEngine`](cps_verify::SlotVerifyEngine):
 //!
 //! 1. **Singleton accept** — one application per slot is admissible by
 //!    construction (its dwell table guarantees the requirement with a
@@ -61,9 +61,9 @@
 //!    over-admit (e.g. profiles with `J_T < T_dw^+`), so it is skipped; the
 //!    gated accept is pinned against the exact oracle by property test.
 //! 6. **Exact verification** — the residue runs on one persistent
-//!    [`SlotVerifyEngine`] through its index-based
-//!    [`SlotVerifyEngine::verify_selected`] hook: no profile clones, no
-//!    model construction, exploration buffers shared across every query the
+//!    [`SlotVerifyEngine`](cps_verify::SlotVerifyEngine) through its
+//!    index-based `verify_selected` hook: no profile clones, no model
+//!    construction, exploration buffers shared across every query the
 //!    engine ever makes. Verdicts are memoized; inadmissible sets feed the
 //!    anti-monotone index.
 //!
@@ -71,6 +71,13 @@
 //! cascade-equipped first-fit produces *bit-identical* partitions to plain
 //! first-fit over [`crate::ModelCheckingOracle`] (asserted by property tests
 //! and on every `bench_map` run).
+//!
+//! The tiers themselves live in the crate-internal `cascade` module as a
+//! persistent `CascadeCore` operating on borrowed state; this engine is the *batch*
+//! front end over it (whole-fleet runs), and [`crate::AdmissionState`] is
+//! the *incremental* one (the online admission service). Both share the same
+//! caches-and-verdicts machinery, so their verdicts are bit-identical by
+//! construction.
 //!
 //! On top of the cascade, [`MapExplorerEngine::minimize_slots`] searches the
 //! partition lattice exhaustively with branch and bound — first-fit as the
@@ -80,62 +87,12 @@
 //! the semantic oracle ([`crate::reference`]) and slot-count equivalence is
 //! asserted on every test and bench run.
 
-use std::collections::HashMap;
-use std::time::Instant;
-
-use cps_baseline::{slot_schedulable_profiles, Strategy};
 use cps_core::AppTimingProfile;
-use cps_intern::{seq_fingerprint, TwoWayTranspositionTable};
-use cps_verify::{replay_first_miss_selected, SlotVerifyEngine, VerificationConfig, VerifyError};
+use cps_verify::{VerificationConfig, VerifyError};
 
-use crate::first_fit::sort_for_first_fit;
+use crate::cascade::CascadeCore;
+use crate::first_fit::{place_suffix, sort_for_first_fit};
 use crate::report::{MappingReport, MinimizeReport, TierStats};
-
-/// Default bucket count of the bounded verdict memo (capacity = 2× buckets).
-const DEFAULT_MEMO_BUCKETS: usize = 1 << 14;
-
-/// The tier-2 verdict memo: bounded by default (a two-way transposition
-/// table keyed by the incremental [`seq_fingerprint`] of the canonical
-/// partial partition, depth-preferred on member count + always-replace), or
-/// the historical unbounded hash map for callers that want it.
-///
-/// Both variants store the full canonical key and only answer on an exact
-/// key match, so the choice changes memory footprint, never a verdict —
-/// pinned by the TT-on/TT-off equivalence tests.
-#[derive(Debug)]
-enum Memo {
-    Unbounded(HashMap<Vec<u32>, bool>),
-    Bounded(TwoWayTranspositionTable<Vec<u32>, bool>),
-}
-
-impl Default for Memo {
-    fn default() -> Self {
-        Memo::Bounded(TwoWayTranspositionTable::new(DEFAULT_MEMO_BUCKETS))
-    }
-}
-
-/// Everything the exact checker semantics reads from a profile — the
-/// canonical, name-insensitive identity of an application for memoization
-/// (mirrors [`cps_verify::profiles_interchangeable`]). Interned once per
-/// distinct profile; lookups compare borrowed dwell arrays, so warm calls
-/// allocate nothing.
-#[derive(Debug, Clone, PartialEq, Eq)]
-struct Fingerprint {
-    t_dw_min: Vec<usize>,
-    t_dw_plus: Vec<usize>,
-}
-
-/// `true` when `needle` embeds into `hay` preserving order (greedy matching
-/// of fingerprint ids). The order-preserving embedding is what keeps the
-/// anti-monotonicity argument sound: the extra applications never change an
-/// index tie-break between embedded ones.
-fn is_subsequence(needle: &[u32], hay: &[u32]) -> bool {
-    if needle.len() > hay.len() {
-        return false;
-    }
-    let mut it = hay.iter();
-    needle.iter().all(|n| it.by_ref().any(|h| h == n))
-}
 
 /// The mapping design-space exploration engine: tiered admission cascade,
 /// canonical memoization, and an optimal branch-and-bound slot minimizer.
@@ -167,27 +124,7 @@ fn is_subsequence(needle: &[u32], hay: &[u32]) -> bool {
 /// ```
 #[derive(Debug, Default)]
 pub struct MapExplorerEngine {
-    config: VerificationConfig,
-    baseline_strategy: Strategy,
-    verifier: SlotVerifyEngine,
-    /// Interned profile fingerprints; ids are dense and engine-global, so
-    /// memo entries are shared across fleets and sweeps. The index buckets
-    /// ids by `(T_w^*, r)`; the dwell arrays live once in the store.
-    fingerprint_store: Vec<Fingerprint>,
-    fingerprint_index: HashMap<(usize, usize), Vec<u32>>,
-    /// Decided verdicts keyed by the canonical fingerprint sequence.
-    memo: Memo,
-    /// Known-inadmissible fingerprint sequences (kept free of mutual
-    /// embeddings) backing the anti-monotone tier.
-    inadmissible: Vec<Vec<u32>>,
-    stats: TierStats,
-    // Reused scratch buffers.
-    key_scratch: Vec<u32>,
-    /// All-disturbed-at-once schedule for the screen: `[0]` per position,
-    /// grown on demand, never shrunk.
-    screen_schedule: Vec<Vec<usize>>,
-    /// Fleet-sized fingerprint map reused by [`MapExplorerEngine::admits`].
-    fleet_ids_scratch: Vec<u32>,
+    core: CascadeCore,
 }
 
 impl MapExplorerEngine {
@@ -202,14 +139,13 @@ impl MapExplorerEngine {
     /// unbounded configurations, where its unbounded-demand argument holds).
     pub fn with_config(config: VerificationConfig) -> Self {
         MapExplorerEngine {
-            config,
-            ..Self::default()
+            core: CascadeCore::with_config(config),
         }
     }
 
     /// The verification configuration of the exact tier.
     pub fn config(&self) -> &VerificationConfig {
-        &self.config
+        self.core.config()
     }
 
     /// Switches the verdict memo to the historical unbounded hash map:
@@ -217,7 +153,7 @@ impl MapExplorerEngine {
     /// queries. Verdicts are identical to the default bounded memo (pinned
     /// by the TT-on/TT-off equivalence tests).
     pub fn with_unbounded_memo(mut self) -> Self {
-        self.memo = Memo::Unbounded(HashMap::new());
+        self.core.set_unbounded_memo();
         self
     }
 
@@ -226,13 +162,13 @@ impl MapExplorerEngine {
     /// capacities force evictions — useful for testing; the default is
     /// ample for every sweep in the repo.
     pub fn with_memo_capacity(mut self, buckets: usize) -> Self {
-        self.memo = Memo::Bounded(TwoWayTranspositionTable::new(buckets));
+        self.core.set_memo_capacity(buckets);
         self
     }
 
     /// Cumulative per-tier statistics over the engine's whole lifetime.
     pub fn stats(&self) -> &TierStats {
-        &self.stats
+        self.core.stats()
     }
 
     /// Decides whether the applications selected by `members` (indices into
@@ -256,18 +192,7 @@ impl MapExplorerEngine {
         profiles: &[AppTimingProfile],
         members: &[usize],
     ) -> Result<bool, VerifyError> {
-        // Only the selected profiles need fingerprints; the rest of the
-        // fleet is never touched by a single query, and the fleet-sized map
-        // is a reused scratch.
-        let mut fleet_ids = std::mem::take(&mut self.fleet_ids_scratch);
-        fleet_ids.clear();
-        fleet_ids.resize(profiles.len(), 0);
-        for &m in members {
-            fleet_ids[m] = self.intern_profile(&profiles[m]);
-        }
-        let verdict = self.admit_query(profiles, &fleet_ids, members);
-        self.fleet_ids_scratch = fleet_ids;
-        verdict
+        self.core.admits(profiles, members)
     }
 
     /// Runs the paper's first-fit heuristic with the admission cascade:
@@ -284,7 +209,7 @@ impl MapExplorerEngine {
         &mut self,
         profiles: &[AppTimingProfile],
     ) -> Result<MappingReport, VerifyError> {
-        let fleet_ids = self.intern_fleet(profiles);
+        let fleet_ids = self.core.intern_fleet(profiles);
         self.first_fit_inner(profiles, &fleet_ids)
     }
 
@@ -309,8 +234,8 @@ impl MapExplorerEngine {
         &mut self,
         profiles: &[AppTimingProfile],
     ) -> Result<MinimizeReport, VerifyError> {
-        let before = self.stats;
-        let fleet_ids = self.intern_fleet(profiles);
+        let before = *self.core.stats();
+        let fleet_ids = self.core.intern_fleet(profiles);
         let incumbent = self.first_fit_inner(profiles, &fleet_ids)?;
         let first_fit_slots = incumbent.slot_count();
         let order = sort_for_first_fit(profiles);
@@ -324,39 +249,8 @@ impl MapExplorerEngine {
             best,
             nodes,
             first_fit_slots,
-            self.stats.since(&before),
+            self.core.stats().since(&before),
         ))
-    }
-
-    /// Interns every profile of the fleet, returning one fingerprint id per
-    /// profile index.
-    fn intern_fleet(&mut self, profiles: &[AppTimingProfile]) -> Vec<u32> {
-        profiles.iter().map(|p| self.intern_profile(p)).collect()
-    }
-
-    /// Interns one profile. Known contents are matched by borrowed
-    /// comparison — the dwell arrays are cloned only the first time a
-    /// profile content is ever seen.
-    fn intern_profile(&mut self, p: &AppTimingProfile) -> u32 {
-        let bucket = self
-            .fingerprint_index
-            .entry((p.max_wait(), p.min_inter_arrival()))
-            .or_default();
-        let t_dw_min = p.dwell_table().t_dw_min_array();
-        let t_dw_plus = p.dwell_table().t_dw_plus_array();
-        if let Some(&id) = bucket.iter().find(|&&id| {
-            let f = &self.fingerprint_store[id as usize];
-            f.t_dw_min == t_dw_min && f.t_dw_plus == t_dw_plus
-        }) {
-            return id;
-        }
-        let id = self.fingerprint_store.len() as u32;
-        self.fingerprint_store.push(Fingerprint {
-            t_dw_min: t_dw_min.to_vec(),
-            t_dw_plus: t_dw_plus.to_vec(),
-        });
-        bucket.push(id);
-        id
     }
 
     fn first_fit_inner(
@@ -364,27 +258,14 @@ impl MapExplorerEngine {
         profiles: &[AppTimingProfile],
         fleet_ids: &[u32],
     ) -> Result<MappingReport, VerifyError> {
-        let before = self.stats;
+        let before = *self.core.stats();
         let order = sort_for_first_fit(profiles);
         let mut slots: Vec<Vec<usize>> = Vec::new();
-        let mut probe: Vec<usize> = Vec::new();
-        for &app in &order {
-            let mut placed = false;
-            for slot in &mut slots {
-                probe.clear();
-                probe.extend_from_slice(slot);
-                probe.push(app);
-                if self.admit_query(profiles, fleet_ids, &probe)? {
-                    slot.push(app);
-                    placed = true;
-                    break;
-                }
-            }
-            if !placed {
-                slots.push(vec![app]);
-            }
-        }
-        let delta = self.stats.since(&before);
+        let core = &mut self.core;
+        place_suffix(&mut slots, &order, |members| {
+            core.admit_query(profiles, fleet_ids, members)
+        })?;
+        let delta = self.core.stats().since(&before);
         Ok(MappingReport::with_tier_stats(
             "map-explorer-cascade".to_string(),
             slots,
@@ -434,7 +315,7 @@ impl MapExplorerEngine {
             slots[s].push(app);
             let admitted = {
                 let members = &slots[s];
-                self.admit_query(profiles, fleet_ids, members)?
+                self.core.admit_query(profiles, fleet_ids, members)?
             };
             if admitted {
                 self.search(profiles, fleet_ids, order, pos + 1, slots, best, nodes)?;
@@ -446,211 +327,6 @@ impl MapExplorerEngine {
         self.search(profiles, fleet_ids, order, pos + 1, slots, best, nodes)?;
         slots.pop();
         Ok(())
-    }
-
-    /// Looks the current canonical key up in the verdict memo. The bounded
-    /// variant keys on the incremental [`seq_fingerprint`] of the key (a
-    /// handful of mixes for a partial partition) and answers only on an
-    /// exact key match.
-    fn memo_get(&mut self) -> Option<bool> {
-        match &mut self.memo {
-            Memo::Unbounded(map) => map.get(self.key_scratch.as_slice()).copied(),
-            Memo::Bounded(tt) => tt
-                .get(seq_fingerprint(&self.key_scratch), &self.key_scratch)
-                .copied(),
-        }
-    }
-
-    /// Memoizes `verdict` for the current canonical key. In the bounded
-    /// memo, depth is the member count — deeper (more expensive) verdicts
-    /// survive floods of shallow ones in the depth-preferred way.
-    fn memo_insert(&mut self, verdict: bool) {
-        match &mut self.memo {
-            Memo::Unbounded(map) => {
-                map.insert(self.key_scratch.clone(), verdict);
-            }
-            Memo::Bounded(tt) => {
-                tt.insert(
-                    seq_fingerprint(&self.key_scratch),
-                    self.key_scratch.len() as u32,
-                    self.key_scratch.clone(),
-                    verdict,
-                );
-                self.stats.tt_evictions = tt.stats().evictions;
-            }
-        }
-    }
-
-    /// One admission query through the cascade. `members` index `profiles`;
-    /// the verdict applies to that arrangement (probes generated by this
-    /// engine are always in canonical first-fit order).
-    fn admit_query(
-        &mut self,
-        profiles: &[AppTimingProfile],
-        fleet_ids: &[u32],
-        members: &[usize],
-    ) -> Result<bool, VerifyError> {
-        // Reject invalid configurations up front, before any tier can decide
-        // the query — the cascade must error exactly where the plain oracle
-        // does (same validation, shared with the verifier), and the screen's
-        // scenario replay assumes the disturbance bound (if any) allows at
-        // least one instance.
-        SlotVerifyEngine::validate_config(&self.config)?;
-        self.stats.queries += 1;
-        // Tier 1: singletons (and the trivial empty set) are admissible by
-        // construction — the dwell table guarantees the requirement with a
-        // dedicated slot.
-        if members.len() <= 1 {
-            self.stats.singleton_accepts += 1;
-            return Ok(true);
-        }
-
-        // Tier 2: canonical memo table.
-        self.key_scratch.clear();
-        self.key_scratch
-            .extend(members.iter().map(|&i| fleet_ids[i]));
-        if let Some(verdict) = self.memo_get() {
-            self.stats.memo_hits += 1;
-            return Ok(verdict);
-        }
-
-        // Tier 3: quick necessary-condition screen (sound reject).
-        if self.screen_schedule.len() < members.len() {
-            self.screen_schedule.resize_with(members.len(), || vec![0]);
-        }
-        if !Self::screen_admits(
-            profiles,
-            members,
-            self.config.max_disturbances_per_app.is_none(),
-            &self.screen_schedule[..members.len()],
-        ) {
-            self.stats.quick_rejects += 1;
-            self.record_inadmissible(true);
-            return Ok(false);
-        }
-
-        // Tier 4: anti-monotone index (sound reject): a candidate into which
-        // a known-inadmissible set embeds is inadmissible.
-        if self
-            .inadmissible
-            .iter()
-            .any(|s| is_subsequence(s, &self.key_scratch))
-        {
-            self.stats.anti_monotone_rejects += 1;
-            self.memo_insert(false);
-            return Ok(false);
-        }
-
-        // Tier 5: gated baseline accept (sound accept).
-        if Self::baseline_gate(profiles, members)
-            && slot_schedulable_profiles(profiles, members, self.baseline_strategy)
-        {
-            self.stats.baseline_accepts += 1;
-            self.memo_insert(true);
-            return Ok(true);
-        }
-
-        // Tier 6: the exact verifier.
-        let start = Instant::now();
-        let outcome = self
-            .verifier
-            .verify_selected(profiles, members, &self.config)?;
-        self.stats.exact_verify_time += start.elapsed();
-        self.stats.exact_verifies += 1;
-        self.stats.verify = self.verifier.stats();
-        let verdict = outcome.schedulable();
-        if verdict {
-            self.memo_insert(true);
-        } else {
-            // Tier 4 already proved no stored set embeds into this key, and
-            // nothing has touched the index since — skip the re-scan.
-            self.record_inadmissible(false);
-        }
-        Ok(verdict)
-    }
-
-    /// Memoizes the current key as inadmissible and adds it to the
-    /// anti-monotone index, evicting stored supersets the new key embeds
-    /// into (they decide nothing the new entry doesn't). `check_embedding`
-    /// re-scans the index for an already-stored set embedding into the key
-    /// (needed on the quick-reject path, which runs before tier 4); callers
-    /// past tier 4 pass `false`.
-    fn record_inadmissible(&mut self, check_embedding: bool) {
-        self.memo_insert(false);
-        if !check_embedding
-            || !self
-                .inadmissible
-                .iter()
-                .any(|s| is_subsequence(s, &self.key_scratch))
-        {
-            let key = &self.key_scratch;
-            self.inadmissible.retain(|s| !is_subsequence(key, s));
-            self.inadmissible.push(key.clone());
-        }
-    }
-
-    /// The gate under which the conservative blocking analysis is provably
-    /// sound w.r.t. the exact semantics (see the module docs): pairs whose
-    /// hold time bounds every dwell and whose inter-arrival times exclude a
-    /// second interference per wait window.
-    fn baseline_gate(profiles: &[AppTimingProfile], members: &[usize]) -> bool {
-        if members.len() != 2 {
-            return false;
-        }
-        members.iter().all(|&m| {
-            let p = &profiles[m];
-            p.jt() >= p.dwell_table().max_t_dw_plus()
-        }) && members.iter().all(|&i| {
-            members.iter().all(|&j| {
-                i == j
-                    || profiles[j].min_inter_arrival()
-                        > profiles[i].max_wait() + profiles[j].max_wait() + profiles[j].jt()
-            })
-        })
-    }
-
-    /// Sound necessary-condition screen: `false` only when the candidate is
-    /// certainly inadmissible. `schedule` must be the all-disturbed-at-once
-    /// schedule (`[0]` per member), prepared by the caller's scratch.
-    fn screen_admits(
-        profiles: &[AppTimingProfile],
-        members: &[usize],
-        unbounded: bool,
-        schedule: &[Vec<usize>],
-    ) -> bool {
-        // Minimum-demand utilisation: every disturbance occupies the slot for
-        // at least `max(1, min_w T_dw^-(w))` samples and recurs as often as
-        // every `r` samples; demand above capacity means unbounded backlog
-        // and an eventual miss. Only valid for the unbounded sporadic model.
-        if unbounded {
-            let utilisation: f64 = members
-                .iter()
-                .map(|&m| {
-                    let p = &profiles[m];
-                    let min_hold = p
-                        .dwell_table()
-                        .t_dw_min_array()
-                        .iter()
-                        .copied()
-                        .min()
-                        .unwrap_or(0)
-                        .max(1);
-                    min_hold as f64 / p.min_inter_arrival() as f64
-                })
-                .sum();
-            if utilisation > 1.0 + 1e-9 {
-                return false;
-            }
-        }
-
-        // All-disturbed-at-once replay: every application is hit at sample
-        // zero and never again — one concrete branch of the exact
-        // exploration (admissible for any validated disturbance bound),
-        // replayed through the deterministic scheduler semantics shared with
-        // the witness validator. A miss is a sound rejection.
-        replay_first_miss_selected(profiles, members, schedule)
-            .expect("the all-disturbed-at-once schedule is always valid")
-            .is_none()
     }
 }
 
@@ -858,15 +534,5 @@ mod tests {
                 Err(VerifyError::InvalidConfig { .. })
             ));
         }
-    }
-
-    #[test]
-    fn subsequence_matching() {
-        assert!(is_subsequence(&[], &[]));
-        assert!(is_subsequence(&[1], &[0, 1, 2]));
-        assert!(is_subsequence(&[1, 1], &[1, 0, 1]));
-        assert!(!is_subsequence(&[1, 1], &[1, 0, 2]));
-        assert!(!is_subsequence(&[2, 1], &[1, 2]));
-        assert!(!is_subsequence(&[1, 2, 3], &[1, 2]));
     }
 }

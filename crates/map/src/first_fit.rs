@@ -15,6 +15,45 @@ pub fn sort_for_first_fit(profiles: &[AppTimingProfile]) -> Vec<usize> {
     order
 }
 
+/// The first-fit placement loop over an arbitrary admission test, shared by
+/// every front end: the plain oracle driver ([`first_fit`]), the cascade
+/// engine's batch runs (`MapExplorerEngine`), and the incremental repair of
+/// the online admission service (`AdmissionState`). Each application of
+/// `order` goes into the first slot of `slots` that `admit` accepts (the
+/// probe is the slot's members plus the candidate, in order), or into a
+/// newly opened slot — opening never calls `admit`, since a singleton is
+/// admissible by construction.
+///
+/// `slots` may be non-empty on entry: first-fit is an online algorithm, so
+/// continuing from the state reached after placing a sorted prefix is
+/// exactly equivalent to a from-scratch run over prefix-plus-`order` — the
+/// invariant the service's incremental repair rests on.
+pub(crate) fn place_suffix<E>(
+    slots: &mut Vec<Vec<usize>>,
+    order: &[usize],
+    mut admit: impl FnMut(&[usize]) -> Result<bool, E>,
+) -> Result<(), E> {
+    // The probe buffer is reused across all admission calls.
+    let mut probe: Vec<usize> = Vec::new();
+    for &app in order {
+        let mut placed = false;
+        for slot in &mut *slots {
+            probe.clear();
+            probe.extend_from_slice(slot);
+            probe.push(app);
+            if admit(&probe)? {
+                slot.push(app);
+                placed = true;
+                break;
+            }
+        }
+        if !placed {
+            slots.push(vec![app]);
+        }
+    }
+    Ok(())
+}
+
 /// Runs the first-fit mapping: applications are considered in
 /// [`sort_for_first_fit`] order and placed into the first slot the oracle
 /// admits, or into a newly opened slot.
@@ -32,31 +71,12 @@ pub fn first_fit(
     let order = sort_for_first_fit(profiles);
     let mut slots: Vec<Vec<usize>> = Vec::new();
     let mut oracle_calls = 0usize;
-    // Probe buffers reused across all oracle calls: the candidate index list
-    // and the profile scratch for oracles that still use the cloning shim.
-    let mut probe: Vec<usize> = Vec::new();
+    // Profile scratch for oracle implementations that clone the selection.
     let mut scratch: Vec<AppTimingProfile> = Vec::new();
-
-    for &app in &order {
-        let mut placed = false;
-        for slot in &mut slots {
-            probe.clear();
-            probe.extend_from_slice(slot);
-            probe.push(app);
-            oracle_calls += 1;
-            if oracle.admits_indices(profiles, &probe, &mut scratch)? {
-                slot.push(app);
-                placed = true;
-                break;
-            }
-        }
-        if !placed {
-            // A single application per slot is admissible by construction
-            // (its dwell table guarantees the requirement with a dedicated
-            // slot), so opening a new slot never needs an oracle call.
-            slots.push(vec![app]);
-        }
-    }
+    place_suffix(&mut slots, &order, |probe| {
+        oracle_calls += 1;
+        oracle.admits_indices(profiles, probe, &mut scratch)
+    })?;
 
     Ok(MappingReport::new(
         oracle.name().to_string(),

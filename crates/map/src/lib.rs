@@ -26,13 +26,24 @@
 //! branch-and-bound [`MapExplorerEngine::minimize_slots`] whose minimal slot
 //! counts are pinned to the naive exhaustive partition search retained in
 //! [`reference`].
+//!
+//! For *online* operation — applications arriving and departing one at a
+//! time against a long-lived service — the [`admission`] module provides
+//! [`AdmissionState`]: the same cascade (shared via the crate-internal
+//! `cascade` core), but driven incrementally, repairing the current
+//! partition after each change instead of re-running first-fit, and
+//! persisting its caches as versioned binary snapshots for warm restarts.
 
+pub mod admission;
 pub mod engine;
 pub mod first_fit;
 pub mod oracle;
 pub mod reference;
 pub mod report;
 
+mod cascade;
+
+pub use admission::AdmissionState;
 pub use engine::MapExplorerEngine;
 pub use first_fit::{first_fit, sort_for_first_fit};
 pub use oracle::{BaselineOracle, ModelCheckingOracle, SlotOracle};
@@ -51,5 +62,6 @@ mod tests {
         assert_send_sync::<MapExplorerEngine>();
         assert_send_sync::<MinimizeReport>();
         assert_send_sync::<TierStats>();
+        assert_send_sync::<AdmissionState>();
     }
 }

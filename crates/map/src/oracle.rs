@@ -36,26 +36,6 @@ pub trait SlotOracle {
         scratch: &mut Vec<AppTimingProfile>,
     ) -> Result<bool, VerifyError>;
 
-    /// Legacy whole-set admission test: `true` when all of `profiles` can
-    /// share one slot.
-    ///
-    /// This is a compatibility shim forwarding to
-    /// [`SlotOracle::admits_indices`] with the full index range; new code
-    /// (and all in-tree callers) should use the index path directly.
-    ///
-    /// # Errors
-    ///
-    /// As for [`SlotOracle::admits_indices`].
-    #[deprecated(
-        since = "0.1.0",
-        note = "probe through `admits_indices`; this cloning shim only exists \
-                for external callers of the old API"
-    )]
-    fn admits(&self, profiles: &[AppTimingProfile]) -> Result<bool, VerifyError> {
-        let members: Vec<usize> = (0..profiles.len()).collect();
-        self.admits_indices(profiles, &members, &mut Vec::new())
-    }
-
     /// A short human-readable name for reports.
     fn name(&self) -> &str;
 }
@@ -167,8 +147,7 @@ mod tests {
         AppTimingProfile::new(name, dwell, jstar + 5, jstar, jstar + 10, table).unwrap()
     }
 
-    /// Whole-set admission through the index path (what the deprecated
-    /// `admits` shim does for external callers).
+    /// Whole-set admission through the index path.
     fn admits_all(oracle: &dyn SlotOracle, profiles: &[AppTimingProfile]) -> bool {
         let members: Vec<usize> = (0..profiles.len()).collect();
         oracle
@@ -224,19 +203,17 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn legacy_admits_shim_forwards_to_the_index_path() {
+    fn full_range_selection_answers_the_whole_set_question() {
+        // What the removed `admits` shim used to do for external callers:
+        // selecting the full index range asks about the whole set.
         let fleet = [profile("A", 10, 3), profile("B", 10, 3)];
         let impossible = [profile("A", 0, 5), profile("B", 0, 5)];
         for oracle in [
             &ModelCheckingOracle::new() as &dyn SlotOracle,
             &BaselineOracle::new(),
         ] {
-            assert_eq!(oracle.admits(&fleet).unwrap(), admits_all(oracle, &fleet));
-            assert_eq!(
-                oracle.admits(&impossible).unwrap(),
-                admits_all(oracle, &impossible)
-            );
+            assert!(admits_all(oracle, &fleet));
+            assert!(!admits_all(oracle, &impossible));
         }
     }
 

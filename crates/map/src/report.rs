@@ -47,6 +47,22 @@ impl TierStats {
         self.queries - self.exact_verifies
     }
 
+    /// Component-wise accumulation of a per-operation delta into a running
+    /// total — how the online admission service folds each incremental
+    /// repair's work into its lifetime report.
+    pub fn accumulate(&mut self, delta: &TierStats) {
+        self.queries += delta.queries;
+        self.singleton_accepts += delta.singleton_accepts;
+        self.memo_hits += delta.memo_hits;
+        self.quick_rejects += delta.quick_rejects;
+        self.anti_monotone_rejects += delta.anti_monotone_rejects;
+        self.baseline_accepts += delta.baseline_accepts;
+        self.exact_verifies += delta.exact_verifies;
+        self.exact_verify_time += delta.exact_verify_time;
+        self.tt_evictions += delta.tt_evictions;
+        self.verify = self.verify.plus(&delta.verify);
+    }
+
     /// Per-query difference `self − earlier`: the statistics of the queries
     /// made between two snapshots of a long-lived engine.
     pub fn since(&self, earlier: &TierStats) -> TierStats {
@@ -163,6 +179,21 @@ impl MappingReport {
     /// [`crate::MapExplorerEngine`] (plain oracle runs carry none).
     pub fn tier_stats(&self) -> Option<&TierStats> {
         self.tier_stats.as_ref()
+    }
+
+    /// Replaces the slot partition and folds an incremental repair's work
+    /// into the report: `delta.queries` admission checks are added to the
+    /// call count and the per-tier statistics accumulate. This is how the
+    /// online admission service keeps *one* report current across
+    /// `add_app`/`remove_app` operations instead of minting a new one per
+    /// batch run.
+    pub(crate) fn apply_repair(&mut self, slots: Vec<Vec<usize>>, delta: &TierStats) {
+        self.slots = slots;
+        self.oracle_calls += delta.queries;
+        match &mut self.tier_stats {
+            Some(stats) => stats.accumulate(delta),
+            None => self.tier_stats = Some(*delta),
+        }
     }
 
     /// The slot index an application was mapped to, if any.

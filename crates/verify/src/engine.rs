@@ -113,8 +113,9 @@ impl VerifyStats {
         }
     }
 
-    /// Component-wise sum (the engine keeps one counter set per word width).
-    fn plus(&self, other: &VerifyStats) -> VerifyStats {
+    /// Component-wise sum (the engine keeps one counter set per word width;
+    /// incremental admission reports accumulate per-operation deltas).
+    pub fn plus(&self, other: &VerifyStats) -> VerifyStats {
         VerifyStats {
             intern_probes: self.intern_probes + other.intern_probes,
             hash_hits: self.hash_hits + other.hash_hits,
