@@ -28,7 +28,7 @@ pub mod protocol;
 pub mod service;
 
 pub use protocol::{AdmitOutcome, EvictOutcome, Request, Response, ServiceError, ServiceStats};
-pub use service::{AdmissionClient, AdmissionService};
+pub use service::{AdmissionClient, AdmissionService, ShutdownTimeout};
 
 #[cfg(test)]
 mod tests {

@@ -18,6 +18,7 @@
 
 use std::sync::mpsc;
 use std::thread;
+use std::time::{Duration, Instant};
 
 use cps_intern::SnapshotError;
 use cps_map::AdmissionState;
@@ -31,6 +32,17 @@ struct Envelope {
 }
 
 /// A cloneable, blocking handle to a running [`AdmissionService`].
+///
+/// # Drop order and shutdown
+///
+/// Every live handle (clones included) holds the request queue open, and
+/// the worker only exits once the queue is closed *and* drained. Rust drops
+/// locals at the end of their scope, not at last use — so a client bound in
+/// the same scope as [`AdmissionService::shutdown`] deadlocks the join
+/// unless it is `drop`ped explicitly first. When the set of outstanding
+/// handles is not statically obvious, prefer
+/// [`AdmissionService::shutdown_timeout`], which turns the silent hang into
+/// a typed [`ShutdownTimeout`] error that can still finish the join later.
 #[derive(Clone)]
 pub struct AdmissionClient {
     tx: mpsc::SyncSender<Envelope>,
@@ -200,7 +212,87 @@ impl AdmissionService {
         drop(client);
         worker.join().expect("admission worker panicked")
     }
+
+    /// Like [`AdmissionService::shutdown`], but gives up after `timeout`
+    /// instead of hanging forever on outstanding clients.
+    ///
+    /// The service's own handle is hung up immediately; the worker is then
+    /// polled (with a short exponential backoff) until it drains and exits
+    /// or the deadline passes.
+    ///
+    /// # Errors
+    ///
+    /// [`ShutdownTimeout`] when live [`AdmissionClient`] handles are still
+    /// keeping the queue open at the deadline. The error owns the worker
+    /// handle, so the shutdown can still be completed later with
+    /// [`ShutdownTimeout::wait`] once the stragglers are gone.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the worker thread itself panicked.
+    pub fn shutdown_timeout(self, timeout: Duration) -> Result<AdmissionState, ShutdownTimeout> {
+        let AdmissionService { client, worker } = self;
+        drop(client);
+        let deadline = Instant::now() + timeout;
+        let mut backoff = Duration::from_micros(50);
+        while !worker.is_finished() {
+            let now = Instant::now();
+            if now >= deadline {
+                return Err(ShutdownTimeout { timeout, worker });
+            }
+            thread::sleep(backoff.min(deadline - now));
+            backoff = (backoff * 2).min(Duration::from_millis(10));
+        }
+        Ok(worker.join().expect("admission worker panicked"))
+    }
 }
+
+/// Typed shutdown failure: clients were still holding the queue open when
+/// [`AdmissionService::shutdown_timeout`]'s deadline passed.
+///
+/// The worker is *not* lost — it keeps draining requests from the surviving
+/// clients, and this error owns its join handle, so dropping the stragglers
+/// and calling [`ShutdownTimeout::wait`] completes the shutdown.
+#[derive(Debug)]
+pub struct ShutdownTimeout {
+    timeout: Duration,
+    worker: thread::JoinHandle<AdmissionState>,
+}
+
+impl ShutdownTimeout {
+    /// The deadline that passed.
+    pub fn timeout(&self) -> Duration {
+        self.timeout
+    }
+
+    /// Whether the worker has exited in the meantime (every client gone,
+    /// queue drained), making [`ShutdownTimeout::wait`] immediate.
+    pub fn is_finished(&self) -> bool {
+        self.worker.is_finished()
+    }
+
+    /// Blocks until the worker drains and exits, completing the shutdown
+    /// that timed out.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the worker thread itself panicked.
+    pub fn wait(self) -> AdmissionState {
+        self.worker.join().expect("admission worker panicked")
+    }
+}
+
+impl std::fmt::Display for ShutdownTimeout {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "admission service shutdown timed out after {:?}: outstanding clients still hold the queue open",
+            self.timeout
+        )
+    }
+}
+
+impl std::error::Error for ShutdownTimeout {}
 
 /// The worker loop: answer until every sender is gone *and* the queue is
 /// empty, then hand the state back.
@@ -336,6 +428,34 @@ mod tests {
         producer.join().unwrap();
         let state = service.shutdown();
         assert_eq!(state.fleet().len(), 8, "every queued admission lands");
+    }
+
+    #[test]
+    fn shutdown_timeout_reports_live_clients_and_can_still_finish() {
+        let service = AdmissionService::spawn();
+        let straggler = service.client();
+        let err = service
+            .shutdown_timeout(Duration::from_millis(20))
+            .unwrap_err();
+        assert_eq!(err.timeout(), Duration::from_millis(20));
+        assert!(!err.is_finished(), "a live client keeps the worker alive");
+        assert!(err.to_string().contains("outstanding clients"));
+        // The worker is still serving the straggler...
+        straggler.admit(profile("A", 10, 3)).unwrap();
+        // ...and once it hangs up, the shutdown completes.
+        drop(straggler);
+        let state = err.wait();
+        assert_eq!(state.fleet().len(), 1);
+    }
+
+    #[test]
+    fn shutdown_timeout_succeeds_when_no_clients_are_left() {
+        let service = AdmissionService::spawn();
+        let client = service.client();
+        client.admit(profile("A", 10, 3)).unwrap();
+        drop(client);
+        let state = service.shutdown_timeout(Duration::from_secs(5)).unwrap();
+        assert_eq!(state.fleet().len(), 1);
     }
 
     #[test]

@@ -368,26 +368,20 @@ pub fn all_applications() -> Result<Vec<CaseStudyApp>, CoreError> {
 /// Propagates dwell-table computation failures of any application.
 pub fn all_profiles(options: DwellSearchOptions) -> Result<Vec<AppTimingProfile>, CoreError> {
     let apps = all_applications()?;
-    #[cfg(feature = "parallel")]
-    {
-        // Parallelism lives at the application level here; each worker runs
-        // the dwell search single-threaded to avoid nested oversubscription.
-        let results: Vec<Result<AppTimingProfile, CoreError>> = std::thread::scope(|scope| {
-            let handles: Vec<_> = apps
-                .iter()
-                .map(|app| scope.spawn(move || app.profile_single_threaded(options)))
-                .collect();
-            handles
-                .into_iter()
-                .map(|handle| handle.join().expect("profile worker panicked"))
-                .collect()
-        });
-        results.into_iter().collect()
-    }
-    #[cfg(not(feature = "parallel"))]
-    {
-        apps.iter().map(|app| app.profile_with(options)).collect()
-    }
+    let pool = cps_par::Pool::from_env();
+    // Parallelism lives at the application level here; when the pool fans
+    // the apps out, each worker runs the dwell search single-threaded to
+    // avoid nested oversubscription. On a serial pool the dwell search
+    // keeps its own thread policy instead.
+    let fan_out = pool.is_parallel_for(apps.len());
+    let results: Vec<Result<AppTimingProfile, CoreError>> = pool.map_indexed(apps.len(), |i| {
+        if fan_out {
+            apps[i].profile_single_threaded(options)
+        } else {
+            apps[i].profile_with(options)
+        }
+    });
+    results.into_iter().collect()
 }
 
 #[cfg(test)]

@@ -1,0 +1,332 @@
+//! Thread-scaling report for the parallel state engines: the sharded
+//! verification BFS ([`SlotVerifyEngine`]), the per-application
+//! co-simulation fan-out ([`BatchCosimEngine`]), and the branch-and-bound
+//! slot minimizer ([`MapExplorerEngine`]) each run the same workload at
+//! every pool width in `{1, 2, 4, 8}`.
+//!
+//! Every multi-thread pass is asserted **bitwise identical** to the
+//! one-thread run — verdicts, explored-state counts, witnesses, hash/probe
+//! counters, IEEE-754 trajectory bits, and partitions — so the report
+//! doubles as the determinism contract of `cps-par`'s deterministic
+//! sharded reduction: any divergence aborts with a non-zero exit code,
+//! which the CI bench-smoke job turns into a failure. The report also times
+//! the legacy serial entry points (`Pool::serial()`) against the pool at
+//! one thread: the dispatch happens once per engine run, so the overhead
+//! must stay within timing noise. Writes `BENCH_par.json` at the repository
+//! root.
+//!
+//! On a single-CPU host the scaling curve is flat (the scoped workers
+//! time-share one core); the point of the sweep there is the equality
+//! assertion and the overhead bound, not wall-clock speedup.
+//!
+//! Run with `cargo run --release -p cps-bench --bin bench_par` (append
+//! `-- --quick` for the reduced CI smoke sizes).
+
+use std::fmt::Write as _;
+
+use cps_bench::fleet::fleet_profile;
+use cps_bench::published_profiles;
+use cps_bench::report::{quick_flag, timed_best, write_report};
+use cps_core::AppTimingProfile;
+use cps_map::MapExplorerEngine;
+use cps_sched::cosim::CosimApp;
+use cps_sched::engine::assert_bitwise_equal;
+use cps_sched::{scenarios, BatchCosimEngine, CosimResult};
+use cps_verify::{SlotSharingModel, SlotVerifyEngine, VerificationConfig, VerificationOutcome};
+
+const THREAD_SWEEP: [usize; 4] = [1, 2, 4, 8];
+
+fn pool(threads: usize) -> cps_par::Pool {
+    cps_par::Pool::with_threads(threads)
+}
+
+/// Per-family sweep result: wall-clock per thread count plus the number of
+/// artifacts compared bitwise against the one-thread run (all equal, or the
+/// bench has already aborted).
+struct Sweep {
+    name: &'static str,
+    ms: Vec<f64>,
+    equal_to_serial: usize,
+    /// Legacy `Pool::serial()` path vs the pool at one thread.
+    serial_ms: f64,
+}
+
+impl Sweep {
+    fn overhead_ratio(&self) -> f64 {
+        self.ms[0] / self.serial_ms
+    }
+}
+
+fn case_study_model(names: &[&str]) -> SlotSharingModel {
+    let profiles = published_profiles();
+    let selected: Vec<AppTimingProfile> = profiles
+        .iter()
+        .filter(|p| names.contains(&p.name()))
+        .cloned()
+        .collect();
+    SlotSharingModel::new(selected).expect("non-empty case-study model")
+}
+
+/// Verification family: the paper's slot mappings plus a symmetric fleet,
+/// one engine per thread count, outcome + stats compared per model.
+fn sweep_verify(quick: bool) -> Sweep {
+    let names: &[&[&str]] = if quick {
+        &[&["C6", "C2"], &["C1", "C5", "C4"]]
+    } else {
+        &[
+            &["C6", "C2"],
+            &["C1", "C5", "C4"],
+            &["C1", "C5", "C4", "C6"],
+        ]
+    };
+    let mut models: Vec<SlotSharingModel> = names.iter().map(|n| case_study_model(n)).collect();
+    let fleet_k = if quick { 3 } else { 4 };
+    let symmetric: Vec<AppTimingProfile> = (0..fleet_k)
+        .map(|i| fleet_profile(&format!("S{i}"), 3 * (fleet_k - 1), 3, 40))
+        .collect();
+    models.push(SlotSharingModel::new(symmetric).expect("non-empty fleet"));
+
+    let run = |p: cps_par::Pool| -> (Vec<VerificationOutcome>, cps_verify::VerifyStats) {
+        let mut engine = SlotVerifyEngine::with_pool(p);
+        let outcomes = models
+            .iter()
+            .map(|m| {
+                engine
+                    .verify(m, &VerificationConfig::unbounded())
+                    .expect("bench models verify")
+            })
+            .collect();
+        (outcomes, engine.stats())
+    };
+
+    let (reference, _) = timed_best(|| run(pool(1)));
+    let (ref_outcomes, ref_stats) = reference;
+    let mut ms = Vec::new();
+    let mut equal = 0usize;
+    for &threads in &THREAD_SWEEP {
+        let ((outcomes, stats), elapsed) = timed_best(|| run(pool(threads)));
+        for (model_idx, (mine, serial)) in outcomes.iter().zip(ref_outcomes.iter()).enumerate() {
+            assert_eq!(
+                mine, serial,
+                "verify: threads={threads} model #{model_idx} diverges from one thread"
+            );
+            equal += 1;
+        }
+        assert_eq!(
+            stats, ref_stats,
+            "verify: threads={threads} hash/probe counters diverge from one thread"
+        );
+        equal += 1;
+        ms.push(elapsed);
+    }
+    let (_, serial_ms) = timed_best(|| run(cps_par::Pool::serial()));
+    Sweep {
+        name: "verify",
+        ms,
+        equal_to_serial: equal,
+        serial_ms,
+    }
+}
+
+/// Builds co-simulation applications from the published Table 1 rows.
+fn cosim_apps(members: &[&str]) -> Vec<CosimApp> {
+    let apps = cps_bench::case_study_apps();
+    members
+        .iter()
+        .map(|name| {
+            let app = apps
+                .iter()
+                .find(|a| a.application().name() == *name)
+                .expect("case-study application exists");
+            CosimApp {
+                application: app.application().clone(),
+                profile: app
+                    .paper_row()
+                    .to_profile(name)
+                    .expect("published rows are consistent"),
+                disturbance_sample: 0,
+            }
+        })
+        .collect()
+}
+
+/// Co-simulation family: the paper's slot-1 members under a contention
+/// sweep plus a recurrent storm, fresh engine per thread count (cold
+/// caches), every result compared bit for bit.
+fn sweep_cosim(quick: bool) -> Sweep {
+    let apps = cosim_apps(&["C1", "C5", "C4", "C3"]);
+    let horizon = if quick { 160 } else { 400 };
+    let offsets = if quick { 0..6 } else { 0..16 };
+    let mut family = scenarios::contention_sweep(&[0, 0, 0, 0], 1, offsets);
+    let profiles: Vec<AppTimingProfile> = apps.iter().map(|a| a.profile.clone()).collect();
+    family.extend(scenarios::recurrent_storm(
+        &profiles,
+        horizon,
+        0..if quick { 2 } else { 4 },
+    ));
+
+    let run = |p: cps_par::Pool| -> Vec<CosimResult> {
+        let mut engine = BatchCosimEngine::new(apps.clone(), horizon)
+            .expect("bench apps are consistent")
+            .with_pool(p);
+        engine.run_batch(&family).expect("bench scenarios simulate")
+    };
+
+    let (ref_results, _) = timed_best(|| run(pool(1)));
+    let mut ms = Vec::new();
+    let mut equal = 0usize;
+    for &threads in &THREAD_SWEEP {
+        let (results, elapsed) = timed_best(|| run(pool(threads)));
+        for (scenario_idx, (mine, serial)) in results.iter().zip(ref_results.iter()).enumerate() {
+            assert_bitwise_equal(
+                &format!("cosim: threads={threads} scenario #{scenario_idx}"),
+                mine,
+                serial,
+            );
+            equal += 1;
+        }
+        ms.push(elapsed);
+    }
+    let (_, serial_ms) = timed_best(|| run(cps_par::Pool::serial()));
+    Sweep {
+        name: "cosim",
+        ms,
+        equal_to_serial: equal,
+        serial_ms,
+    }
+}
+
+/// Minimizer family: the full published fleet plus a synthetic contended
+/// fleet, partitions compared member for member.
+fn sweep_minimize(quick: bool) -> Sweep {
+    let mut fleets: Vec<Vec<AppTimingProfile>> = vec![published_profiles()];
+    if !quick {
+        let k = 6;
+        fleets.push(
+            (0..k)
+                .map(|i| fleet_profile(&format!("S{i}"), 3 * (i % 3 + 1), 3, 40))
+                .collect(),
+        );
+    }
+
+    let run = |p: cps_par::Pool| -> Vec<Vec<Vec<usize>>> {
+        fleets
+            .iter()
+            .map(|fleet| {
+                let mut engine = MapExplorerEngine::new().with_pool(p);
+                engine
+                    .minimize_slots(fleet)
+                    .expect("bench fleets minimize")
+                    .slots()
+                    .to_vec()
+            })
+            .collect()
+    };
+
+    let (ref_partitions, _) = timed_best(|| run(pool(1)));
+    let mut ms = Vec::new();
+    let mut equal = 0usize;
+    for &threads in &THREAD_SWEEP {
+        let (partitions, elapsed) = timed_best(|| run(pool(threads)));
+        for (fleet_idx, (mine, serial)) in partitions.iter().zip(ref_partitions.iter()).enumerate()
+        {
+            assert_eq!(
+                mine, serial,
+                "minimize: threads={threads} fleet #{fleet_idx} partition diverges from one thread"
+            );
+            equal += 1;
+        }
+        ms.push(elapsed);
+    }
+    let (_, serial_ms) = timed_best(|| run(cps_par::Pool::serial()));
+    Sweep {
+        name: "minimize",
+        ms,
+        equal_to_serial: equal,
+        serial_ms,
+    }
+}
+
+fn main() {
+    let quick = quick_flag();
+    let host_threads = cps_par::Pool::from_env().threads();
+    println!(
+        "thread sweep {THREAD_SWEEP:?} (host pool default: {host_threads} thread{})",
+        if host_threads == 1 { "" } else { "s" }
+    );
+
+    let sweeps = [
+        sweep_verify(quick),
+        sweep_cosim(quick),
+        sweep_minimize(quick),
+    ];
+    for sweep in &sweeps {
+        let curve: Vec<String> = THREAD_SWEEP
+            .iter()
+            .zip(sweep.ms.iter())
+            .map(|(t, ms)| format!("t{t}={ms:.2}ms"))
+            .collect();
+        println!(
+            "{:<9} {} | {} results bitwise-equal to 1 thread | pool@1 vs serial path: {:.2}x",
+            sweep.name,
+            curve.join(" "),
+            sweep.equal_to_serial,
+            sweep.overhead_ratio(),
+        );
+    }
+
+    let json = render_json(quick, &sweeps);
+    write_report("par", &json);
+
+    // The pool at one thread dispatches straight into the serial code, so
+    // its cost over the legacy entry points must be timing noise. The bound
+    // is deliberately loose: these are millisecond-scale runs on a shared
+    // host, and a real regression (a pool that spawns threads at width 1)
+    // shows up as an integer factor, not tens of percent.
+    let pool1: f64 = sweeps.iter().map(|s| s.ms[0]).sum();
+    let serial: f64 = sweeps.iter().map(|s| s.serial_ms).sum();
+    let ratio = pool1 / serial;
+    println!(
+        "pool-at-1-thread total {pool1:.2} ms vs serial-path total {serial:.2} ms ({ratio:.2}x)"
+    );
+    assert!(
+        ratio < 1.5,
+        "pool at one thread is {ratio:.2}x the serial path — dispatch is no longer free"
+    );
+}
+
+fn render_json(quick: bool, sweeps: &[Sweep]) -> String {
+    let mut json = String::new();
+    json.push_str("{\n");
+    let _ = writeln!(json, "  \"quick\": {quick},");
+    let threads: Vec<String> = THREAD_SWEEP.iter().map(|t| t.to_string()).collect();
+    let _ = writeln!(json, "  \"threads\": [{}],", threads.join(", "));
+    for sweep in sweeps {
+        for (t, ms) in THREAD_SWEEP.iter().zip(sweep.ms.iter()) {
+            let _ = writeln!(json, "  \"{}_t{}_ms\": {:.3},", sweep.name, t, ms);
+        }
+        let _ = writeln!(
+            json,
+            "  \"{}_serial_path_ms\": {:.3},",
+            sweep.name, sweep.serial_ms
+        );
+        let _ = writeln!(
+            json,
+            "  \"{}_pool1_overhead_ratio\": {:.3},",
+            sweep.name,
+            sweep.overhead_ratio()
+        );
+        let _ = writeln!(
+            json,
+            "  \"equal_to_serial_{}\": {},",
+            sweep.name, sweep.equal_to_serial
+        );
+    }
+    let pool1: f64 = sweeps.iter().map(|s| s.ms[0]).sum();
+    let serial: f64 = sweeps.iter().map(|s| s.serial_ms).sum();
+    let _ = writeln!(json, "  \"pool1_total_ms\": {pool1:.3},");
+    let _ = writeln!(json, "  \"serial_path_total_ms\": {serial:.3},");
+    let _ = writeln!(json, "  \"pool1_overhead_ratio\": {:.3}", pool1 / serial);
+    json.push_str("}\n");
+    json
+}

@@ -264,29 +264,15 @@ impl<B: LinalgBackend> DwellEngineCore<B> {
         let mut rows: Vec<Vec<Option<usize>>> = vec![Vec::new(); wait_list.len()];
         let row_dwell = |w: usize| max_dwell.min(horizon - w - 1);
 
-        #[cfg(feature = "parallel")]
-        if threads > 1 && wait_list.len() > 1 {
-            let chunk = wait_list.len().div_ceil(threads.min(wait_list.len()));
-            std::thread::scope(|scope| {
-                for (chunk_index, out_chunk) in rows.chunks_mut(chunk).enumerate() {
-                    let start = chunk_index * chunk;
-                    let waits_chunk = &wait_list[start..start + out_chunk.len()];
-                    scope.spawn(move || {
-                        let mut ws = RowWorkspace::<B>::like(&self.z0);
-                        for (row, &w) in out_chunk.iter_mut().zip(waits_chunk) {
-                            self.settling_row_with(prefix, w, row_dwell(w), horizon, &mut ws, row);
-                        }
-                    });
-                }
-            });
-            return rows;
-        }
-
-        let _ = threads;
-        let mut ws = RowWorkspace::<B>::like(&self.z0);
-        for (row, &w) in rows.iter_mut().zip(wait_list.iter()) {
-            self.settling_row_with(prefix, w, row_dwell(w), horizon, &mut ws, row);
-        }
+        // Each worker takes a contiguous band of rows with its own workspace;
+        // rows are pure functions of the wait, so any banding is equivalent.
+        cps_par::Pool::with_threads(threads).for_each_chunk(&mut rows, |start, out_chunk| {
+            let waits_chunk = &wait_list[start..start + out_chunk.len()];
+            let mut ws = RowWorkspace::<B>::like(&self.z0);
+            for (row, &w) in out_chunk.iter_mut().zip(waits_chunk) {
+                self.settling_row_with(prefix, w, row_dwell(w), horizon, &mut ws, row);
+            }
+        });
         rows
     }
 
@@ -417,19 +403,11 @@ impl DwellEngine {
         self
     }
 
-    /// Number of worker threads the search layer should use: the available
-    /// parallelism with the `parallel` feature, `1` otherwise.
+    /// Number of worker threads the search layer should use: the
+    /// [`cps_par::Pool::from_env`] policy (`CPS_THREADS`, falling back to the
+    /// available parallelism with the `parallel` feature, `1` otherwise).
     pub fn default_threads() -> usize {
-        #[cfg(feature = "parallel")]
-        {
-            std::thread::available_parallelism()
-                .map(|n| n.get())
-                .unwrap_or(1)
-        }
-        #[cfg(not(feature = "parallel"))]
-        {
-            1
-        }
+        cps_par::Pool::from_env().threads()
     }
 
     /// Simulates the event-triggered prefix once, checkpointing the state and

@@ -125,6 +125,10 @@ use crate::report::{MappingReport, MinimizeReport, TierStats};
 #[derive(Debug, Default)]
 pub struct MapExplorerEngine {
     core: CascadeCore,
+    /// Worker pool for [`MapExplorerEngine::minimize_slots`]'s parallel
+    /// branch and bound; admission queries themselves always run on the
+    /// engine's own core.
+    pool: cps_par::Pool,
 }
 
 impl MapExplorerEngine {
@@ -140,7 +144,22 @@ impl MapExplorerEngine {
     pub fn with_config(config: VerificationConfig) -> Self {
         MapExplorerEngine {
             core: CascadeCore::with_config(config),
+            pool: cps_par::Pool::from_env(),
         }
+    }
+
+    /// Replaces the worker pool the branch-and-bound search runs on
+    /// (builder style). The reported partition is identical for every pool
+    /// (see [`MapExplorerEngine::minimize_slots`]).
+    #[must_use]
+    pub fn with_pool(mut self, pool: cps_par::Pool) -> Self {
+        self.pool = pool;
+        self
+    }
+
+    /// The worker pool of the branch-and-bound search.
+    pub fn pool(&self) -> cps_par::Pool {
+        self.pool
     }
 
     /// The verification configuration of the exact tier.
@@ -227,6 +246,28 @@ impl MapExplorerEngine {
     /// equivalence against [`crate::reference::minimize_slots`] is asserted
     /// in tests and on every `bench_map` run.
     ///
+    /// # Parallel search
+    ///
+    /// On a multi-thread [`cps_par::Pool`] the search expands the first few
+    /// placement levels serially on the engine's own core (in exact DFS
+    /// order, so every subproblem carries its serial-visit rank), then fans
+    /// the subtrees across the pool. Workers verify on private
+    /// [`CascadeCore`]s — the cascade's tiers are exact, so verdicts do not
+    /// depend on which core's memo answers them — and prune through a shared
+    /// [`cps_par::AtomicIncumbent`] packed as `(slot count, rank)`: an
+    /// incumbent published by an *earlier*-ranked subtree prunes equal-sized
+    /// partials (serial semantics), one from a *later*-ranked subtree only
+    /// prunes strictly larger partials, so the DFS-first minimum-size
+    /// partition — which is exactly what the serial search returns,
+    /// independent of pruning dynamics — always survives. The reduction then
+    /// picks that winner deterministically in rank order and re-verifies
+    /// every shared slot through the engine's own core, so the reported
+    /// partition is bit-identical for every thread count. `nodes_explored`
+    /// aggregates worker-local node counts (its exact value may vary between
+    /// parallel runs; the partition never does), and `tier_stats` describe
+    /// the queries answered by the engine's own core (first-fit, prefix
+    /// expansion, final certification).
+    ///
     /// # Errors
     ///
     /// Propagates exact-verifier failures.
@@ -240,17 +281,143 @@ impl MapExplorerEngine {
         let first_fit_slots = incumbent.slot_count();
         let order = sort_for_first_fit(profiles);
         let mut best: Vec<Vec<usize>> = incumbent.slots().to_vec();
-        let mut slots: Vec<Vec<usize>> = Vec::new();
         let mut nodes = 0usize;
-        self.search(
-            profiles, &fleet_ids, &order, 0, &mut slots, &mut best, &mut nodes,
-        )?;
+        if self.pool.threads() > 1 && order.len() > 2 {
+            self.minimize_parallel(profiles, &fleet_ids, &order, &mut best, &mut nodes)?;
+        } else {
+            let mut slots: Vec<Vec<usize>> = Vec::new();
+            self.search(
+                profiles, &fleet_ids, &order, 0, &mut slots, &mut best, &mut nodes,
+            )?;
+        }
         Ok(MinimizeReport::new(
             best,
             nodes,
             first_fit_slots,
             self.core.stats().since(&before),
         ))
+    }
+
+    /// Parallel branch and bound: deterministic DFS-ranked subproblem
+    /// expansion, worker subtree searches with a rank-guarded shared
+    /// incumbent, rank-order reduction, and a final re-verification of the
+    /// winning partition on the engine's own core. `best` holds the
+    /// first-fit incumbent on entry and the optimal partition on return —
+    /// the same partition the serial [`MapExplorerEngine::search`] builds.
+    fn minimize_parallel(
+        &mut self,
+        profiles: &[AppTimingProfile],
+        fleet_ids: &[u32],
+        order: &[usize],
+        best: &mut Vec<Vec<usize>>,
+        nodes: &mut usize,
+    ) -> Result<(), VerifyError> {
+        let bound = best.len();
+        // Phase 1: expand placement prefixes in DFS branch order on the
+        // engine's own core. Each surviving prefix is one subproblem; its
+        // position in `prefixes` is its serial DFS rank. The depth cap
+        // (`order.len() - 1`) guarantees no prefix is a complete partition,
+        // so the first-fit bound stays exact throughout the expansion.
+        let target = 4 * self.pool.threads();
+        let mut prefixes: Vec<Vec<Vec<usize>>> = vec![Vec::new()];
+        let mut depth = 0usize;
+        while depth < order.len() - 1 && !prefixes.is_empty() && prefixes.len() < target {
+            let app = order[depth];
+            let mut next: Vec<Vec<Vec<usize>>> = Vec::new();
+            for slots in &prefixes {
+                *nodes += 1;
+                for s in prefix_min_slot(slots, fleet_ids, order, depth)..slots.len() {
+                    let mut child = slots.clone();
+                    child[s].push(app);
+                    if self.core.admit_query(profiles, fleet_ids, &child[s])? {
+                        next.push(child);
+                    }
+                }
+                // A singleton slot is admissible by construction; the child
+                // is only worth visiting if it can still beat the bound.
+                if slots.len() + 1 < bound {
+                    let mut child = slots.clone();
+                    child.push(vec![app]);
+                    next.push(child);
+                }
+            }
+            prefixes = next;
+            depth += 1;
+        }
+        if prefixes.is_empty() {
+            // Every subtree is bounded away: the first-fit incumbent wins.
+            return Ok(());
+        }
+        // Phase 2: fan the subproblems across the pool in contiguous rank
+        // chunks. Each worker owns one private core for its whole chunk —
+        // the tiers are exact, so memo reuse across subproblems cannot
+        // change a verdict. Rank 0 is reserved for the first-fit incumbent
+        // so it prunes everything at full strength, exactly as in the
+        // serial search.
+        let config = *self.core.config();
+        let incumbent = cps_par::AtomicIncumbent::new(pack_incumbent(bound, 0));
+        let prefix_ref: &[Vec<Vec<usize>>] = &prefixes;
+        let workers = self.pool.threads().min(prefixes.len());
+        let chunk = prefixes.len().div_ceil(workers);
+        let results: Vec<Vec<SubtreeResult>> = self.pool.map_indexed(workers, |worker| {
+            let start = worker * chunk;
+            let end = (start + chunk).min(prefix_ref.len());
+            let mut core = CascadeCore::with_config(config);
+            let worker_ids = core.intern_fleet(profiles);
+            let mut chunk_results = Vec::with_capacity(end - start);
+            for (index, prefix) in prefix_ref.iter().enumerate().take(end).skip(start) {
+                let rank = index as u64 + 1;
+                let mut slots = prefix.clone();
+                let mut local_best: Option<(usize, Vec<Vec<usize>>)> = None;
+                let mut sub_nodes = 0usize;
+                let outcome = bounded_search(
+                    &mut core,
+                    profiles,
+                    &worker_ids,
+                    order,
+                    depth,
+                    &mut slots,
+                    &mut local_best,
+                    &incumbent,
+                    rank,
+                    &mut sub_nodes,
+                );
+                chunk_results.push(outcome.map(|()| (sub_nodes, local_best)));
+            }
+            chunk_results
+        });
+        // Phase 3: deterministic reduction in rank order — first error wins,
+        // otherwise the smallest (slot count, rank) candidate, otherwise the
+        // first-fit incumbent. Later ranks never displace an equal-sized
+        // earlier candidate, mirroring the serial strict-improvement rule.
+        let mut winner: Option<Vec<Vec<usize>>> = None;
+        let mut winner_size = bound;
+        for result in results.into_iter().flatten() {
+            let (sub_nodes, candidate) = result?;
+            *nodes += sub_nodes;
+            if let Some((size, partition)) = candidate {
+                if size < winner_size {
+                    winner_size = size;
+                    winner = Some(partition);
+                }
+            }
+        }
+        // Phase 4: re-verify the winning partition through the engine's own
+        // core. This certifies the worker verdicts on the core that owns the
+        // report's tier statistics and keeps its memo authoritative.
+        if let Some(partition) = winner {
+            for members in &partition {
+                if members.len() > 1 {
+                    let admitted = self.core.admit_query(profiles, fleet_ids, members)?;
+                    assert!(
+                        admitted,
+                        "parallel minimize: winning slot failed re-verification"
+                    );
+                }
+            }
+            *best = partition;
+        }
+        Ok(())
     }
 
     fn first_fit_inner(
@@ -299,19 +466,7 @@ impl MapExplorerEngine {
         }
         *nodes += 1;
         let app = order[pos];
-        // Symmetry breaking: an application interchangeable with its
-        // predecessor (equal fingerprint) never goes into an earlier slot
-        // than that predecessor — permuted placements of identical
-        // applications describe the same partition.
-        let min_slot = if pos > 0 && fleet_ids[app] == fleet_ids[order[pos - 1]] {
-            slots
-                .iter()
-                .position(|slot| slot.contains(&order[pos - 1]))
-                .unwrap_or(0)
-        } else {
-            0
-        };
-        for s in min_slot..slots.len() {
+        for s in prefix_min_slot(slots, fleet_ids, order, pos)..slots.len() {
             slots[s].push(app);
             let admitted = {
                 let members = &slots[s];
@@ -328,6 +483,112 @@ impl MapExplorerEngine {
         slots.pop();
         Ok(())
     }
+}
+
+/// Per-subproblem outcome of the parallel search: explored node count plus
+/// the subtree's best partition (if any beat every bound it saw).
+type SubtreeResult = Result<(usize, Option<(usize, Vec<Vec<usize>>)>), VerifyError>;
+
+/// Packs a `(slot count, DFS rank)` pair so that the smaller packed value is
+/// the lexicographically better incumbent. Rank 0 is the first-fit incumbent.
+fn pack_incumbent(size: usize, rank: u64) -> u64 {
+    debug_assert!(size < (1 << 31) && rank < (1 << 32));
+    ((size as u64) << 32) | rank
+}
+
+/// Symmetry-breaking floor shared by the serial search, the prefix
+/// expansion, and the worker subtree search: an application interchangeable
+/// with its predecessor (equal fingerprint) never opens an earlier slot.
+fn prefix_min_slot(slots: &[Vec<usize>], fleet_ids: &[u32], order: &[usize], pos: usize) -> usize {
+    if pos > 0 && fleet_ids[order[pos]] == fleet_ids[order[pos - 1]] {
+        slots
+            .iter()
+            .position(|slot| slot.contains(&order[pos - 1]))
+            .unwrap_or(0)
+    } else {
+        0
+    }
+}
+
+/// Worker-side branch-and-bound node for one DFS-ranked subproblem.
+///
+/// The prune bound combines the worker's own best (full strength — it is
+/// DFS-earlier within this subtree) with the shared incumbent: published by
+/// a rank at or before ours it prunes equal-sized partials exactly like the
+/// serial search; published by a later rank it only prunes strictly larger
+/// partials. The guard keeps the DFS-first minimum-size partition alive in
+/// its own subtree regardless of publication timing, so the rank-order
+/// reduction always reproduces the serial winner.
+#[allow(clippy::too_many_arguments)]
+fn bounded_search(
+    core: &mut CascadeCore,
+    profiles: &[AppTimingProfile],
+    fleet_ids: &[u32],
+    order: &[usize],
+    pos: usize,
+    slots: &mut Vec<Vec<usize>>,
+    local_best: &mut Option<(usize, Vec<Vec<usize>>)>,
+    incumbent: &cps_par::AtomicIncumbent,
+    rank: u64,
+    nodes: &mut usize,
+) -> Result<(), VerifyError> {
+    let packed = incumbent.load();
+    let (published_size, published_rank) = ((packed >> 32) as usize, packed & 0xFFFF_FFFF);
+    let mut bound = if published_rank <= rank {
+        published_size
+    } else {
+        published_size + 1
+    };
+    if let Some((size, _)) = local_best {
+        bound = bound.min(*size);
+    }
+    if slots.len() >= bound {
+        return Ok(());
+    }
+    if pos == order.len() {
+        *local_best = Some((slots.len(), slots.clone()));
+        incumbent.offer(pack_incumbent(slots.len(), rank));
+        return Ok(());
+    }
+    *nodes += 1;
+    let app = order[pos];
+    for s in prefix_min_slot(slots, fleet_ids, order, pos)..slots.len() {
+        slots[s].push(app);
+        let admitted = {
+            let members = &slots[s];
+            core.admit_query(profiles, fleet_ids, members)?
+        };
+        if admitted {
+            bounded_search(
+                core,
+                profiles,
+                fleet_ids,
+                order,
+                pos + 1,
+                slots,
+                local_best,
+                incumbent,
+                rank,
+                nodes,
+            )?;
+        }
+        slots[s].pop();
+    }
+    slots.push(vec![app]);
+    bounded_search(
+        core,
+        profiles,
+        fleet_ids,
+        order,
+        pos + 1,
+        slots,
+        local_best,
+        incumbent,
+        rank,
+        nodes,
+    )?;
+    slots.pop();
+    Ok(())
 }
 
 #[cfg(test)]
@@ -509,6 +770,55 @@ mod tests {
         let single = engine.minimize_slots(&[profile("A", 5, 2, 3, 20)]).unwrap();
         assert_eq!(single.slot_count(), 1);
         assert_eq!(single.slots(), &[vec![0]]);
+    }
+
+    #[test]
+    fn parallel_minimize_is_bitwise_identical_to_serial() {
+        // Fleets chosen to exercise real branching: mixed fleets where the
+        // minimizer beats first-fit, interchangeable-profile fleets that
+        // lean on symmetry breaking, and zero-wait fleets where every pair
+        // is rejected and the first-fit incumbent wins outright.
+        let fleets = vec![
+            vec![
+                profile("A", 10, 3, 5, 30),
+                profile("B", 10, 3, 5, 30),
+                profile("C", 0, 5, 5, 30),
+                profile("D", 4, 2, 3, 20),
+            ],
+            vec![
+                profile("A", 4, 2, 3, 20),
+                profile("B", 10, 3, 5, 30),
+                profile("C", 4, 2, 3, 20),
+                profile("D", 10, 3, 5, 30),
+                profile("E", 10, 3, 5, 30),
+            ],
+            vec![
+                profile("A", 0, 5, 5, 30),
+                profile("B", 0, 5, 5, 30),
+                profile("C", 0, 5, 5, 30),
+            ],
+            vec![
+                holdy_profile("A", 10, 3, 16),
+                holdy_profile("B", 12, 3, 18),
+                profile("C", 10, 3, 5, 30),
+                profile("D", 4, 2, 3, 20),
+            ],
+        ];
+        for fleet in &fleets {
+            let mut serial = MapExplorerEngine::new().with_pool(cps_par::Pool::serial());
+            let reference = serial.minimize_slots(fleet).unwrap();
+            for threads in [2, 4] {
+                let pool = cps_par::Pool::with_threads(threads);
+                if !pool.is_parallel_for(2) {
+                    continue; // feature "parallel" disabled: nothing to compare
+                }
+                let mut engine = MapExplorerEngine::new().with_pool(pool);
+                let report = engine.minimize_slots(fleet).unwrap();
+                assert_eq!(report.slots(), reference.slots(), "threads={threads}");
+                assert_eq!(report.slot_count(), reference.slot_count());
+                assert_eq!(report.first_fit_slots(), reference.first_fit_slots());
+            }
+        }
     }
 
     #[test]

@@ -136,6 +136,10 @@ pub struct BatchCosimEngine {
     states: Vec<AppEngineState>,
     sampling_periods: Vec<f64>,
     requirements: Vec<usize>,
+    /// Fans the independent per-application checkpoint chains of
+    /// [`BatchCosimEngine::run`] out across workers; every result is reduced
+    /// in application order, so it is bitwise identical for any thread count.
+    pool: cps_par::Pool,
 }
 
 impl BatchCosimEngine {
@@ -191,7 +195,22 @@ impl BatchCosimEngine {
             states,
             sampling_periods,
             requirements,
+            pool: cps_par::Pool::from_env(),
         })
+    }
+
+    /// Replaces the worker pool the per-application chains run on (builder
+    /// style). Results are bitwise identical for every pool; the pool only
+    /// decides how many chains advance concurrently.
+    #[must_use]
+    pub fn with_pool(mut self, pool: cps_par::Pool) -> Self {
+        self.pool = pool;
+        self
+    }
+
+    /// The worker pool this engine simulates on.
+    pub fn pool(&self) -> cps_par::Pool {
+        self.pool
     }
 
     /// The linalg backend the application kernels run on: the common kernel
@@ -256,38 +275,48 @@ impl BatchCosimEngine {
     pub fn run(&mut self, disturbances: &[Vec<usize>]) -> Result<CosimResult, SchedError> {
         let schedule = self.scheduler.schedule(disturbances, self.horizon)?;
         let horizon = self.horizon;
+        let apps = &self.apps;
+        let traces = schedule.traces();
+        // The per-application checkpoint chains share no state by
+        // construction (each touches only its own caches), so the pool fans
+        // them out; `map_mut` reduces in application order, which keeps
+        // every float bitwise identical to the serial loop.
+        let per_app: Vec<(Vec<f64>, Option<usize>)> =
+            self.pool.map_mut(&mut self.states, |index, state| {
+                let times = &disturbances[index];
+                let trace = &traces[index];
+                let mut absolute = vec![0.0; horizon + 1];
+                let mut worst = Some(0);
+                for (window, &t0) in times.iter().enumerate() {
+                    let end = times.get(window + 1).copied().unwrap_or(horizon);
+                    let settling = advance_window(
+                        &apps[index].application,
+                        state,
+                        window,
+                        t0,
+                        end,
+                        &trace.tt_samples,
+                    );
+                    let cache = &state.windows[window];
+                    let length = end - t0;
+                    // Non-final windows surrender their boundary sample to
+                    // the next window's fresh disturbance output.
+                    let copied = if window + 1 == times.len() {
+                        length + 1
+                    } else {
+                        length
+                    };
+                    absolute[t0..t0 + copied].copy_from_slice(&cache.outputs[..copied]);
+                    worst = match (worst, settling) {
+                        (Some(acc), Some(s)) => Some(acc.max(s)),
+                        _ => None,
+                    };
+                }
+                (absolute, worst)
+            });
         let mut outputs = Vec::with_capacity(self.apps.len());
         let mut settling_samples = Vec::with_capacity(self.apps.len());
-        for (index, app) in self.apps.iter().enumerate() {
-            let times = &disturbances[index];
-            let trace = &schedule.traces()[index];
-            let mut absolute = vec![0.0; horizon + 1];
-            let mut worst = Some(0);
-            for (window, &t0) in times.iter().enumerate() {
-                let end = times.get(window + 1).copied().unwrap_or(horizon);
-                let settling = advance_window(
-                    &app.application,
-                    &mut self.states[index],
-                    window,
-                    t0,
-                    end,
-                    &trace.tt_samples,
-                );
-                let cache = &self.states[index].windows[window];
-                let length = end - t0;
-                // Non-final windows surrender their boundary sample to the
-                // next window's fresh disturbance output.
-                let copied = if window + 1 == times.len() {
-                    length + 1
-                } else {
-                    length
-                };
-                absolute[t0..t0 + copied].copy_from_slice(&cache.outputs[..copied]);
-                worst = match (worst, settling) {
-                    (Some(acc), Some(s)) => Some(acc.max(s)),
-                    _ => None,
-                };
-            }
+        for (absolute, worst) in per_app {
             outputs.push(absolute);
             settling_samples.push(worst);
         }

@@ -58,6 +58,33 @@
 //! semantics as the oracle; on models without adjacent identical profiles the
 //! engine explores the oracle's graph in the oracle's order and reports the
 //! identical count.
+//!
+//! # Parallel exploration
+//!
+//! On a multi-thread [`cps_par::Pool`] (see [`SlotVerifyEngine::with_pool`]
+//! and the `CPS_THREADS` environment variable) the engine switches from the
+//! pop-one-state loop to a **level-batched BFS with deterministic sharded
+//! reduction**:
+//!
+//! 1. the pending frontier `[head, len)` is scanned once to lay out each
+//!    state's disturbance-choice groups and mixed-radix choice count;
+//! 2. the flat choice space of the whole frontier is split into contiguous
+//!    shards, one per worker — sharding by disturbance-choice index, so a
+//!    single hot state's enumeration splits across threads just like a wide
+//!    frontier does; each worker steps, canonicalises and incrementally
+//!    hashes its successors into private staging buffers (no shared state);
+//! 3. a serial merge walks the shards **in choice order** — re-establishing
+//!    the exact serial visitation order before any id is assigned — and
+//!    replays interning, budget accounting and miss handling with the same
+//!    single-threaded index the serial loop uses.
+//!
+//! Because ids, hashes, stats counters and the first-miss choice are all
+//! decided by the in-order merge, verdicts, witnesses, interned ids and
+//! [`VerifyStats`] are **bit-identical under any thread count** (asserted by
+//! the cross-thread-count property tests and on every `bench_par` run). The
+//! staging buffers make the parallel path's memory transiently proportional
+//! to the frontier's successor count, which is why `threads == 1` keeps the
+//! intern-as-you-go serial loop unchanged.
 
 use cps_core::AppTimingProfile;
 use cps_intern::{CachedHashIndex, ZobristKeys};
@@ -69,6 +96,10 @@ use crate::{SlotSharingModel, VerifyError};
 const NO_PARENT: u32 = u32::MAX;
 /// Disturbance choices are recorded as `u32` position bitmasks.
 const MAX_APPS: usize = 32;
+/// Minimum disturbance choices per shard before another worker spawns:
+/// levels below the grain run on fewer threads (same merged stream, less
+/// spawn overhead).
+const PAR_GRAIN: u64 = 128;
 
 /// Hash/probe work counters of a [`SlotVerifyEngine`], cumulative over the
 /// engine's lifetime (benches and the mapping cascade report deltas between
@@ -135,8 +166,9 @@ impl VerifyStats {
     }
 }
 
-/// Fixed-width storage for one application's packed cell code.
-trait StateWord: Copy + Eq + Ord + std::fmt::Debug + Default {
+/// Fixed-width storage for one application's packed cell code. `Send + Sync`
+/// lets shard workers read the arena and stage successor words.
+trait StateWord: Copy + Eq + Ord + std::fmt::Debug + Default + Send + Sync {
     /// Exclusive upper bound on the code values the word can represent.
     const LIMIT: u64;
 
@@ -552,6 +584,36 @@ fn canonicalize<W: StateWord>(runs: &[(usize, usize)], words: &mut [W]) {
     }
 }
 
+/// Interchangeable-group structure of the eligible positions of one decoded
+/// canonical state (`row` is its arena slice): within a symmetry run the
+/// canonical form keeps equal codes adjacent, so one scan suffices.
+/// Positions outside any run of length ≥ 2 always form singleton groups.
+fn scan_groups<W: StateWord>(
+    ctx: &ModelCtx,
+    row: &[W],
+    cells: &[Cell],
+    used: &[u32],
+    groups: &mut Vec<(u32, u32)>,
+) {
+    groups.clear();
+    for &(run_start, run_end) in &ctx.runs {
+        let mut i = run_start;
+        while i < run_end {
+            if !ctx.eligible(cells[i], used[i]) {
+                i += 1;
+                continue;
+            }
+            let code = row[i];
+            let mut j = i + 1;
+            while j < run_end && row[j] == code {
+                j += 1;
+            }
+            groups.push((i as u32, (j - i) as u32));
+            i = j;
+        }
+    }
+}
+
 /// Monomorphised exploration core; all buffers survive across runs.
 #[derive(Debug, Default)]
 struct Core<W> {
@@ -588,10 +650,22 @@ impl<W: StateWord> Core<W> {
     /// Runs the exploration, folding the index's work-counter deltas (plus
     /// the incremental-hashing work and its full-rehash equivalent) into the
     /// core's cumulative [`VerifyStats`] on every return path.
-    fn run(&mut self, ctx: &ModelCtx) -> Result<VerificationOutcome, VerifyError> {
+    ///
+    /// A multi-thread pool selects the level-batched sharded exploration;
+    /// one thread keeps the intern-as-you-go serial loop. Both produce
+    /// bit-identical outcomes, ids and stats.
+    fn run(
+        &mut self,
+        ctx: &ModelCtx,
+        pool: &cps_par::Pool,
+    ) -> Result<VerificationOutcome, VerifyError> {
         let before = *self.index.stats();
         self.slot_updates = 0;
-        let result = self.run_inner(ctx);
+        let result = if pool.threads() > 1 {
+            self.run_parallel(ctx, pool)
+        } else {
+            self.run_inner(ctx)
+        };
         let delta = self.index.stats().since(&before);
         self.stats.intern_probes += delta.probes;
         self.stats.hash_hits += delta.hits;
@@ -660,27 +734,7 @@ impl<W: StateWord> Core<W> {
                 cur_used.push(used);
             }
 
-            // Interchangeable-group structure of the eligible positions:
-            // within a symmetry run the canonical state keeps equal codes
-            // adjacent, so one scan suffices. Positions outside any run of
-            // length ≥ 2 always form singleton groups.
-            groups.clear();
-            for &(run_start, run_end) in &ctx.runs {
-                let mut i = run_start;
-                while i < run_end {
-                    if !ctx.eligible(cur_cells[i], cur_used[i]) {
-                        i += 1;
-                        continue;
-                    }
-                    let code = arena[base + i];
-                    let mut j = i + 1;
-                    while j < run_end && arena[base + j] == code {
-                        j += 1;
-                    }
-                    groups.push((i as u32, (j - i) as u32));
-                    i = j;
-                }
-            }
+            scan_groups(ctx, &arena[base..base + n], cur_cells, cur_used, groups);
             counts.clear();
             counts.resize(groups.len(), 0);
 
@@ -755,6 +809,311 @@ impl<W: StateWord> Core<W> {
 
         Ok(VerificationOutcome::new(true, explored, None))
     }
+
+    /// Level-batched BFS with deterministic sharded reduction (see the
+    /// module docs): workers stage successors for contiguous shards of the
+    /// frontier's flat disturbance-choice space; a serial merge replays
+    /// interning, budget accounting and miss handling in exact serial order.
+    ///
+    /// Every observable of [`Core::run_inner`] — verdict, witness, explored
+    /// count, interned ids, index stats, incremental-hash work — is
+    /// reproduced bit-identically for any thread count.
+    fn run_parallel(
+        &mut self,
+        ctx: &ModelCtx,
+        pool: &cps_par::Pool,
+    ) -> Result<VerificationOutcome, VerifyError> {
+        let n = ctx.n;
+        self.arena.clear();
+        self.meta.clear();
+        self.hashes.clear();
+        self.index.reset();
+
+        // The initial state, exactly as in the serial loop.
+        self.scratch.clear();
+        self.scratch.resize(n, W::pack(0));
+        let init_hash = ctx
+            .keys
+            .fingerprint(self.scratch.iter().map(|w| w.unpack()));
+        self.slot_updates += n;
+        insert_if_new(
+            &mut self.index,
+            &mut self.arena,
+            &mut self.meta,
+            &mut self.hashes,
+            &self.scratch,
+            init_hash,
+            NO_PARENT,
+            0,
+            n,
+        );
+
+        let mut head = 0usize;
+        let mut explored = 0usize;
+        // Frontier layout, rebuilt per level: the flat group buffer, each
+        // parent's slice into it, and the prefix sums of the mixed-radix
+        // choice counts that define the shardable flat choice space.
+        let mut group_buf: Vec<(u32, u32)> = Vec::new();
+        let mut group_offsets: Vec<u32> = vec![0];
+        let mut choice_prefix: Vec<u64> = vec![0];
+
+        while head < self.meta.len() {
+            let batch_start = head;
+            let batch_end = self.meta.len();
+            head = batch_end;
+
+            // Phase 1 (serial, O(frontier · n)): choice-space layout.
+            group_buf.clear();
+            group_offsets.truncate(1);
+            choice_prefix.truncate(1);
+            for id in batch_start..batch_end {
+                let base = id * n;
+                self.cur_cells.clear();
+                self.cur_used.clear();
+                for (i, w) in self.arena[base..base + n].iter().enumerate() {
+                    let (cell, used) = ctx.enc[i].decode(w.unpack());
+                    self.cur_cells.push(cell);
+                    self.cur_used.push(used);
+                }
+                scan_groups(
+                    ctx,
+                    &self.arena[base..base + n],
+                    &self.cur_cells,
+                    &self.cur_used,
+                    &mut self.groups,
+                );
+                // ≤ 2^32: the radix product over ≤ 32 positions is maximal
+                // when every group is a singleton (2 per position).
+                let count: u64 = self
+                    .groups
+                    .iter()
+                    .map(|&(_, len)| u64::from(len) + 1)
+                    .product();
+                group_buf.extend_from_slice(&self.groups);
+                group_offsets.push(group_buf.len() as u32);
+                choice_prefix.push(choice_prefix.last().unwrap() + count);
+            }
+            let total = *choice_prefix.last().unwrap();
+
+            // Phase 2 (parallel): stage successors per contiguous choice
+            // shard, each worker with private buffers. Small levels stay on
+            // fewer workers (at least PAR_GRAIN choices per shard before
+            // another spawns): the shard boundaries move but the
+            // concatenated stream is the same, so the grain only trims
+            // spawn overhead, never the result.
+            let by_grain = usize::try_from(total.div_ceil(PAR_GRAIN)).unwrap_or(usize::MAX);
+            let workers = pool.threads().min(by_grain).max(1);
+            let chunk = total.div_ceil(workers as u64);
+            let arena = &self.arena;
+            let hashes = &self.hashes;
+            let (group_buf, group_offsets, choice_prefix) =
+                (&group_buf, &group_offsets, &choice_prefix);
+            let shards: Vec<ShardOutput<W>> = pool.map_indexed(workers, |w| {
+                let start = w as u64 * chunk;
+                let end = ((w as u64 + 1) * chunk).min(total);
+                generate_shard(
+                    ctx,
+                    arena,
+                    hashes,
+                    batch_start,
+                    group_buf,
+                    group_offsets,
+                    choice_prefix,
+                    start..end,
+                )
+            });
+
+            // Phase 3 (serial merge, in choice order): pop accounting,
+            // interning and miss handling exactly as the serial loop
+            // interleaves them.
+            let mut next_pop = batch_start;
+            for shard in &shards {
+                for (r, rec) in shard.records.iter().enumerate() {
+                    let parent = rec.parent as usize;
+                    if parent >= next_pop {
+                        for _ in next_pop..=parent {
+                            explored += 1;
+                            if explored > ctx.budget {
+                                return Err(VerifyError::StateBudgetExhausted {
+                                    budget: ctx.budget,
+                                });
+                            }
+                        }
+                        next_pop = parent + 1;
+                    }
+                    self.slot_updates += rec.diffs as usize;
+                    let ws = r * n;
+                    insert_if_new(
+                        &mut self.index,
+                        &mut self.arena,
+                        &mut self.meta,
+                        &mut self.hashes,
+                        &shard.words[ws..ws + n],
+                        rec.hash,
+                        rec.parent,
+                        rec.mask,
+                        n,
+                    );
+                }
+                if let Some((miss_parent, mask)) = shard.miss {
+                    let parent = miss_parent as usize;
+                    if parent >= next_pop {
+                        for _ in next_pop..=parent {
+                            explored += 1;
+                            if explored > ctx.budget {
+                                return Err(VerifyError::StateBudgetExhausted {
+                                    budget: ctx.budget,
+                                });
+                            }
+                        }
+                    }
+                    let witness = build_witness(ctx, &self.arena, &self.meta, miss_parent, mask);
+                    return Ok(VerificationOutcome::new(false, explored, Some(witness)));
+                }
+            }
+            debug_assert_eq!(
+                next_pop, batch_end,
+                "every pending state contributes at least one staged choice"
+            );
+        }
+
+        Ok(VerificationOutcome::new(true, explored, None))
+    }
+}
+
+/// One successor staged by a shard worker for the in-order merge: everything
+/// [`insert_if_new`] needs except the words themselves, which live at the
+/// matching offset of the shard's flat word buffer.
+struct SuccRecord {
+    parent: u32,
+    mask: u32,
+    hash: u64,
+    /// Slots whose canonical code differs from the canonical parent's — the
+    /// incremental hash work, folded into the stats when the record is
+    /// consumed (so discarded post-miss records never count, exactly as in
+    /// the serial loop).
+    diffs: u32,
+}
+
+/// A worker's staged output for one contiguous shard of the frontier's flat
+/// choice space.
+struct ShardOutput<W> {
+    records: Vec<SuccRecord>,
+    /// `records.len() * n` packed words, record-major.
+    words: Vec<W>,
+    /// First deadline miss in the shard's range, if any: `(parent id,
+    /// disturbance mask)`. The worker stops at it — in serial order nothing
+    /// after the first miss is ever observed.
+    miss: Option<(u32, u32)>,
+}
+
+/// Generates the staged successors for choices `range` of the frontier's
+/// flat choice space (see [`Core::run_parallel`]'s phase 1 for the layout
+/// arguments). Pure: reads only the frozen pre-level arena/hashes.
+#[allow(clippy::too_many_arguments)]
+fn generate_shard<W: StateWord>(
+    ctx: &ModelCtx,
+    arena: &[W],
+    hashes: &[u64],
+    batch_start: usize,
+    group_buf: &[(u32, u32)],
+    group_offsets: &[u32],
+    choice_prefix: &[u64],
+    range: std::ops::Range<u64>,
+) -> ShardOutput<W> {
+    let n = ctx.n;
+    let mut out = ShardOutput {
+        records: Vec::new(),
+        words: Vec::new(),
+        miss: None,
+    };
+    if range.start >= range.end {
+        return out;
+    }
+    let mut cur_cells: Vec<Cell> = Vec::with_capacity(n);
+    let mut cur_used: Vec<u32> = Vec::with_capacity(n);
+    let mut succ_cells: Vec<Cell> = Vec::with_capacity(n);
+    let mut succ_used: Vec<u32> = Vec::with_capacity(n);
+    let mut scratch: Vec<W> = Vec::with_capacity(n);
+
+    // The parent whose choice interval contains the shard's first choice.
+    let mut parent_idx = choice_prefix.partition_point(|&p| p <= range.start) - 1;
+    let mut c = range.start;
+    while c < range.end {
+        let id = (batch_start + parent_idx) as u32;
+        let base = id as usize * n;
+        let cur_hash = hashes[id as usize];
+        cur_cells.clear();
+        cur_used.clear();
+        for (i, w) in arena[base..base + n].iter().enumerate() {
+            let (cell, used) = ctx.enc[i].decode(w.unpack());
+            cur_cells.push(cell);
+            cur_used.push(used);
+        }
+        let groups =
+            &group_buf[group_offsets[parent_idx] as usize..group_offsets[parent_idx + 1] as usize];
+        let stop = range.end.min(choice_prefix[parent_idx + 1]);
+        for choice in c..stop {
+            // Mixed-radix digits of the choice, least significant group
+            // first — the serial counter's enumeration order.
+            let mut digits = choice - choice_prefix[parent_idx];
+            succ_cells.clear();
+            succ_cells.extend_from_slice(&cur_cells);
+            succ_used.clear();
+            succ_used.extend_from_slice(&cur_used);
+            let mut mask = 0u32;
+            for &(group_start, group_len) in groups {
+                let radix = u64::from(group_len) + 1;
+                let k = (digits % radix) as u32;
+                digits /= radix;
+                for t in 0..k {
+                    let pos = (group_start + t) as usize;
+                    succ_cells[pos] = Cell::Waiting { waited: 0 };
+                    if ctx.bound.is_some() {
+                        succ_used[pos] = succ_used[pos].saturating_add(1);
+                    }
+                    mask |= 1 << pos;
+                }
+            }
+
+            match step_in_place(&ctx.params, ctx.bound, &mut succ_cells, &succ_used) {
+                StepOutcome::Miss { .. } => {
+                    out.miss = Some((id, mask));
+                    return out;
+                }
+                StepOutcome::Ok => {
+                    scratch.clear();
+                    for i in 0..n {
+                        scratch.push(W::pack(ctx.enc[i].encode(succ_cells[i], succ_used[i])));
+                    }
+                    canonicalize(&ctx.runs, &mut scratch);
+                    let mut hash = cur_hash;
+                    let mut diffs = 0u32;
+                    for (i, (w, old)) in scratch.iter().zip(&arena[base..base + n]).enumerate() {
+                        if w != old {
+                            hash ^= ctx.keys.key(i, old.unpack()) ^ ctx.keys.key(i, w.unpack());
+                            diffs += 1;
+                        }
+                    }
+                    debug_assert_eq!(
+                        hash,
+                        ctx.keys.fingerprint(scratch.iter().map(|w| w.unpack())),
+                        "incremental fingerprint must equal the from-scratch hash"
+                    );
+                    out.words.extend_from_slice(&scratch);
+                    out.records.push(SuccRecord {
+                        parent: id,
+                        mask,
+                        hash,
+                        diffs,
+                    });
+                }
+            }
+        }
+        c = stop;
+        parent_idx += 1;
+    }
+    out
 }
 
 /// Reconstructs a concrete counterexample from the canonical parent chain.
@@ -878,12 +1237,29 @@ fn build_witness<W: StateWord>(
 pub struct SlotVerifyEngine {
     narrow: Core<u16>,
     wide: Core<u32>,
+    pool: cps_par::Pool,
 }
 
 impl SlotVerifyEngine {
-    /// Creates an engine with empty buffers.
+    /// Creates an engine with empty buffers on the environment-selected
+    /// worker pool ([`cps_par::Pool::from_env`], i.e. `CPS_THREADS`).
     pub fn new() -> Self {
         SlotVerifyEngine::default()
+    }
+
+    /// Creates an engine exploring on an explicit worker pool. Results are
+    /// bit-identical for every pool (see the module docs); the pool only
+    /// decides how the successor generation is sharded.
+    pub fn with_pool(pool: cps_par::Pool) -> Self {
+        SlotVerifyEngine {
+            pool,
+            ..SlotVerifyEngine::default()
+        }
+    }
+
+    /// The worker pool this engine explores on.
+    pub fn pool(&self) -> cps_par::Pool {
+        self.pool
     }
 
     /// Verifies that every application of the model meets its deadline in
@@ -976,9 +1352,9 @@ impl SlotVerifyEngine {
 
     fn run(&mut self, ctx: &ModelCtx) -> Result<VerificationOutcome, VerifyError> {
         if ctx.max_code_space <= <u16 as StateWord>::LIMIT {
-            self.narrow.run(ctx)
+            self.narrow.run(ctx, &self.pool)
         } else {
-            self.wide.run(ctx)
+            self.wide.run(ctx, &self.pool)
         }
     }
 }
@@ -1257,6 +1633,52 @@ mod tests {
         assert_eq!(second.intern_probes, stats.intern_probes);
         assert_eq!(second.hash_hits, stats.hash_hits);
         assert_eq!(second.hash_slot_updates, stats.hash_slot_updates);
+    }
+
+    /// The parallel exploration is the serial exploration, reshuffled across
+    /// workers and re-serialised by the merge: outcome, witness, stats and
+    /// error must all be bit-identical for every thread count.
+    #[test]
+    fn parallel_exploration_is_bitwise_identical_to_serial() {
+        let models = [
+            vec![profile("A", 10, 3, 5, 30), profile("B", 10, 3, 5, 30)],
+            vec![profile("A", 0, 5, 5, 30), profile("B", 0, 5, 5, 30)],
+            vec![
+                profile("A", 7, 6, 6, 40),
+                profile("B", 7, 6, 6, 40),
+                profile("C", 7, 6, 6, 40),
+            ],
+            vec![profile("A", 9, 2, 4, 30), profile("B", 6, 3, 5, 35)],
+            // Forces the wide (u32) core.
+            vec![profile("A", 3, 2, 3, 70_000)],
+        ];
+        let configs = [
+            VerificationConfig::unbounded(),
+            VerificationConfig::bounded(2),
+            // A budget small enough to exhaust on the richer models.
+            VerificationConfig {
+                max_disturbances_per_app: None,
+                state_budget: 7,
+            },
+        ];
+        for profiles in &models {
+            let model = SlotSharingModel::new(profiles.clone()).unwrap();
+            for config in &configs {
+                let mut serial = SlotVerifyEngine::with_pool(cps_par::Pool::serial());
+                let serial_result = serial.verify(&model, config);
+                for threads in [2, 3, 4, 8] {
+                    let pool = cps_par::Pool::with_threads(threads);
+                    let mut par = SlotVerifyEngine::with_pool(pool);
+                    let par_result = par.verify(&model, config);
+                    match (&serial_result, &par_result) {
+                        (Ok(a), Ok(b)) => assert_eq!(a, b, "t={threads}"),
+                        (Err(a), Err(b)) => assert_eq!(a.to_string(), b.to_string()),
+                        (a, b) => panic!("serial {a:?} vs parallel {b:?} at t={threads}"),
+                    }
+                    assert_eq!(serial.stats(), par.stats(), "stats at t={threads}");
+                }
+            }
+        }
     }
 
     #[test]

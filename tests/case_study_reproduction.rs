@@ -62,6 +62,25 @@ fn baseline_mapping_needs_more_slots_than_the_paper_result() {
 }
 
 #[test]
+fn parallel_minimize_reproduces_the_published_partition() {
+    // The paper's two-slot partition {C1,C5,C4,C3} {C6,C2} must come out of
+    // the parallel branch and bound exactly as it does serially, at every
+    // pool width.
+    let profiles: Vec<_> = case_study::all_applications()
+        .unwrap()
+        .iter()
+        .map(|a| a.paper_row().to_profile(a.application().name()).unwrap())
+        .collect();
+    let published: &[Vec<usize>] = &[vec![0, 4, 3, 2], vec![5, 1]];
+    for threads in [1, 2, 4, 8] {
+        let mut engine = MapExplorerEngine::new().with_pool(cps_par::Pool::with_threads(threads));
+        let report = engine.minimize_slots(&profiles).unwrap();
+        assert_eq!(report.slots(), published, "threads={threads}");
+        assert_eq!(report.slot_count(), 2);
+    }
+}
+
+#[test]
 fn bounded_memo_reproduces_the_published_partition_bit_identically() {
     // The slot minimizer must reproduce the paper's two-slot partition
     // {C1,C5,C4,C3} {C6,C2} — slot members in placement order — whatever the
