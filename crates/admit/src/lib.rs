@@ -23,12 +23,29 @@
 //! [`AdmissionService::spawn_warm`] restores them so a restarted service
 //! answers re-admissions of its old fleet without ever touching the exact
 //! verifier — bit-identical verdicts, memo-hit latency.
+//!
+//! The service is *fault tolerant*: the worker is supervised (a panic
+//! rebuilds the state from the last good snapshot and the supervisor's
+//! fleet mirror, and the interrupted request is answered with the retryable
+//! [`ServiceError::WorkerRestarted`]), deadline-bounded admissions degrade
+//! onto a sound conservative screen instead of missing their budget (see
+//! [`AdmitVerdict`]), and [`retry`] wraps a client with bounded
+//! deterministic backoff over the transient errors. Faults are injected —
+//! never random — through the [`cps_fault::FaultPlan`] carried by
+//! [`ServiceOptions`], so every crash/recovery scenario replays bit-exactly
+//! from its seed.
 
 pub mod protocol;
+pub mod retry;
 pub mod service;
 
-pub use protocol::{AdmitOutcome, EvictOutcome, Request, Response, ServiceError, ServiceStats};
-pub use service::{AdmissionClient, AdmissionService, ShutdownTimeout};
+pub use protocol::{
+    AdmitOutcome, AdmitVerdict, EvictOutcome, Request, Response, ServiceError, ServiceStats,
+};
+pub use retry::{RetryPolicy, RetryingClient};
+pub use service::{
+    AdmissionClient, AdmissionService, ServiceOptions, ShutdownError, ShutdownTimeout,
+};
 
 #[cfg(test)]
 mod tests {
@@ -42,5 +59,7 @@ mod tests {
         assert_send::<Request>();
         assert_send::<Response>();
         assert_send::<ServiceError>();
+        assert_send::<RetryingClient>();
+        assert_send::<ShutdownError>();
     }
 }

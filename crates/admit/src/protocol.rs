@@ -13,14 +13,26 @@ use std::error::Error;
 use std::fmt;
 
 use cps_core::AppTimingProfile;
-use cps_map::TierStats;
+use cps_map::{AdmissionError, TierStats};
 use cps_verify::VerifyError;
 
 /// A client request to the admission worker.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub enum Request {
     /// Admit an arriving application into the resident fleet.
     Admit(AppTimingProfile),
+    /// Admit an arriving application under a per-request deadline: every
+    /// exact verification is capped at `state_budget` explored states, and
+    /// probes the exact tier cannot decide in budget degrade onto the sound
+    /// conservative screen (see
+    /// [`cps_map::AdmissionState::add_app_within`]).
+    AdmitWithin {
+        /// The arriving application.
+        profile: AppTimingProfile,
+        /// Exact-verification state budget per probe (the cooperative
+        /// deadline).
+        state_budget: usize,
+    },
     /// Evict the application at this fleet index (later indices renumber
     /// down by one, as in [`cps_map::AdmissionState::remove_app`]).
     Evict(usize),
@@ -35,12 +47,30 @@ pub enum Request {
 pub enum Response {
     /// Answer to [`Request::Admit`].
     Admitted(AdmitOutcome),
+    /// Answer to [`Request::AdmitWithin`].
+    AdmittedWithin(AdmitVerdict),
     /// Answer to [`Request::Evict`].
     Evicted(EvictOutcome),
     /// Answer to [`Request::Snapshot`]: the snapshot bytes.
     Snapshot(Vec<u8>),
     /// Answer to [`Request::Stats`].
     Stats(ServiceStats),
+}
+
+/// The verdict of one deadline-bounded admission. Both accept variants are
+/// *sound*: the placement is bit-identical to the one unbounded exact
+/// admission would produce. `Deferred` is the honest "not decidable in
+/// budget" answer — the fleet is unchanged and the caller may retry with a
+/// larger budget or none.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AdmitVerdict {
+    /// Every probe was decided with exact-tier fidelity.
+    Admitted(AdmitOutcome),
+    /// At least one probe fell back to the sound conservative screen after
+    /// the exact tier ran out of budget; the placement is still exact.
+    AdmittedDegraded(AdmitOutcome),
+    /// No sound verdict was reachable within the budget; nothing changed.
+    Deferred,
 }
 
 /// A successful admission: where the application landed.
@@ -75,6 +105,15 @@ pub struct ServiceStats {
     pub oracle_calls: usize,
     /// Lifetime cascade statistics (memo hits, exact verifies, ...).
     pub tier: TierStats,
+    /// Worker restarts the supervisor performed after panics.
+    pub restarts: usize,
+    /// Applications the supervisor failed to re-admit while rebuilding the
+    /// fleet after a restart (zero in every correct run: recovery replays
+    /// the mirror against warm caches).
+    pub recovery_losses: usize,
+    /// Faults the service's own [`cps_fault::FaultPlan`] injected so far
+    /// (zero when no plan was armed).
+    pub faults_injected: usize,
 }
 
 /// Why a request failed. The worker survives every error — a failed
@@ -92,6 +131,19 @@ pub enum ServiceError {
     },
     /// The worker hung up (service shut down) before answering.
     Disconnected,
+    /// The worker panicked while serving this request and was restarted
+    /// from its last good snapshot. The request was **not** applied (the
+    /// rebuilt state never contains a half-applied mutation), so retrying
+    /// it is safe — [`crate::RetryingClient`] does exactly that.
+    WorkerRestarted,
+    /// The bounded request queue was full on a non-blocking send.
+    QueueFull,
+    /// An internal invariant did not hold while answering; the worker
+    /// survives and keeps serving. Never expected in practice.
+    Internal {
+        /// What was violated.
+        reason: &'static str,
+    },
     /// The worker answered with a response of the wrong kind — a protocol
     /// bug, never expected in practice.
     Protocol {
@@ -109,6 +161,15 @@ impl fmt::Display for ServiceError {
                 "evict index {index} out of range for a fleet of {fleet_len}"
             ),
             ServiceError::Disconnected => write!(f, "admission service disconnected"),
+            ServiceError::WorkerRestarted => write!(
+                f,
+                "admission worker was restarted while serving this request; \
+                 the request was not applied and may be retried"
+            ),
+            ServiceError::QueueFull => write!(f, "admission service queue is full"),
+            ServiceError::Internal { reason } => {
+                write!(f, "admission service internal invariant violated: {reason}")
+            }
             ServiceError::Protocol { expected } => {
                 write!(f, "protocol violation: expected a {expected} response")
             }
@@ -128,5 +189,16 @@ impl Error for ServiceError {
 impl From<VerifyError> for ServiceError {
     fn from(e: VerifyError) -> Self {
         ServiceError::Verify(e)
+    }
+}
+
+impl From<AdmissionError> for ServiceError {
+    fn from(e: AdmissionError) -> Self {
+        match e {
+            AdmissionError::OutOfRange { index, fleet_len } => {
+                ServiceError::EvictOutOfRange { index, fleet_len }
+            }
+            AdmissionError::Verify(e) => ServiceError::Verify(e),
+        }
     }
 }

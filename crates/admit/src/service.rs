@@ -14,16 +14,38 @@
 //! receiving until the queue is *empty* (a disconnected `recv` still yields
 //! every queued envelope), answers each one, and only then exits.
 //! [`AdmissionService::shutdown`] does exactly that and hands back the
-//! final [`AdmissionState`] so a caller can snapshot it at rest.
+//! final [`AdmissionState`] so a caller can snapshot it at rest — bounded
+//! by [`AdmissionService::DEFAULT_SHUTDOWN_TIMEOUT`] so forgotten client
+//! handles surface as a typed [`ShutdownError`] instead of a silent hang.
+//!
+//! # Supervision
+//!
+//! The worker thread is *supervised*: every request is handled under
+//! [`std::panic::catch_unwind`], and a panic — whether a genuine bug or one
+//! injected through the [`cps_fault::FaultPlan`] of [`ServiceOptions`] —
+//! discards the possibly half-mutated state and rebuilds it from the last
+//! good snapshot plus a fleet mirror the supervisor keeps outside the
+//! blast radius. The interrupted request is answered with
+//! [`ServiceError::WorkerRestarted`] and was **not** applied (the mirror
+//! only records mutations after their reply-worthy success), so clients can
+//! retry it safely — [`crate::RetryingClient`] automates exactly that.
+//! Recovery replays the mirror against the restored warm caches, so it
+//! costs memo lookups, not exact verification.
 
+use std::panic::{self, AssertUnwindSafe};
 use std::sync::mpsc;
 use std::thread;
 use std::time::{Duration, Instant};
 
+use cps_core::AppTimingProfile;
+use cps_fault::{FaultPlan, FaultSite};
 use cps_intern::SnapshotError;
-use cps_map::AdmissionState;
+use cps_map::{AdmissionState, AdmitQuality, DeadlineAdmit};
+use cps_verify::VerificationConfig;
 
-use crate::protocol::{AdmitOutcome, EvictOutcome, Request, Response, ServiceError, ServiceStats};
+use crate::protocol::{
+    AdmitOutcome, AdmitVerdict, EvictOutcome, Request, Response, ServiceError, ServiceStats,
+};
 
 /// One queued request plus the channel its answer goes back on.
 struct Envelope {
@@ -61,6 +83,24 @@ impl AdmissionClient {
         reply_rx.recv().map_err(|_| ServiceError::Disconnected)?
     }
 
+    /// Like [`AdmissionClient::call`], but never blocks on a full queue:
+    /// enqueueing on a full queue fails fast with
+    /// [`ServiceError::QueueFull`] instead of waiting for capacity. The
+    /// retrying client is built on this.
+    pub(crate) fn try_call(&self, request: Request) -> Result<Response, ServiceError> {
+        let (reply_tx, reply_rx) = mpsc::channel();
+        self.tx
+            .try_send(Envelope {
+                request,
+                reply: reply_tx,
+            })
+            .map_err(|e| match e {
+                mpsc::TrySendError::Full(_) => ServiceError::QueueFull,
+                mpsc::TrySendError::Disconnected(_) => ServiceError::Disconnected,
+            })?;
+        reply_rx.recv().map_err(|_| ServiceError::Disconnected)?
+    }
+
     /// Admits an arriving application; blocks until the worker has repaired
     /// the partition.
     ///
@@ -74,6 +114,30 @@ impl AdmissionClient {
             Response::Admitted(outcome) => Ok(outcome),
             _ => Err(ServiceError::Protocol {
                 expected: "Admitted",
+            }),
+        }
+    }
+
+    /// Admits an arriving application under a per-request deadline: every
+    /// exact verification is capped at `state_budget` explored states, with
+    /// graceful degradation onto the sound conservative screen. See
+    /// [`AdmitVerdict`] for the three possible sound answers.
+    ///
+    /// # Errors
+    ///
+    /// The errors of [`AdmissionClient::admit`].
+    pub fn admit_within(
+        &self,
+        profile: cps_core::AppTimingProfile,
+        state_budget: usize,
+    ) -> Result<AdmitVerdict, ServiceError> {
+        match self.call(Request::AdmitWithin {
+            profile,
+            state_budget,
+        })? {
+            Response::AdmittedWithin(verdict) => Ok(verdict),
+            _ => Err(ServiceError::Protocol {
+                expected: "AdmittedWithin",
             }),
         }
     }
@@ -142,7 +206,7 @@ impl AdmissionClient {
 /// let b = client.admit(profile("B"))?;
 /// assert_eq!((a.index, b.index), (0, 1));
 /// drop(client); // outstanding clients keep the worker alive
-/// let state = service.shutdown();
+/// let state = service.shutdown()?;
 /// assert_eq!(state.fleet().len(), 2);
 /// # Ok(())
 /// # }
@@ -152,15 +216,46 @@ pub struct AdmissionService {
     worker: thread::JoinHandle<AdmissionState>,
 }
 
+/// Construction-time knobs of an [`AdmissionService`].
+#[derive(Debug, Clone)]
+pub struct ServiceOptions {
+    /// Bound of the request queue (the service's backpressure).
+    pub queue_capacity: usize,
+    /// Take a recovery snapshot of the cascade caches after this many
+    /// successful mutating requests. Staleness only costs recovery *warmth*,
+    /// never correctness: the fleet is always rebuilt from the supervisor's
+    /// mirror, and the caches merely decide how much re-verification the
+    /// rebuild needs.
+    pub snapshot_interval: usize,
+    /// Deterministic fault injection for the worker (panic sites and budget
+    /// squeezes). [`FaultPlan::none`] — the default — is entirely inert.
+    pub faults: FaultPlan,
+}
+
+impl Default for ServiceOptions {
+    fn default() -> Self {
+        ServiceOptions {
+            queue_capacity: AdmissionService::DEFAULT_QUEUE_CAPACITY,
+            snapshot_interval: 8,
+            faults: FaultPlan::none(),
+        }
+    }
+}
+
 impl AdmissionService {
     /// Queue bound used by [`AdmissionService::spawn`] and
     /// [`AdmissionService::spawn_warm`].
     pub const DEFAULT_QUEUE_CAPACITY: usize = 64;
 
+    /// Deadline of [`AdmissionService::shutdown`]: generous enough for any
+    /// drain of a bounded queue, finite so forgotten client handles surface
+    /// as an error instead of a hung process.
+    pub const DEFAULT_SHUTDOWN_TIMEOUT: Duration = Duration::from_secs(30);
+
     /// Spawns a cold service: empty fleet, empty caches, default (exact,
     /// unbounded) verification configuration.
     pub fn spawn() -> Self {
-        Self::spawn_with(AdmissionState::new(), Self::DEFAULT_QUEUE_CAPACITY)
+        Self::spawn_with_options(AdmissionState::new(), ServiceOptions::default())
     }
 
     /// Spawns a warm service from [`AdmissionClient::snapshot`] bytes: the
@@ -172,17 +267,30 @@ impl AdmissionService {
     ///
     /// Propagates snapshot framing/payload violations.
     pub fn spawn_warm(snapshot: &[u8]) -> Result<Self, SnapshotError> {
-        Ok(Self::spawn_with(
+        Ok(Self::spawn_with_options(
             AdmissionState::from_snapshot(snapshot)?,
-            Self::DEFAULT_QUEUE_CAPACITY,
+            ServiceOptions::default(),
         ))
     }
 
     /// Spawns a service over an explicit state (e.g. a custom verification
     /// configuration or bounded memo) and queue bound.
     pub fn spawn_with(state: AdmissionState, queue_capacity: usize) -> Self {
-        let (tx, rx) = mpsc::sync_channel(queue_capacity);
-        let worker = thread::spawn(move || worker_loop(state, rx));
+        Self::spawn_with_options(
+            state,
+            ServiceOptions {
+                queue_capacity,
+                ..ServiceOptions::default()
+            },
+        )
+    }
+
+    /// Spawns a service with explicit [`ServiceOptions`] — queue bound,
+    /// recovery snapshot cadence, and (for tests and the fault soak) a
+    /// deterministic fault plan.
+    pub fn spawn_with_options(state: AdmissionState, options: ServiceOptions) -> Self {
+        let (tx, rx) = mpsc::sync_channel(options.queue_capacity);
+        let worker = thread::spawn(move || worker_loop(state, rx, options));
         AdmissionService {
             client: AdmissionClient { tx },
             worker,
@@ -200,21 +308,24 @@ impl AdmissionService {
     /// the worker to drain every queued request (outstanding clients keep
     /// the queue open until they drop), and returns the final state.
     ///
-    /// Blocks until every [`AdmissionClient`] is gone — drop the handles
-    /// you still hold (locals included: Rust drops them at end of scope,
-    /// not last use) before calling this, or it will wait for them.
+    /// Bounded by [`AdmissionService::DEFAULT_SHUTDOWN_TIMEOUT`]: client
+    /// handles still alive at the deadline (locals included — Rust drops
+    /// them at end of scope, not last use) surface as
+    /// [`ShutdownError::TimedOut`] instead of hanging the caller forever,
+    /// and the shutdown can still be completed once they are gone. Use
+    /// [`AdmissionService::shutdown_timeout`] for an explicit deadline.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the worker thread itself panicked.
-    pub fn shutdown(self) -> AdmissionState {
-        let AdmissionService { client, worker } = self;
-        drop(client);
-        worker.join().expect("admission worker panicked")
+    /// [`ShutdownError::TimedOut`] when live clients hold the queue open at
+    /// the deadline; [`ShutdownError::WorkerPanicked`] if the worker thread
+    /// itself died (the supervisor makes this unreachable short of a bug in
+    /// the supervisor).
+    pub fn shutdown(self) -> Result<AdmissionState, ShutdownError> {
+        self.shutdown_timeout(Self::DEFAULT_SHUTDOWN_TIMEOUT)
     }
 
-    /// Like [`AdmissionService::shutdown`], but gives up after `timeout`
-    /// instead of hanging forever on outstanding clients.
+    /// Like [`AdmissionService::shutdown`], with an explicit deadline.
     ///
     /// The service's own handle is hung up immediately; the worker is then
     /// polled (with a short exponential backoff) until it drains and exits
@@ -222,15 +333,12 @@ impl AdmissionService {
     ///
     /// # Errors
     ///
-    /// [`ShutdownTimeout`] when live [`AdmissionClient`] handles are still
-    /// keeping the queue open at the deadline. The error owns the worker
-    /// handle, so the shutdown can still be completed later with
+    /// [`ShutdownError::TimedOut`] when live [`AdmissionClient`] handles
+    /// are still keeping the queue open at the deadline. The error owns the
+    /// worker handle, so the shutdown can still be completed later with
     /// [`ShutdownTimeout::wait`] once the stragglers are gone.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the worker thread itself panicked.
-    pub fn shutdown_timeout(self, timeout: Duration) -> Result<AdmissionState, ShutdownTimeout> {
+    /// [`ShutdownError::WorkerPanicked`] if the worker thread itself died.
+    pub fn shutdown_timeout(self, timeout: Duration) -> Result<AdmissionState, ShutdownError> {
         let AdmissionService { client, worker } = self;
         drop(client);
         let deadline = Instant::now() + timeout;
@@ -238,12 +346,55 @@ impl AdmissionService {
         while !worker.is_finished() {
             let now = Instant::now();
             if now >= deadline {
-                return Err(ShutdownTimeout { timeout, worker });
+                return Err(ShutdownError::TimedOut(ShutdownTimeout { timeout, worker }));
             }
             thread::sleep(backoff.min(deadline - now));
             backoff = (backoff * 2).min(Duration::from_millis(10));
         }
-        Ok(worker.join().expect("admission worker panicked"))
+        worker.join().map_err(|_| ShutdownError::WorkerPanicked)
+    }
+}
+
+/// Why a shutdown did not hand the final state back.
+#[derive(Debug)]
+pub enum ShutdownError {
+    /// Outstanding clients still held the queue open at the deadline; the
+    /// carried [`ShutdownTimeout`] owns the worker handle and can finish
+    /// the shutdown once they hang up.
+    TimedOut(ShutdownTimeout),
+    /// The worker thread itself panicked — per-request panics are caught
+    /// and recovered by the supervisor, so this means a bug outside any
+    /// request handler.
+    WorkerPanicked,
+}
+
+impl ShutdownError {
+    /// The carried [`ShutdownTimeout`], if this was a timeout.
+    pub fn into_timeout(self) -> Option<ShutdownTimeout> {
+        match self {
+            ShutdownError::TimedOut(t) => Some(t),
+            ShutdownError::WorkerPanicked => None,
+        }
+    }
+}
+
+impl std::fmt::Display for ShutdownError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ShutdownError::TimedOut(t) => t.fmt(f),
+            ShutdownError::WorkerPanicked => {
+                write!(f, "admission worker thread panicked outside any request")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ShutdownError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ShutdownError::TimedOut(t) => Some(t),
+            ShutdownError::WorkerPanicked => None,
+        }
     }
 }
 
@@ -274,11 +425,13 @@ impl ShutdownTimeout {
     /// Blocks until the worker drains and exits, completing the shutdown
     /// that timed out.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the worker thread itself panicked.
-    pub fn wait(self) -> AdmissionState {
-        self.worker.join().expect("admission worker panicked")
+    /// [`ShutdownError::WorkerPanicked`] if the worker thread itself died.
+    pub fn wait(self) -> Result<AdmissionState, ShutdownError> {
+        self.worker
+            .join()
+            .map_err(|_| ShutdownError::WorkerPanicked)
     }
 }
 
@@ -296,36 +449,228 @@ impl std::error::Error for ShutdownTimeout {}
 
 /// The worker loop: answer until every sender is gone *and* the queue is
 /// empty, then hand the state back.
-fn worker_loop(mut state: AdmissionState, rx: mpsc::Receiver<Envelope>) -> AdmissionState {
+fn worker_loop(
+    state: AdmissionState,
+    rx: mpsc::Receiver<Envelope>,
+    options: ServiceOptions,
+) -> AdmissionState {
+    let mut supervisor = Supervisor::new(state, options);
     while let Ok(Envelope { request, reply }) = rx.recv() {
-        let answer = handle(&mut state, request);
+        let answer = supervisor.serve(request);
         // A client that hung up without waiting loses its answer; that is
         // its problem, not the service's.
         let _ = reply.send(answer);
     }
-    state
+    supervisor.state
+}
+
+/// Supervisor-owned counters surfaced through [`ServiceStats`].
+#[derive(Clone, Copy)]
+struct ServiceMeta {
+    restarts: usize,
+    recovery_losses: usize,
+    faults_injected: usize,
+}
+
+/// The worker's crash containment: the live state, the last good snapshot
+/// of its caches, and a mirror of the resident fleet kept outside the
+/// panic blast radius. See the module docs.
+struct Supervisor {
+    state: AdmissionState,
+    plan: FaultPlan,
+    snapshot_interval: usize,
+    ops_since_snapshot: usize,
+    last_snapshot: Vec<u8>,
+    /// The resident fleet as of the last *successful* mutation — the ground
+    /// truth recovery rebuilds from. Updated only after a request fully
+    /// succeeded, so a panic anywhere in a handler leaves it describing the
+    /// pre-request fleet.
+    mirror: Vec<AppTimingProfile>,
+    restarts: usize,
+    recovery_losses: usize,
+    /// Cold-rebuild fallback configuration, should even the last good
+    /// snapshot fail to parse.
+    config: VerificationConfig,
+}
+
+impl Supervisor {
+    fn new(state: AdmissionState, options: ServiceOptions) -> Self {
+        Supervisor {
+            last_snapshot: state.snapshot(),
+            mirror: state.fleet().to_vec(),
+            config: *state.config(),
+            state,
+            plan: options.faults,
+            snapshot_interval: options.snapshot_interval.max(1),
+            ops_since_snapshot: 0,
+            restarts: 0,
+            recovery_losses: 0,
+        }
+    }
+
+    /// Answers one request under panic supervision.
+    fn serve(&mut self, request: Request) -> Result<Response, ServiceError> {
+        // Squeeze the deadline budget first so the fault is part of the
+        // request the handler (and a retry) actually sees.
+        let request = match request {
+            Request::AdmitWithin {
+                profile,
+                state_budget,
+            } => {
+                let state_budget = self
+                    .plan
+                    .squeeze_budget()
+                    .map_or(state_budget, |b| b.min(state_budget));
+                Request::AdmitWithin {
+                    profile,
+                    state_budget,
+                }
+            }
+            other => other,
+        };
+        // Bookkeeping the mirror needs after `handle` consumed the request.
+        let arriving = match &request {
+            Request::Admit(p) => Some(p.clone()),
+            Request::AdmitWithin { profile, .. } => Some(profile.clone()),
+            _ => None,
+        };
+        let evicting = match &request {
+            Request::Evict(i) => Some(*i),
+            _ => None,
+        };
+        let meta = ServiceMeta {
+            restarts: self.restarts,
+            recovery_losses: self.recovery_losses,
+            faults_injected: self.plan.stats().total_injected(),
+        };
+        let state = &mut self.state;
+        let plan = &mut self.plan;
+        let outcome = panic::catch_unwind(AssertUnwindSafe(|| {
+            if plan.trip(FaultSite::WorkerPanicPre) {
+                panic!("injected fault: admission worker panic before handling");
+            }
+            let answer = handle(state, request, meta);
+            if answer.is_ok() && plan.trip(FaultSite::WorkerPanicPost) {
+                panic!("injected fault: admission worker panic after handling");
+            }
+            answer
+        }));
+        match outcome {
+            Ok(answer) => {
+                if let Ok(response) = &answer {
+                    self.note_success(response, arriving, evicting);
+                }
+                answer
+            }
+            Err(_) => {
+                self.restart();
+                Err(ServiceError::WorkerRestarted)
+            }
+        }
+    }
+
+    /// Mirrors a successful mutation and rolls the recovery snapshot
+    /// forward on cadence.
+    fn note_success(
+        &mut self,
+        response: &Response,
+        arriving: Option<AppTimingProfile>,
+        evicting: Option<usize>,
+    ) {
+        let mutated = match response {
+            Response::Admitted(_)
+            | Response::AdmittedWithin(
+                AdmitVerdict::Admitted(_) | AdmitVerdict::AdmittedDegraded(_),
+            ) => {
+                if let Some(p) = arriving {
+                    self.mirror.push(p);
+                }
+                true
+            }
+            Response::Evicted(_) => {
+                if let Some(i) = evicting {
+                    if i < self.mirror.len() {
+                        self.mirror.remove(i);
+                    }
+                }
+                true
+            }
+            Response::AdmittedWithin(AdmitVerdict::Deferred)
+            | Response::Snapshot(_)
+            | Response::Stats(_) => false,
+        };
+        if mutated {
+            self.ops_since_snapshot += 1;
+            if self.ops_since_snapshot >= self.snapshot_interval {
+                self.last_snapshot = self.state.snapshot();
+                self.ops_since_snapshot = 0;
+            }
+        }
+    }
+
+    /// Rebuilds the state after a panic: restore the cache snapshot (cold
+    /// caches if even that fails), then replay the fleet mirror against the
+    /// warm caches. Applications that fail to re-admit are counted as
+    /// recovery losses and dropped from the mirror so fleet indices stay
+    /// consistent; a correct run never loses any.
+    fn restart(&mut self) {
+        self.restarts += 1;
+        let mut fresh = AdmissionState::from_snapshot(&self.last_snapshot)
+            .unwrap_or_else(|_| AdmissionState::with_config(self.config));
+        let mut survivors = Vec::with_capacity(self.mirror.len());
+        for p in self.mirror.drain(..) {
+            if fresh.add_app(p.clone()).is_ok() {
+                survivors.push(p);
+            } else {
+                self.recovery_losses += 1;
+            }
+        }
+        self.mirror = survivors;
+        self.state = fresh;
+        self.ops_since_snapshot = 0;
+    }
+}
+
+/// Builds the [`AdmitOutcome`] for a placed application.
+fn placed_outcome(state: &AdmissionState, index: usize) -> Result<AdmitOutcome, ServiceError> {
+    let slot = state
+        .report()
+        .slot_of(index)
+        .ok_or(ServiceError::Internal {
+            reason: "an admitted application has no slot in the repaired partition",
+        })?;
+    Ok(AdmitOutcome {
+        index,
+        slot,
+        slots: state.report().slots().to_vec(),
+    })
 }
 
 /// Answers one request against the persistent state.
-fn handle(state: &mut AdmissionState, request: Request) -> Result<Response, ServiceError> {
+fn handle(
+    state: &mut AdmissionState,
+    request: Request,
+    meta: ServiceMeta,
+) -> Result<Response, ServiceError> {
     match request {
         Request::Admit(profile) => {
             let index = state.add_app(profile)?;
-            let slot = state
-                .report()
-                .slot_of(index)
-                .expect("an admitted application is placed");
-            Ok(Response::Admitted(AdmitOutcome {
-                index,
-                slot,
-                slots: state.report().slots().to_vec(),
-            }))
+            Ok(Response::Admitted(placed_outcome(state, index)?))
         }
-        Request::Evict(index) => {
-            let fleet_len = state.fleet().len();
-            if index >= fleet_len {
-                return Err(ServiceError::EvictOutOfRange { index, fleet_len });
+        Request::AdmitWithin {
+            profile,
+            state_budget,
+        } => match state.add_app_within(profile, state_budget)? {
+            DeadlineAdmit::Placed { index, quality } => {
+                let outcome = placed_outcome(state, index)?;
+                Ok(Response::AdmittedWithin(match quality {
+                    AdmitQuality::Exact => AdmitVerdict::Admitted(outcome),
+                    AdmitQuality::Degraded => AdmitVerdict::AdmittedDegraded(outcome),
+                }))
             }
+            DeadlineAdmit::Deferred => Ok(Response::AdmittedWithin(AdmitVerdict::Deferred)),
+        },
+        Request::Evict(index) => {
             let profile = state.remove_app(index)?;
             Ok(Response::Evicted(EvictOutcome {
                 name: profile.name().to_string(),
@@ -338,6 +683,9 @@ fn handle(state: &mut AdmissionState, request: Request) -> Result<Response, Serv
             slots: state.report().slots().to_vec(),
             oracle_calls: state.report().oracle_calls(),
             tier: *state.stats(),
+            restarts: meta.restarts,
+            recovery_losses: meta.recovery_losses,
+            faults_injected: meta.faults_injected,
         })),
     }
 }
@@ -370,7 +718,7 @@ mod tests {
         assert_eq!(stats.slots, vec![vec![0]]);
         assert!(stats.tier.queries > 0);
         drop(client);
-        let state = service.shutdown();
+        let state = service.shutdown().unwrap();
         assert_eq!(state.fleet()[0].name(), "B");
     }
 
@@ -389,7 +737,7 @@ mod tests {
         // The worker survived and keeps serving.
         client.admit(profile("A", 10, 3)).unwrap();
         drop(client);
-        assert_eq!(service.shutdown().fleet().len(), 1);
+        assert_eq!(service.shutdown().unwrap().fleet().len(), 1);
     }
 
     #[test]
@@ -409,7 +757,7 @@ mod tests {
         let stats = client.stats().unwrap();
         assert_eq!(stats.fleet_len, 1, "failed admission must roll back");
         drop(client);
-        service.shutdown();
+        service.shutdown().unwrap();
     }
 
     #[test]
@@ -426,7 +774,7 @@ mod tests {
             }
         });
         producer.join().unwrap();
-        let state = service.shutdown();
+        let state = service.shutdown().unwrap();
         assert_eq!(state.fleet().len(), 8, "every queued admission lands");
     }
 
@@ -437,14 +785,18 @@ mod tests {
         let err = service
             .shutdown_timeout(Duration::from_millis(20))
             .unwrap_err();
-        assert_eq!(err.timeout(), Duration::from_millis(20));
-        assert!(!err.is_finished(), "a live client keeps the worker alive");
         assert!(err.to_string().contains("outstanding clients"));
+        let timeout = err.into_timeout().unwrap();
+        assert_eq!(timeout.timeout(), Duration::from_millis(20));
+        assert!(
+            !timeout.is_finished(),
+            "a live client keeps the worker alive"
+        );
         // The worker is still serving the straggler...
         straggler.admit(profile("A", 10, 3)).unwrap();
         // ...and once it hangs up, the shutdown completes.
         drop(straggler);
-        let state = err.wait();
+        let state = timeout.wait().unwrap();
         assert_eq!(state.fleet().len(), 1);
     }
 
@@ -458,6 +810,98 @@ mod tests {
         assert_eq!(state.fleet().len(), 1);
     }
 
+    /// Varied dwell bounds and a tight residency requirement, so pairs
+    /// reach the exact tier instead of being decided by the cheap screens.
+    fn wide_profile(
+        name: &str,
+        max_wait: usize,
+        dwell_min: usize,
+        dwell_plus: usize,
+        r: usize,
+    ) -> AppTimingProfile {
+        let len = max_wait + 1;
+        let jstar = max_wait + dwell_plus + 1;
+        let table = DwellTimeTable::from_arrays(jstar, vec![dwell_min; len], vec![dwell_plus; len])
+            .unwrap();
+        AppTimingProfile::new(name, 1, jstar + 10, jstar, r.max(jstar + 1), table).unwrap()
+    }
+
+    #[test]
+    fn deadline_admissions_degrade_and_defer_soundly() {
+        let service = AdmissionService::spawn();
+        let client = service.client();
+        // A comfortable budget: exact-fidelity answer.
+        match client
+            .admit_within(wide_profile("A", 10, 3, 5, 30), 1_000_000)
+            .unwrap()
+        {
+            AdmitVerdict::Admitted(outcome) => assert_eq!(outcome.index, 0),
+            other => panic!("expected an exact admission, got {other:?}"),
+        }
+        // A starved budget on an arrival the conservative screen cannot
+        // vouch for: deferred, nothing changes.
+        assert_eq!(
+            client
+                .admit_within(wide_profile("C", 0, 5, 5, 30), 1)
+                .unwrap(),
+            AdmitVerdict::Deferred
+        );
+        // A starved budget on a co-residency the screen does accept: a
+        // degraded (still sound, still bit-identical) placement.
+        match client
+            .admit_within(wide_profile("B", 10, 3, 5, 30), 1)
+            .unwrap()
+        {
+            AdmitVerdict::AdmittedDegraded(outcome) => assert_eq!(outcome.index, 1),
+            other => panic!("expected a degraded admission, got {other:?}"),
+        }
+        let stats = client.stats().unwrap();
+        assert_eq!(stats.fleet_len, 2);
+        assert_eq!(stats.tier.deferred, 1);
+        assert!(stats.tier.degraded_accepts > 0);
+        drop(client);
+        service.shutdown().unwrap();
+    }
+
+    #[test]
+    fn injected_panics_restart_the_worker_and_lose_nothing() {
+        let plan = FaultPlan::seeded(11)
+            .with_rate(FaultSite::WorkerPanicPre, 200)
+            .with_rate(FaultSite::WorkerPanicPost, 150);
+        let service = AdmissionService::spawn_with_options(
+            AdmissionState::new(),
+            ServiceOptions {
+                snapshot_interval: 2,
+                faults: plan,
+                ..ServiceOptions::default()
+            },
+        );
+        let client = service.client();
+        for i in 0..12 {
+            let p = profile(&format!("P{i}"), 10, 3);
+            loop {
+                match client.admit(p.clone()) {
+                    Ok(outcome) => {
+                        // A restarted request was never applied, so the
+                        // retry lands at the index the original would have.
+                        assert_eq!(outcome.index, i);
+                        break;
+                    }
+                    Err(ServiceError::WorkerRestarted) => continue,
+                    Err(e) => panic!("unexpected admission failure: {e}"),
+                }
+            }
+        }
+        let stats = client.stats().unwrap();
+        assert!(stats.restarts > 0, "the seeded storm must actually trip");
+        assert_eq!(stats.recovery_losses, 0, "recovery must replay the fleet");
+        assert_eq!(stats.fleet_len, 12);
+        assert!(stats.faults_injected >= stats.restarts);
+        drop(client);
+        let state = service.shutdown().unwrap();
+        assert_eq!(state.fleet().len(), 12);
+    }
+
     #[test]
     fn clients_are_disconnected_after_shutdown() {
         let service = AdmissionService::spawn();
@@ -468,7 +912,7 @@ mod tests {
         let joiner = thread::spawn(move || service.shutdown());
         survivor.admit(profile("A", 10, 3)).unwrap();
         drop(survivor);
-        let state = joiner.join().unwrap();
+        let state = joiner.join().unwrap().unwrap();
         assert_eq!(state.fleet().len(), 1);
     }
 }

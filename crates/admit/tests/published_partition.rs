@@ -40,7 +40,7 @@ fn service_reproduces_the_published_partition() {
     assert_eq!(stats.fleet_len, 6);
     assert!(stats.tier.exact_verifies > 0, "a cold run does real work");
     drop(client);
-    let state = service.shutdown();
+    let state = service.shutdown().unwrap();
     assert_eq!(state.report().slots(), published_slots().as_slice());
 }
 
@@ -54,7 +54,7 @@ fn snapshot_roundtrip_reproduces_the_partition_warm() {
     }
     let bytes = client.snapshot().unwrap();
     drop(client);
-    service.shutdown();
+    service.shutdown().unwrap();
 
     // Warm restart: the fleet is gone (snapshots carry caches, not request
     // state), re-admission reproduces the published partition with every
@@ -73,7 +73,7 @@ fn snapshot_roundtrip_reproduces_the_partition_warm() {
     );
     assert!(stats.tier.memo_hits > 0);
     drop(client);
-    warm.shutdown();
+    warm.shutdown().unwrap();
 }
 
 #[test]
@@ -85,5 +85,5 @@ fn corrupt_snapshots_are_rejected_at_spawn() {
     bytes[last] ^= 0xFF;
     assert!(AdmissionService::spawn_warm(&bytes).is_err());
     drop(client);
-    service.shutdown();
+    service.shutdown().unwrap();
 }

@@ -152,7 +152,9 @@ fn replay(
     let stats = client.stats().expect("stats answered");
     let snapshot = client.snapshot().expect("snapshot answered");
     drop(client);
-    service.shutdown();
+    service
+        .shutdown()
+        .expect("admission service drains at shutdown");
     RunMetrics {
         admit_latencies_us,
         queries: stats.tier.queries,

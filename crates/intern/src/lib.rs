@@ -41,8 +41,13 @@
 //! `write_snapshot`/`read_snapshot` plus standalone
 //! `to_snapshot_bytes`/`from_snapshot_bytes`, so an admission service
 //! warm-starts across restarts with bit-identical probe paths and verdicts.
+//! [`store`] adds the crash-safety layer on disk: atomic temp+rename writes,
+//! generation-numbered rotation with bounded retention, and a recovery
+//! ladder (latest → previous generations → cold rebuild) that treats
+//! corruption as data, never a panic.
 
 pub mod snapshot;
+pub mod store;
 
 mod index;
 mod tt;
@@ -50,6 +55,7 @@ mod zobrist;
 
 pub use index::{CachedHashIndex, IndexStats};
 pub use snapshot::{Persist, SnapshotError, SnapshotReader, SnapshotWriter, SNAPSHOT_VERSION};
+pub use store::{Recovery, SnapshotStore, StoreError, DEFAULT_RETENTION};
 pub use tt::{TtStats, TwoWayTranspositionTable};
 pub use zobrist::{seq_fingerprint, zobrist_key, ZobristKeys};
 
@@ -64,5 +70,8 @@ mod tests {
         assert_send_sync::<IndexStats>();
         assert_send_sync::<ZobristKeys>();
         assert_send_sync::<TwoWayTranspositionTable<Vec<u32>, bool>>();
+        assert_send_sync::<SnapshotStore>();
+        assert_send_sync::<StoreError>();
+        assert_send_sync::<Recovery<Vec<u8>>>();
     }
 }

@@ -45,16 +45,91 @@
 //! cache; on restart the service re-admits its fleet and the warm caches
 //! answer those queries without touching the exact verifier.
 
+use std::error::Error;
+use std::fmt;
+
 use cps_core::AppTimingProfile;
 use cps_intern::SnapshotError;
 use cps_verify::{VerificationConfig, VerifyError};
 
-use crate::cascade::CascadeCore;
+use crate::cascade::{CascadeCore, TierVerdict};
 use crate::first_fit::{place_suffix, sort_for_first_fit};
 use crate::report::{MappingReport, TierStats};
 
 /// Name under which the service's reports identify their oracle.
 const ORACLE_NAME: &str = "online-admission-cascade";
+
+/// Errors of the incremental admission front end.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AdmissionError {
+    /// A fleet index was out of bounds for the resident fleet.
+    OutOfRange {
+        /// The offending index.
+        index: usize,
+        /// The resident fleet's size at the time of the call.
+        fleet_len: usize,
+    },
+    /// The underlying verification failed.
+    Verify(VerifyError),
+}
+
+impl fmt::Display for AdmissionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AdmissionError::OutOfRange { index, fleet_len } => {
+                write!(
+                    f,
+                    "fleet index {index} is out of range for a fleet of {fleet_len}"
+                )
+            }
+            AdmissionError::Verify(e) => write!(f, "admission verification failed: {e}"),
+        }
+    }
+}
+
+impl Error for AdmissionError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            AdmissionError::Verify(e) => Some(e),
+            AdmissionError::OutOfRange { .. } => None,
+        }
+    }
+}
+
+impl From<VerifyError> for AdmissionError {
+    fn from(e: VerifyError) -> Self {
+        AdmissionError::Verify(e)
+    }
+}
+
+/// How a deadline-bounded placement was decided.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AdmitQuality {
+    /// Every probe was decided with exact-tier fidelity.
+    Exact,
+    /// At least one probe fell back to the sound conservative screen after
+    /// the exact tier ran out of its squeezed budget. The placement is still
+    /// bit-identical to the exact first-fit partition (a conservative accept
+    /// implies an exact accept).
+    Degraded,
+}
+
+/// The verdict of a deadline-bounded arrival
+/// ([`AdmissionState::add_app_within`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DeadlineAdmit {
+    /// The application was admitted at fleet index `index`.
+    Placed {
+        /// The new application's fleet index.
+        index: usize,
+        /// Whether the degraded ladder was needed anywhere in the repair.
+        quality: AdmitQuality,
+    },
+    /// No sound verdict was reachable within the budget for some probe; the
+    /// fleet and partition are unchanged. The caller may retry with a larger
+    /// budget (or no budget) at leisure.
+    Deferred,
+}
 
 /// A long-lived incremental admission state: resident fleet, current
 /// partition, and the persistent cascade caches behind both. See the module
@@ -66,7 +141,7 @@ const ORACLE_NAME: &str = "online-admission-cascade";
 /// use cps_core::{AppTimingProfile, DwellTimeTable};
 /// use cps_map::AdmissionState;
 ///
-/// # fn main() -> Result<(), cps_verify::VerifyError> {
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
 /// let profile = |name: &str| -> AppTimingProfile {
 ///     let table = DwellTimeTable::from_arrays(18, vec![3; 12], vec![5; 12]).unwrap();
 ///     AppTimingProfile::new(name, 9, 35, 18, 25, table).unwrap()
@@ -178,10 +253,7 @@ impl AdmissionState {
         // The arrival's rank in the updated order: ties sort before it, since
         // its dense index is the largest.
         let order = sort_for_first_fit(&self.fleet);
-        let cut = order
-            .iter()
-            .position(|&i| i == app)
-            .expect("the new application appears in its own fleet's order");
+        let cut = Self::rank_of(&order, app);
         // Placements below `cut` are invariant (see the module docs); prune
         // the current partition to them and re-place the suffix.
         let pruned = Self::prune_to_prefix(self.report.slots(), &order, cut, |m| m);
@@ -195,6 +267,61 @@ impl AdmissionState {
         }
     }
 
+    /// Admits an arriving application like [`AdmissionState::add_app`], but
+    /// caps every exact verification at `state_budget` explored states — the
+    /// cooperative deadline of the admission service. Probes the exact tier
+    /// cannot decide in budget fall back to the sound conservative screen
+    /// (a [`AdmitQuality::Degraded`] accept); if even that cannot accept,
+    /// the *whole* placement is abandoned, the fleet rolls back, and the
+    /// verdict is [`DeadlineAdmit::Deferred`] — never an unsound reject.
+    ///
+    /// Every successful placement (exact or degraded) is bit-identical to
+    /// the unbounded first-fit partition over the updated fleet, because the
+    /// degraded ladder only ever *accepts* where the exact tier would.
+    ///
+    /// # Errors
+    ///
+    /// Propagates verification failures other than budget exhaustion and
+    /// cancellation; the fleet and partition are left unchanged on error.
+    pub fn add_app_within(
+        &mut self,
+        profile: AppTimingProfile,
+        state_budget: usize,
+    ) -> Result<DeadlineAdmit, AdmissionError> {
+        let app = self.fleet.len();
+        let id = self.core.intern_profile(&profile);
+        self.fleet.push(profile);
+        self.fleet_ids.push(id);
+        let order = sort_for_first_fit(&self.fleet);
+        let cut = Self::rank_of(&order, app);
+        let pruned = Self::prune_to_prefix(self.report.slots(), &order, cut, |m| m);
+        match self.repair_within(pruned, &order[cut..], state_budget) {
+            Ok(Some(quality)) => Ok(DeadlineAdmit::Placed {
+                index: app,
+                quality,
+            }),
+            Ok(None) => {
+                self.fleet.pop();
+                self.fleet_ids.pop();
+                Ok(DeadlineAdmit::Deferred)
+            }
+            Err(e) => {
+                self.fleet.pop();
+                self.fleet_ids.pop();
+                Err(AdmissionError::Verify(e))
+            }
+        }
+    }
+
+    /// The rank of fleet index `app` in the first-fit `order`.
+    /// `sort_for_first_fit` returns a permutation of the fleet indices, so
+    /// the rank always exists; if that invariant were ever violated, fall
+    /// back to rank 0 — a full re-placement, slower but still exact — rather
+    /// than panicking inside the service.
+    fn rank_of(order: &[usize], app: usize) -> usize {
+        order.iter().position(|&i| i == app).unwrap_or(0)
+    }
+
     /// Evicts the application at `index` from the resident fleet, repairing
     /// the partition incrementally, and returns its profile. Applications
     /// after `index` are renumbered down by one (arrival order is
@@ -203,20 +330,20 @@ impl AdmissionState {
     ///
     /// # Errors
     ///
-    /// Propagates exact-verifier failures; the fleet and partition are left
-    /// unchanged on error.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `index` is out of bounds for the resident fleet.
-    pub fn remove_app(&mut self, index: usize) -> Result<AppTimingProfile, VerifyError> {
+    /// [`AdmissionError::OutOfRange`] when `index` is out of bounds for the
+    /// resident fleet; otherwise propagates exact-verifier failures. The
+    /// fleet and partition are left unchanged on error.
+    pub fn remove_app(&mut self, index: usize) -> Result<AppTimingProfile, AdmissionError> {
+        if index >= self.fleet.len() {
+            return Err(AdmissionError::OutOfRange {
+                index,
+                fleet_len: self.fleet.len(),
+            });
+        }
         // The departing application's rank in the *current* order: lower
         // ranks keep their placements, everything after it is re-placed.
         let order_before = sort_for_first_fit(&self.fleet);
-        let cut = order_before
-            .iter()
-            .position(|&i| i == index)
-            .expect("index is in bounds");
+        let cut = Self::rank_of(&order_before, index);
         // Prune to the invariant prefix, renumbering surviving indices past
         // the departure down by one.
         let pruned = Self::prune_to_prefix(self.report.slots(), &order_before, cut, |m| {
@@ -233,7 +360,7 @@ impl AdmissionState {
             Err(e) => {
                 self.fleet.insert(index, profile);
                 self.fleet_ids.insert(index, id);
-                Err(e)
+                Err(AdmissionError::Verify(e))
             }
         }
     }
@@ -324,6 +451,59 @@ impl AdmissionState {
         let delta = self.core.stats().since(&before);
         self.report.apply_repair(slots, &delta);
         Ok(())
+    }
+
+    /// Deadline-bounded variant of [`AdmissionState::repair`]: every probe
+    /// runs through the cascade with a squeezed exact-tier budget.
+    /// `Ok(Some(quality))` commits the repaired partition; `Ok(None)` means
+    /// some probe was undecided — the placement is abandoned, the deferral
+    /// is counted, and the report stays untouched (the caller reverts the
+    /// fleet).
+    fn repair_within(
+        &mut self,
+        mut slots: Vec<Vec<usize>>,
+        suffix: &[usize],
+        state_budget: usize,
+    ) -> Result<Option<AdmitQuality>, VerifyError> {
+        let before = *self.core.stats();
+        let core = &mut self.core;
+        let fleet = &self.fleet;
+        let fleet_ids = &self.fleet_ids;
+        let mut degraded = false;
+        let mut undecided = false;
+        let placed = place_suffix(&mut slots, suffix, |members| {
+            match core.admit_query_bounded(fleet, fleet_ids, members, Some(state_budget))? {
+                TierVerdict::Exact(verdict) => Ok(verdict),
+                TierVerdict::DegradedAccept => {
+                    degraded = true;
+                    Ok(true)
+                }
+                TierVerdict::Undecided => {
+                    // Answering `false` here could diverge from the exact
+                    // first-fit partition; abort the whole placement instead.
+                    // The error value is a private abort signal, replaced by
+                    // the deferred verdict below.
+                    undecided = true;
+                    Err(VerifyError::Canceled)
+                }
+            }
+        });
+        match placed {
+            Ok(()) => {
+                let delta = self.core.stats().since(&before);
+                self.report.apply_repair(slots, &delta);
+                Ok(Some(if degraded {
+                    AdmitQuality::Degraded
+                } else {
+                    AdmitQuality::Exact
+                }))
+            }
+            Err(_) if undecided => {
+                self.core.record_deferred();
+                Ok(None)
+            }
+            Err(e) => Err(e),
+        }
     }
 }
 
@@ -489,6 +669,83 @@ mod tests {
         bytes[last] ^= 0xFF;
         assert!(AdmissionState::from_snapshot(&bytes).is_err());
         assert!(AdmissionState::from_snapshot(&[]).is_err());
+    }
+
+    #[test]
+    fn out_of_range_removal_is_a_typed_error() {
+        let mut state = AdmissionState::new();
+        state.add_app(profile("A", 10, 3, 5, 30)).unwrap();
+        let err = state.remove_app(3).unwrap_err();
+        assert_eq!(
+            err,
+            AdmissionError::OutOfRange {
+                index: 3,
+                fleet_len: 1
+            }
+        );
+        assert!(err.to_string().contains("out of range"));
+        assert_eq!(state.fleet().len(), 1, "the fleet must be untouched");
+    }
+
+    #[test]
+    fn bounded_arrivals_place_exactly_or_defer_cleanly() {
+        // A generous budget behaves exactly like the unbounded path.
+        let mut state = AdmissionState::new();
+        let verdict = state
+            .add_app_within(profile("A", 10, 3, 5, 30), 1_000_000)
+            .unwrap();
+        assert_eq!(
+            verdict,
+            DeadlineAdmit::Placed {
+                index: 0,
+                quality: AdmitQuality::Exact
+            }
+        );
+        let verdict = state
+            .add_app_within(profile("B", 10, 3, 5, 30), 1_000_000)
+            .unwrap();
+        assert!(matches!(verdict, DeadlineAdmit::Placed { index: 1, .. }));
+        assert_matches_batch(&state);
+    }
+
+    #[test]
+    fn starved_arrivals_defer_and_roll_back() {
+        // Budget 1: the exact tier cannot decide any pair probe. "C" has a
+        // zero-wait deadline with a long dwell next to it, so the
+        // conservative screen cannot accept a shared slot either — the
+        // arrival must come back deferred with the fleet untouched.
+        let mut state = AdmissionState::new();
+        state.add_app(profile("A", 10, 3, 5, 30)).unwrap();
+        let slots_before = state.report().slots().to_vec();
+        let deferred_before = state.stats().deferred;
+        let verdict = state.add_app_within(profile("C", 0, 5, 5, 30), 1).unwrap();
+        assert_eq!(verdict, DeadlineAdmit::Deferred);
+        assert_eq!(state.fleet().len(), 1, "deferred arrival must roll back");
+        assert_eq!(state.report().slots(), slots_before.as_slice());
+        assert_eq!(state.stats().deferred, deferred_before + 1);
+        // Retried without a deadline, the same arrival lands.
+        state.add_app(profile("C", 0, 5, 5, 30)).unwrap();
+        assert_matches_batch(&state);
+    }
+
+    #[test]
+    fn degraded_accepts_stay_bit_identical_to_batch() {
+        // Budget 1 starves the exact tier, but A and B are far apart enough
+        // for the conservative worst-case-blocking screen to accept — the
+        // arrival lands as a degraded placement on the same slot the exact
+        // engine would pick.
+        let mut state = AdmissionState::new();
+        state.add_app_within(profile("A", 10, 3, 5, 30), 1).unwrap();
+        let verdict = state.add_app_within(profile("B", 10, 3, 5, 30), 1).unwrap();
+        assert_eq!(
+            verdict,
+            DeadlineAdmit::Placed {
+                index: 1,
+                quality: AdmitQuality::Degraded
+            }
+        );
+        assert!(state.stats().degraded_accepts > 0);
+        assert_matches_batch(&state);
     }
 
     #[test]

@@ -26,7 +26,10 @@ use cps_baseline::{slot_schedulable_profiles, Strategy};
 use cps_core::AppTimingProfile;
 use cps_intern::snapshot::{Persist, SnapshotError, SnapshotReader, SnapshotWriter};
 use cps_intern::{seq_fingerprint, TwoWayTranspositionTable};
-use cps_verify::{replay_first_miss_selected, SlotVerifyEngine, VerificationConfig, VerifyError};
+use cps_verify::{
+    replay_first_miss_selected, verify_conservative_selected, SlotVerifyEngine, VerificationConfig,
+    VerifyError,
+};
 
 use crate::report::TierStats;
 
@@ -35,6 +38,38 @@ const DEFAULT_MEMO_BUCKETS: usize = 1 << 14;
 
 /// Snapshot kind tag of [`CascadeCore`].
 const KIND: [u8; 4] = *b"MAPC";
+
+/// Snapshot section holding the verification configuration and strategy.
+const SECTION_CONFIG: [u8; 4] = *b"CONF";
+/// Snapshot section holding the interned profile fingerprints.
+const SECTION_FINGERPRINTS: [u8; 4] = *b"FPRT";
+/// Snapshot section holding the anti-monotone inadmissible index.
+const SECTION_INADMISSIBLE: [u8; 4] = *b"INAD";
+/// Snapshot section holding the verdict memo.
+const SECTION_MEMO: [u8; 4] = *b"MEMO";
+
+/// The verdict of one deadline-bounded cascade query
+/// ([`CascadeCore::admit_query_bounded`]).
+///
+/// The first two variants are *sound accepts/rejects* — they agree with what
+/// the exact verifier would answer given unlimited budget. `Undecided` is the
+/// honest third state: the exact tier ran out of (squeezed) budget or was
+/// canceled, and the conservative worst-case-blocking screen could not accept
+/// either. Callers must treat `Undecided` as "do not place" *without*
+/// recording a reject anywhere, because the exact verdict is unknown.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum TierVerdict {
+    /// The cascade reached a verdict with exact-tier fidelity (tiers 1–6).
+    Exact(bool),
+    /// The exact tier ran out of budget, but the sound conservative screen
+    /// proved the candidate schedulable. Accepting is safe: a conservative
+    /// accept implies an exact accept, and the verdict is memoized as `true`
+    /// exactly as an exact accept would be.
+    DegradedAccept,
+    /// No sound verdict was reachable within the budget. Nothing is memoized
+    /// and nothing enters the anti-monotone index.
+    Undecided,
+}
 
 /// The tier-2 verdict memo: bounded by default (a two-way transposition
 /// table keyed by the incremental [`seq_fingerprint`] of the canonical
@@ -237,6 +272,43 @@ impl CascadeCore {
         fleet_ids: &[u32],
         members: &[usize],
     ) -> Result<bool, VerifyError> {
+        match self.admit_query_bounded(profiles, fleet_ids, members, None)? {
+            TierVerdict::Exact(verdict) => Ok(verdict),
+            // Unreachable without a squeeze (the degraded ladder only runs
+            // when one is given), but mapped soundly rather than panicking:
+            // a degraded accept is an accept, undecided is a budget failure.
+            TierVerdict::DegradedAccept => Ok(true),
+            TierVerdict::Undecided => Err(VerifyError::StateBudgetExhausted {
+                budget: self.config.state_budget,
+            }),
+        }
+    }
+
+    /// Records one deadline-bounded placement the front end answered as
+    /// deferred (some probe came back [`TierVerdict::Undecided`]).
+    pub(crate) fn record_deferred(&mut self) {
+        self.stats.deferred += 1;
+    }
+
+    /// [`CascadeCore::admit_query`] with an optional *budget squeeze* for
+    /// deadline-bounded admission: `squeeze = Some(b)` caps the exact tier's
+    /// state budget at `min(b, config.state_budget)` and arms the degraded
+    /// ladder — when the exact verification runs out of that budget (or is
+    /// canceled through the verifier's [`cps_verify::CancelToken`]), the
+    /// sound conservative worst-case-blocking screen
+    /// ([`verify_conservative_selected`]) gets the final word. Its accept is
+    /// memoized like an exact accept; anything else is [`TierVerdict::Undecided`]
+    /// and leaves every cache untouched.
+    ///
+    /// With `squeeze = None` the behaviour is bit-identical to the historical
+    /// cascade: budget exhaustion and cancellation propagate as errors.
+    pub(crate) fn admit_query_bounded(
+        &mut self,
+        profiles: &[AppTimingProfile],
+        fleet_ids: &[u32],
+        members: &[usize],
+        squeeze: Option<usize>,
+    ) -> Result<TierVerdict, VerifyError> {
         // Reject invalid configurations up front, before any tier can decide
         // the query — the cascade must error exactly where the plain oracle
         // does (same validation, shared with the verifier), and the screen's
@@ -249,7 +321,7 @@ impl CascadeCore {
         // dedicated slot.
         if members.len() <= 1 {
             self.stats.singleton_accepts += 1;
-            return Ok(true);
+            return Ok(TierVerdict::Exact(true));
         }
 
         // Tier 2: canonical memo table.
@@ -258,7 +330,7 @@ impl CascadeCore {
             .extend(members.iter().map(|&i| fleet_ids[i]));
         if let Some(verdict) = self.memo_get() {
             self.stats.memo_hits += 1;
-            return Ok(verdict);
+            return Ok(TierVerdict::Exact(verdict));
         }
 
         // Tier 3: quick necessary-condition screen (sound reject).
@@ -273,7 +345,7 @@ impl CascadeCore {
         ) {
             self.stats.quick_rejects += 1;
             self.record_inadmissible(true);
-            return Ok(false);
+            return Ok(TierVerdict::Exact(false));
         }
 
         // Tier 4: anti-monotone index (sound reject): a candidate into which
@@ -285,7 +357,7 @@ impl CascadeCore {
         {
             self.stats.anti_monotone_rejects += 1;
             self.memo_insert(false);
-            return Ok(false);
+            return Ok(TierVerdict::Exact(false));
         }
 
         // Tier 5: gated baseline accept (sound accept).
@@ -294,26 +366,55 @@ impl CascadeCore {
         {
             self.stats.baseline_accepts += 1;
             self.memo_insert(true);
-            return Ok(true);
+            return Ok(TierVerdict::Exact(true));
         }
 
-        // Tier 6: the exact verifier.
+        // Tier 6: the exact verifier, under the squeezed budget when one is
+        // given. The exploration time is accounted whether or not the tier
+        // reaches a verdict.
+        let effective = VerificationConfig {
+            state_budget: squeeze.map_or(self.config.state_budget, |b| {
+                b.min(self.config.state_budget)
+            }),
+            ..self.config
+        };
         let start = Instant::now();
-        let outcome = self
-            .verifier
-            .verify_selected(profiles, members, &self.config)?;
+        let outcome = self.verifier.verify_selected(profiles, members, &effective);
         self.stats.exact_verify_time += start.elapsed();
-        self.stats.exact_verifies += 1;
         self.stats.verify = self.verifier.stats();
-        let verdict = outcome.schedulable();
-        if verdict {
-            self.memo_insert(true);
-        } else {
-            // Tier 4 already proved no stored set embeds into this key, and
-            // nothing has touched the index since — skip the re-scan.
-            self.record_inadmissible(false);
+        match outcome {
+            Ok(outcome) => {
+                self.stats.exact_verifies += 1;
+                let verdict = outcome.schedulable();
+                if verdict {
+                    self.memo_insert(true);
+                } else {
+                    // Tier 4 already proved no stored set embeds into this
+                    // key, and nothing has touched the index since — skip the
+                    // re-scan.
+                    self.record_inadmissible(false);
+                }
+                Ok(TierVerdict::Exact(verdict))
+            }
+            Err(VerifyError::StateBudgetExhausted { .. }) | Err(VerifyError::Canceled)
+                if squeeze.is_some() =>
+            {
+                // Degraded ladder: the sound conservative screen. An accept
+                // here implies an exact accept, so memoizing `true` keeps the
+                // memo exact-faithful. A conservative reject proves nothing
+                // about the exact verdict — answer undecided and record
+                // nothing.
+                let conservative = verify_conservative_selected(profiles, members)?;
+                if conservative.schedulable() {
+                    self.stats.degraded_accepts += 1;
+                    self.memo_insert(true);
+                    Ok(TierVerdict::DegradedAccept)
+                } else {
+                    Ok(TierVerdict::Undecided)
+                }
+            }
+            Err(e) => Err(e),
         }
-        Ok(verdict)
     }
 
     /// Memoizes the current key as inadmissible and adds it to the
@@ -404,10 +505,13 @@ impl CascadeCore {
     /// Writes the cascade's persistent caches into a snapshot payload:
     /// configuration, baseline strategy, interned fingerprints, the
     /// anti-monotone index and the verdict memo (layout-preserving for the
-    /// bounded table). The exact verifier's exploration buffers are
-    /// per-query scratch and the tier counters restart from zero — neither
-    /// affects verdicts.
+    /// bounded table). Each cache lives in its own checksummed section
+    /// (`CONF`/`FPRT`/`INAD`/`MEMO`), so corruption reports name the damaged
+    /// cache rather than just "somewhere in the payload". The exact
+    /// verifier's exploration buffers are per-query scratch and the tier
+    /// counters restart from zero — neither affects verdicts.
     pub(crate) fn write_snapshot(&self, w: &mut SnapshotWriter) {
+        w.begin_section(SECTION_CONFIG);
         w.put_bool(self.config.max_disturbances_per_app.is_some());
         w.put_usize(self.config.max_disturbances_per_app.unwrap_or(0));
         w.put_usize(self.config.state_budget);
@@ -415,6 +519,8 @@ impl CascadeCore {
             Strategy::NonPreemptiveDeadlineMonotonic => 0,
             Strategy::DelayedRequests => 1,
         });
+        w.end_section();
+        w.begin_section(SECTION_FINGERPRINTS);
         w.put_usize(self.fingerprint_store.len());
         for f in &self.fingerprint_store {
             w.put_usize(f.max_wait);
@@ -422,7 +528,11 @@ impl CascadeCore {
             f.t_dw_min.persist(w);
             f.t_dw_plus.persist(w);
         }
+        w.end_section();
+        w.begin_section(SECTION_INADMISSIBLE);
         self.inadmissible.persist(w);
+        w.end_section();
+        w.begin_section(SECTION_MEMO);
         match &self.memo {
             Memo::Unbounded(map) => {
                 w.put_u8(0);
@@ -437,6 +547,7 @@ impl CascadeCore {
                 tt.write_snapshot(w);
             }
         }
+        w.end_section();
     }
 
     /// Reads a core previously written by [`CascadeCore::write_snapshot`].
@@ -447,6 +558,7 @@ impl CascadeCore {
     ///
     /// Propagates payload truncation and invariant violations.
     pub(crate) fn read_snapshot(r: &mut SnapshotReader<'_>) -> Result<Self, SnapshotError> {
+        r.enter_section(SECTION_CONFIG)?;
         let has_bound = r.take_bool()?;
         let bound = r.take_usize()?;
         let config = VerificationConfig {
@@ -462,6 +574,8 @@ impl CascadeCore {
                 })
             }
         };
+        r.exit_section()?;
+        r.enter_section(SECTION_FINGERPRINTS)?;
         let count = r.take_usize()?;
         let mut fingerprint_store = Vec::with_capacity(count.min(1 << 20));
         let mut fingerprint_index: HashMap<(usize, usize), Vec<u32>> = HashMap::new();
@@ -478,7 +592,11 @@ impl CascadeCore {
                 .push(id as u32);
             fingerprint_store.push(f);
         }
+        r.exit_section()?;
+        r.enter_section(SECTION_INADMISSIBLE)?;
         let inadmissible = Vec::restore(r)?;
+        r.exit_section()?;
+        r.enter_section(SECTION_MEMO)?;
         let memo = match r.take_u8()? {
             0 => {
                 let len = r.take_usize()?;
@@ -497,6 +615,7 @@ impl CascadeCore {
                 })
             }
         };
+        r.exit_section()?;
         Ok(CascadeCore {
             config,
             baseline_strategy,
@@ -545,14 +664,30 @@ mod tests {
     #[test]
     fn snapshot_rejects_unknown_tags() {
         let mut w = SnapshotWriter::new(KIND);
-        // Valid config + an out-of-range strategy tag.
+        // Valid config section + an out-of-range strategy tag.
+        w.begin_section(SECTION_CONFIG);
         w.put_bool(false);
         w.put_usize(0);
         w.put_usize(1_000);
         w.put_u8(9);
+        w.end_section();
         assert!(matches!(
             CascadeCore::from_snapshot_bytes(&w.finish()).unwrap_err(),
             SnapshotError::Corrupt { .. }
+        ));
+    }
+
+    #[test]
+    fn snapshot_rejects_misplaced_sections() {
+        // A payload whose first section is not the config section must be
+        // rejected by name, not misparsed.
+        let mut w = SnapshotWriter::new(KIND);
+        w.begin_section(*b"XXXX");
+        w.put_bool(false);
+        w.end_section();
+        assert!(matches!(
+            CascadeCore::from_snapshot_bytes(&w.finish()).unwrap_err(),
+            SnapshotError::BadSectionTag { .. }
         ));
     }
 }

@@ -43,7 +43,7 @@ pub mod report;
 
 mod cascade;
 
-pub use admission::AdmissionState;
+pub use admission::{AdmissionError, AdmissionState, AdmitQuality, DeadlineAdmit};
 pub use engine::MapExplorerEngine;
 pub use first_fit::{first_fit, sort_for_first_fit};
 pub use oracle::{BaselineOracle, ModelCheckingOracle, SlotOracle};
@@ -63,5 +63,8 @@ mod tests {
         assert_send_sync::<MinimizeReport>();
         assert_send_sync::<TierStats>();
         assert_send_sync::<AdmissionState>();
+        assert_send_sync::<AdmissionError>();
+        assert_send_sync::<AdmitQuality>();
+        assert_send_sync::<DeadlineAdmit>();
     }
 }

@@ -31,6 +31,14 @@ pub struct TierStats {
     pub baseline_accepts: usize,
     /// Queries that reached the exact model-checking verifier.
     pub exact_verifies: usize,
+    /// Deadline-bounded queries whose exact verification ran out of budget
+    /// (or was canceled) and that the sound conservative worst-case-blocking
+    /// screen then *accepted* — a degraded but sound accept.
+    pub degraded_accepts: usize,
+    /// Deadline-bounded queries left undecided: the exact verification ran
+    /// out of budget and the conservative screen could not accept either.
+    /// The admission front end answers these as deferred.
+    pub deferred: usize,
     /// Wall-clock time spent inside the exact verifier.
     pub exact_verify_time: Duration,
     /// Verdicts evicted from the bounded memo transposition table (always 0
@@ -58,6 +66,8 @@ impl TierStats {
         self.anti_monotone_rejects += delta.anti_monotone_rejects;
         self.baseline_accepts += delta.baseline_accepts;
         self.exact_verifies += delta.exact_verifies;
+        self.degraded_accepts += delta.degraded_accepts;
+        self.deferred += delta.deferred;
         self.exact_verify_time += delta.exact_verify_time;
         self.tt_evictions += delta.tt_evictions;
         self.verify = self.verify.plus(&delta.verify);
@@ -74,6 +84,8 @@ impl TierStats {
             anti_monotone_rejects: self.anti_monotone_rejects - earlier.anti_monotone_rejects,
             baseline_accepts: self.baseline_accepts - earlier.baseline_accepts,
             exact_verifies: self.exact_verifies - earlier.exact_verifies,
+            degraded_accepts: self.degraded_accepts - earlier.degraded_accepts,
+            deferred: self.deferred - earlier.deferred,
             exact_verify_time: self.exact_verify_time - earlier.exact_verify_time,
             tt_evictions: self.tt_evictions - earlier.tt_evictions,
             verify: self.verify.since(&earlier.verify),
@@ -86,7 +98,8 @@ impl fmt::Display for TierStats {
         write!(
             f,
             "{} queries: {} singleton, {} memo-hit, {} quick-reject, \
-             {} anti-monotone, {} baseline-accept, {} exact-verify ({:.2} ms); \
+             {} anti-monotone, {} baseline-accept, {} exact-verify ({:.2} ms), \
+             {} degraded-accept, {} deferred; \
              {} tt-evictions; verifier: {} probes, {} hash-hits, {} rehashes",
             self.queries,
             self.singleton_accepts,
@@ -96,6 +109,8 @@ impl fmt::Display for TierStats {
             self.baseline_accepts,
             self.exact_verifies,
             self.exact_verify_time.as_secs_f64() * 1e3,
+            self.degraded_accepts,
+            self.deferred,
             self.tt_evictions,
             self.verify.intern_probes,
             self.verify.hash_hits,
@@ -355,6 +370,8 @@ mod tests {
             anti_monotone_rejects: 1,
             baseline_accepts: 1,
             exact_verifies: 2,
+            degraded_accepts: 2,
+            deferred: 1,
             exact_verify_time: Duration::from_millis(8),
             tt_evictions: 4,
             verify: VerifyStats {
@@ -372,6 +389,8 @@ mod tests {
             anti_monotone_rejects: 0,
             baseline_accepts: 0,
             exact_verifies: 1,
+            degraded_accepts: 1,
+            deferred: 0,
             exact_verify_time: Duration::from_millis(3),
             tt_evictions: 1,
             verify: VerifyStats {
@@ -383,6 +402,8 @@ mod tests {
         let delta = stats.since(&earlier);
         assert_eq!(delta.queries, 6);
         assert_eq!(delta.memo_hits, 2);
+        assert_eq!(delta.degraded_accepts, 1);
+        assert_eq!(delta.deferred, 1);
         assert_eq!(delta.exact_verify_time, Duration::from_millis(5));
         assert_eq!(delta.tt_evictions, 3);
         assert_eq!(delta.verify.intern_probes, 70);
@@ -398,6 +419,8 @@ mod tests {
         let rendered = r.to_string();
         assert!(rendered.contains("memo-hit"), "{rendered}");
         assert!(rendered.contains("exact-verify"), "{rendered}");
+        assert!(rendered.contains("degraded-accept"), "{rendered}");
+        assert!(rendered.contains("deferred"), "{rendered}");
     }
 
     #[test]

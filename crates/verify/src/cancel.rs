@@ -1,0 +1,63 @@
+//! Cooperative cancellation for long-running verifications.
+//!
+//! The exact exploration can run far past a caller's patience on adversarial
+//! models even under a generous state budget. A [`CancelToken`] lets the
+//! caller — a deadline watchdog, a service shutting down — ask the engine to
+//! stop *between* states: the engine polls the token at the same point it
+//! charges the state budget and returns [`crate::VerifyError::Canceled`]
+//! instead of a verdict. Cancellation is therefore exactly as abrupt as
+//! budget exhaustion and no more: buffers stay reusable, no partial verdict
+//! escapes, and the admission cascade degrades onto its sound conservative
+//! screen the same way it does when the budget runs out.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// A shared flag asking in-flight verifications to stop early.
+///
+/// Clones observe the same flag; [`CancelToken::reset`] re-arms it so one
+/// token can bound many sequential verifications (a service resets between
+/// requests).
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken {
+    flag: Arc<AtomicBool>,
+}
+
+impl CancelToken {
+    /// A fresh, un-canceled token.
+    pub fn new() -> Self {
+        CancelToken::default()
+    }
+
+    /// Asks every engine holding a clone of this token to stop at its next
+    /// budget checkpoint.
+    pub fn cancel(&self) {
+        self.flag.store(true, Ordering::Relaxed);
+    }
+
+    /// Re-arms the token for the next verification.
+    pub fn reset(&self) {
+        self.flag.store(false, Ordering::Relaxed);
+    }
+
+    /// `true` once [`CancelToken::cancel`] has been called (and not reset).
+    pub fn is_canceled(&self) -> bool {
+        self.flag.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clones_share_the_flag_and_reset_rearms() {
+        let token = CancelToken::new();
+        let clone = token.clone();
+        assert!(!token.is_canceled() && !clone.is_canceled());
+        clone.cancel();
+        assert!(token.is_canceled() && clone.is_canceled());
+        token.reset();
+        assert!(!token.is_canceled() && !clone.is_canceled());
+    }
+}

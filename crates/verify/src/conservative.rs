@@ -17,6 +17,7 @@
 //! dwell-table-aware checker proves safe — that gap is precisely the paper's
 //! point, and [`crate::checker::verify`] is the exact reference.
 
+use cps_core::AppTimingProfile;
 use cps_ta::model::{blocking_network, BlockingModelParams};
 use cps_ta::ZoneGraphExplorer;
 
@@ -91,8 +92,45 @@ impl ConservativeOutcome {
 ///
 /// Propagates model-construction and exploration errors from `cps-ta`.
 pub fn verify_conservative(model: &SlotSharingModel) -> Result<ConservativeOutcome, VerifyError> {
+    let selected: Vec<&AppTimingProfile> = model.profiles().iter().collect();
+    conservative_over(&selected)
+}
+
+/// [`verify_conservative`] over the sub-mapping selecting `members` (indices
+/// into `profiles`) as the slot's occupants — the borrow-only hook mirroring
+/// [`crate::SlotVerifyEngine::verify_selected`], used by the admission
+/// cascade as its sound degraded screen when the exact verification runs out
+/// of budget or is canceled.
+///
+/// # Errors
+///
+/// [`VerifyError::EmptyModel`] when `members` is empty,
+/// [`VerifyError::InvalidConfig`] when a member index is out of bounds, and
+/// any model-construction or exploration error from `cps-ta`.
+pub fn verify_conservative_selected(
+    profiles: &[AppTimingProfile],
+    members: &[usize],
+) -> Result<ConservativeOutcome, VerifyError> {
+    if members.is_empty() {
+        return Err(VerifyError::EmptyModel);
+    }
+    let mut selected = Vec::with_capacity(members.len());
+    for &m in members {
+        let profile = profiles.get(m).ok_or_else(|| VerifyError::InvalidConfig {
+            reason: format!(
+                "member index {m} is out of range for {} profiles",
+                profiles.len()
+            ),
+        })?;
+        selected.push(profile);
+    }
+    conservative_over(&selected)
+}
+
+/// The shared core: one blocking-network reachability query per selected
+/// profile, explorer buffers reused across the queries.
+fn conservative_over(profiles: &[&AppTimingProfile]) -> Result<ConservativeOutcome, VerifyError> {
     let mut explorer = ZoneGraphExplorer::new();
-    let profiles = model.profiles();
     let mut verdicts = Vec::with_capacity(profiles.len());
     for (index, profile) in profiles.iter().enumerate() {
         let blocking: i64 = profiles
@@ -178,6 +216,37 @@ mod tests {
             let expected = dwell as i64 <= wait_a as i64 && dwell as i64 <= wait_b as i64;
             assert_eq!(outcome.schedulable(), expected);
         }
+    }
+
+    #[test]
+    fn selected_matches_the_cloned_submodel() {
+        let fleet = [
+            profile("A", 5, 3, 30),
+            profile("B", 20, 9, 40),
+            profile("C", 10, 4, 60),
+        ];
+        let selections: &[&[usize]] = &[&[0], &[1, 2], &[0, 1], &[2, 0, 1]];
+        for members in selections {
+            let selected = verify_conservative_selected(&fleet, members).unwrap();
+            let cloned: Vec<AppTimingProfile> = members.iter().map(|&i| fleet[i].clone()).collect();
+            let model = SlotSharingModel::new(cloned).unwrap();
+            let direct = verify_conservative(&model).unwrap();
+            assert_eq!(selected.schedulable(), direct.schedulable());
+            assert_eq!(selected.verdicts(), direct.verdicts());
+        }
+    }
+
+    #[test]
+    fn selected_rejects_empty_and_out_of_range_members() {
+        let fleet = [profile("A", 5, 3, 30)];
+        assert_eq!(
+            verify_conservative_selected(&fleet, &[]).unwrap_err(),
+            VerifyError::EmptyModel
+        );
+        assert!(matches!(
+            verify_conservative_selected(&fleet, &[1]).unwrap_err(),
+            VerifyError::InvalidConfig { .. }
+        ));
     }
 
     #[test]

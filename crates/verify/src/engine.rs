@@ -89,6 +89,7 @@
 use cps_core::AppTimingProfile;
 use cps_intern::{CachedHashIndex, ZobristKeys};
 
+use crate::cancel::CancelToken;
 use crate::checker::{VerificationConfig, VerificationOutcome};
 use crate::witness::{TraceEvent, Witness};
 use crate::{SlotSharingModel, VerifyError};
@@ -295,6 +296,8 @@ struct ModelCtx {
     max_code_space: u64,
     /// Zobrist key material, one key per `(application slot, packed code)`.
     keys: ZobristKeys,
+    /// Cooperative cancellation, polled at every budget checkpoint.
+    cancel: Option<CancelToken>,
 }
 
 impl ModelCtx {
@@ -389,11 +392,18 @@ impl ModelCtx {
             n,
             max_code_space,
             keys: ZobristKeys::new(code_spaces),
+            cancel: None,
         })
     }
 
     fn eligible(&self, cell: Cell, used: u32) -> bool {
         matches!(cell, Cell::Steady) && self.bound.is_none_or(|b| used < b)
+    }
+
+    /// Polled wherever the state budget is charged; `true` asks the
+    /// exploration to stop with [`VerifyError::Canceled`].
+    fn is_canceled(&self) -> bool {
+        self.cancel.as_ref().is_some_and(CancelToken::is_canceled)
     }
 }
 
@@ -723,6 +733,9 @@ impl<W: StateWord> Core<W> {
             if explored > ctx.budget {
                 return Err(VerifyError::StateBudgetExhausted { budget: ctx.budget });
             }
+            if ctx.is_canceled() {
+                return Err(VerifyError::Canceled);
+            }
 
             cur_cells.clear();
             cur_used.clear();
@@ -939,6 +952,9 @@ impl<W: StateWord> Core<W> {
                                 });
                             }
                         }
+                        if ctx.is_canceled() {
+                            return Err(VerifyError::Canceled);
+                        }
                         next_pop = parent + 1;
                     }
                     self.slot_updates += rec.diffs as usize;
@@ -965,6 +981,9 @@ impl<W: StateWord> Core<W> {
                                     budget: ctx.budget,
                                 });
                             }
+                        }
+                        if ctx.is_canceled() {
+                            return Err(VerifyError::Canceled);
                         }
                     }
                     let witness = build_witness(ctx, &self.arena, &self.meta, miss_parent, mask);
@@ -1238,6 +1257,9 @@ pub struct SlotVerifyEngine {
     narrow: Core<u16>,
     wide: Core<u32>,
     pool: cps_par::Pool,
+    /// Cancellation observed by every verification until replaced; see
+    /// [`SlotVerifyEngine::set_cancel_token`].
+    cancel: Option<CancelToken>,
 }
 
 impl SlotVerifyEngine {
@@ -1262,6 +1284,14 @@ impl SlotVerifyEngine {
         self.pool
     }
 
+    /// Installs (or with `None` removes) the cancellation token every
+    /// subsequent verification polls at its budget checkpoints. A canceled
+    /// token makes the verification return [`VerifyError::Canceled`];
+    /// [`CancelToken::reset`] re-arms it without re-installing.
+    pub fn set_cancel_token(&mut self, token: Option<CancelToken>) {
+        self.cancel = token;
+    }
+
     /// Verifies that every application of the model meets its deadline in
     /// every admissible disturbance scenario.
     ///
@@ -1284,7 +1314,8 @@ impl SlotVerifyEngine {
         config: &VerificationConfig,
     ) -> Result<VerificationOutcome, VerifyError> {
         Self::validate_config(config)?;
-        let ctx = ModelCtx::new(model, config)?;
+        let mut ctx = ModelCtx::new(model, config)?;
+        ctx.cancel = self.cancel.clone();
         self.run(&ctx)
     }
 
@@ -1315,7 +1346,8 @@ impl SlotVerifyEngine {
             return Err(VerifyError::EmptyModel);
         }
         Self::validate_config(config)?;
-        let ctx = ModelCtx::from_profiles(members.iter().map(|&i| &profiles[i]), config)?;
+        let mut ctx = ModelCtx::from_profiles(members.iter().map(|&i| &profiles[i]), config)?;
+        ctx.cancel = self.cancel.clone();
         self.run(&ctx)
     }
 
@@ -1515,6 +1547,45 @@ mod tests {
             result,
             Err(VerifyError::StateBudgetExhausted { budget: 5 })
         ));
+    }
+
+    #[test]
+    fn canceled_token_stops_the_exploration() {
+        use crate::CancelToken;
+        let model =
+            SlotSharingModel::new(vec![profile("A", 10, 3, 5, 60), profile("B", 10, 3, 5, 60)])
+                .unwrap();
+        let mut engine = SlotVerifyEngine::new();
+        let token = CancelToken::new();
+        engine.set_cancel_token(Some(token.clone()));
+
+        // Pre-canceled: the first budget checkpoint reports Canceled.
+        token.cancel();
+        assert_eq!(
+            engine.verify(&model, &VerificationConfig::default()),
+            Err(VerifyError::Canceled)
+        );
+        let fleet = [profile("A", 10, 3, 5, 60), profile("B", 10, 3, 5, 60)];
+        assert_eq!(
+            engine.verify_selected(&fleet, &[0, 1], &VerificationConfig::default()),
+            Err(VerifyError::Canceled)
+        );
+
+        // Reset re-arms the same token; the engine verifies normally again
+        // with the exact verdict.
+        token.reset();
+        assert!(engine
+            .verify(&model, &VerificationConfig::default())
+            .unwrap()
+            .schedulable());
+
+        // Removing the token detaches the engine from the (re-canceled) flag.
+        token.cancel();
+        engine.set_cancel_token(None);
+        assert!(engine
+            .verify(&model, &VerificationConfig::default())
+            .unwrap()
+            .schedulable());
     }
 
     #[test]

@@ -58,6 +58,7 @@
 //! ```
 
 pub mod bounded;
+mod cancel;
 pub mod checker;
 pub mod conservative;
 pub mod engine;
@@ -68,8 +69,9 @@ pub mod witness;
 /// The retained naive checker — the semantic oracle the engine is pinned to.
 pub use checker as reference;
 
+pub use cancel::CancelToken;
 pub use checker::{VerificationConfig, VerificationOutcome};
-pub use conservative::{verify_conservative, ConservativeOutcome};
+pub use conservative::{verify_conservative, verify_conservative_selected, ConservativeOutcome};
 pub use engine::{
     has_interchangeable_neighbors, profiles_interchangeable, SlotVerifyEngine, VerifyStats,
 };
@@ -91,5 +93,6 @@ mod tests {
         assert_send_sync::<VerificationOutcome>();
         assert_send_sync::<VerifyError>();
         assert_send_sync::<Witness>();
+        assert_send_sync::<CancelToken>();
     }
 }
